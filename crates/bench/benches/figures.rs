@@ -1,0 +1,85 @@
+//! Criterion: one bench group per reproduced figure, timing the
+//! regeneration of a representative data point at small scale. (Full
+//! paper-scale figure regeneration is the `repro` binary; these benches
+//! keep the per-figure machinery exercised and timed under `cargo bench`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcn_sim::DeviceConfig;
+use rmt_core::TransformOptions;
+use rmt_kernels::{by_abbrev, run_original, run_rmt, Scale};
+use std::hint::black_box;
+
+fn device() -> DeviceConfig {
+    DeviceConfig::radeon_hd_7790()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    // Figure 2 point: URNG under Intra-Group+LDS.
+    g.bench_function("fig2_point_urng_intra", |bench| {
+        let b = by_abbrev("URNG").unwrap();
+        bench.iter(|| {
+            let base = run_original(b.as_ref(), Scale::Small, &device(), &|c| c)
+                .unwrap()
+                .stats
+                .cycles;
+            let rmt = run_rmt(
+                b.as_ref(),
+                Scale::Small,
+                &device(),
+                &TransformOptions::intra_plus_lds(),
+            )
+            .unwrap()
+            .stats
+            .cycles;
+            black_box(rmt as f64 / base as f64)
+        })
+    });
+
+    // Figure 6 point: BinS under Inter-Group (ticket + global protocol).
+    g.bench_function("fig6_point_bins_inter", |bench| {
+        let b = by_abbrev("BinS").unwrap();
+        bench.iter(|| {
+            black_box(
+                run_rmt(b.as_ref(), Scale::Small, &device(), &TransformOptions::inter())
+                    .unwrap()
+                    .stats
+                    .cycles,
+            )
+        })
+    });
+
+    // Figure 9 point: PS with FAST swizzle communication.
+    g.bench_function("fig9_point_ps_fast", |bench| {
+        let b = by_abbrev("PS").unwrap();
+        bench.iter(|| {
+            black_box(
+                run_rmt(
+                    b.as_ref(),
+                    Scale::Small,
+                    &device(),
+                    &TransformOptions::intra_minus_lds().with_swizzle(),
+                )
+                .unwrap()
+                .stats
+                .cycles,
+            )
+        })
+    });
+
+    // Figure 5 point: power estimation for BO.
+    g.bench_function("fig5_point_bo_power", |bench| {
+        let b = by_abbrev("BO").unwrap();
+        bench.iter(|| {
+            let run = run_original(b.as_ref(), Scale::Small, &device(), &|c| c).unwrap();
+            black_box(run.stats.power.unwrap().avg_watts)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

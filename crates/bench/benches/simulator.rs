@@ -1,0 +1,67 @@
+//! Criterion: raw simulator throughput (host wall-time per simulated
+//! launch) for the two canonical kernel shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcn_sim::{Arg, Device, DeviceConfig, LaunchConfig};
+use rmt_ir::{Kernel, KernelBuilder};
+use std::hint::black_box;
+
+fn stream_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("stream");
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let gid = b.global_id(0);
+    let ia = b.elem_addr(inp, gid);
+    let oa = b.elem_addr(out, gid);
+    let v = b.load_global(ia);
+    b.store_global(oa, v);
+    b.finish()
+}
+
+fn alu_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("alu");
+    let out = b.buffer_param("out");
+    let gid = b.global_id(0);
+    let c = b.const_u32(2654435761);
+    let mut v = gid;
+    for _ in 0..32 {
+        v = b.mul_u32(v, c);
+        v = b.xor_u32(v, gid);
+    }
+    let oa = b.elem_addr(out, gid);
+    b.store_global(oa, v);
+    b.finish()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let n = 8192usize;
+    let mut g = c.benchmark_group("simulator");
+
+    g.bench_function("stream_8k_items", |bench| {
+        let k = stream_kernel();
+        bench.iter(|| {
+            let mut dev = Device::new(DeviceConfig::radeon_hd_7790());
+            let ib = dev.create_buffer((n * 4) as u32);
+            let ob = dev.create_buffer((n * 4) as u32);
+            let cfg = LaunchConfig::new_1d(n, 64)
+                .arg(Arg::Buffer(ib))
+                .arg(Arg::Buffer(ob));
+            black_box(dev.launch(&k, &cfg).unwrap().cycles)
+        })
+    });
+
+    g.bench_function("alu_8k_items", |bench| {
+        let k = alu_kernel();
+        bench.iter(|| {
+            let mut dev = Device::new(DeviceConfig::radeon_hd_7790());
+            let ob = dev.create_buffer((n * 4) as u32);
+            let cfg = LaunchConfig::new_1d(n, 64).arg(Arg::Buffer(ob));
+            black_box(dev.launch(&k, &cfg).unwrap().cycles)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion: compiler-pass cost — applying each RMT transformation to a
+//! real benchmark kernel, and lowering it for execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcn_sim::{Device, DeviceConfig};
+use rmt_core::{transform, TransformOptions};
+use rmt_kernels::by_abbrev;
+use std::hint::black_box;
+
+fn bench_transform(c: &mut Criterion) {
+    let kernel = by_abbrev("MM").expect("MM exists").kernel();
+    let mut g = c.benchmark_group("transform");
+
+    for (name, opts) in [
+        ("intra_plus_lds", TransformOptions::intra_plus_lds()),
+        ("intra_minus_lds", TransformOptions::intra_minus_lds()),
+        ("intra_fast", TransformOptions::intra_plus_lds().with_swizzle()),
+        ("inter", TransformOptions::inter()),
+    ] {
+        g.bench_function(name, |bench| {
+            bench.iter(|| black_box(transform(black_box(&kernel), &opts).unwrap()))
+        });
+    }
+
+    g.bench_function("compile_lowering", |bench| {
+        let dev = Device::new(DeviceConfig::radeon_hd_7790());
+        let rk = transform(&kernel, &TransformOptions::inter()).unwrap();
+        bench.iter(|| black_box(dev.compile(black_box(&rk.kernel)).unwrap()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

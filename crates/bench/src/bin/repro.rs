@@ -1,0 +1,86 @@
+//! `repro` — regenerates the paper's tables and figures on the simulator.
+//!
+//! ```text
+//! repro all                      # every experiment at paper scale
+//! repro fig2 fig6                # specific experiments
+//! repro fig4 --scale small       # quick run with tiny inputs
+//! repro list                     # list experiment ids
+//! ```
+
+use rmt_bench::experiments::{self, ALL_IDS};
+use rmt_bench::ExpConfig;
+use rmt_kernels::Scale;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> String {
+    format!(
+        "usage: repro <experiment>... [--scale small|paper|large]\n\
+         experiments: all, {}",
+        ALL_IDS.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let mut ids: Vec<String> = Vec::new();
+    let mut cfg = ExpConfig::paper();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                cfg.scale = match args.get(i).map(String::as_str) {
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    Some("large") => Scale::Large,
+                    other => {
+                        eprintln!("bad --scale {other:?}\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "list" => {
+                println!("{}", ALL_IDS.join("\n"));
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for id in ids {
+        let t0 = Instant::now();
+        match experiments::run(&id, &cfg) {
+            Ok(report) => {
+                println!("==== {id} ====\n");
+                println!("{report}");
+                println!("[{id} completed in {:.1?}]\n", t0.elapsed());
+            }
+            Err(e) => {
+                eprintln!("==== {id} FAILED ====\n{e}\n");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

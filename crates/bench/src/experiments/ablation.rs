@@ -1,0 +1,221 @@
+//! Extension experiments beyond the paper's figures:
+//!
+//! * `baseline` — naive full-duplication with host-side comparison (the
+//!   related-work approach of Dimitrov et al. the paper argues against)
+//!   next to the best RMT flavor per kernel;
+//! * `ablation` — sensitivity of the headline results to the design
+//!   choices DESIGN.md calls out in the machine model: L2 atomic banking
+//!   (which gates Inter-Group communication cost), the CU write-buffer
+//!   depth (which gates write-heavy kernels), RMT under reduced occupancy,
+//!   and device scaling (CU count) — the lever behind the paper's
+//!   CU-under-utilization findings for NB and PS.
+
+use crate::table::{x, Table};
+use crate::ExpConfig;
+use rmt_core::TransformOptions;
+use rmt_kernels::{all, by_abbrev, run_duplicated, run_original, run_rmt};
+
+/// The `baseline` experiment: naive duplication vs the RMT flavors.
+pub fn baseline(cfg: &ExpConfig) -> Result<String, String> {
+    let mut t = Table::new(&["kernel", "naive 2x launch", "Intra+LDS", "Inter"]);
+    for b in all() {
+        let fail = |e| format!("{}: {e}", b.abbrev());
+        let base = run_original(b.as_ref(), cfg.scale, &cfg.device, &|c| c)
+            .map_err(fail)?
+            .stats
+            .cycles as f64;
+        let naive = run_duplicated(b.as_ref(), cfg.scale, &cfg.device).map_err(fail)?;
+        if naive.detections != 0 {
+            return Err(format!(
+                "{}: naive duplication disagreed without faults",
+                b.abbrev()
+            ));
+        }
+        let intra = run_rmt(
+            b.as_ref(),
+            cfg.scale,
+            &cfg.device,
+            &TransformOptions::intra_plus_lds(),
+        )
+        .map_err(fail)?;
+        let inter = run_rmt(b.as_ref(), cfg.scale, &cfg.device, &TransformOptions::inter())
+            .map_err(fail)?;
+        t.row(vec![
+            b.abbrev().into(),
+            x(naive.stats.cycles as f64 / base),
+            x(intra.stats.cycles as f64 / base),
+            x(inter.stats.cycles as f64 / base),
+        ]);
+    }
+    Ok(format!(
+        "Baseline: naive kernel-launch duplication (host compares outputs)\n\
+         vs on-GPU RMT. Naive duplication pays the full 2x everywhere and\n\
+         cannot detect anything until the kernel completes; Intra-Group RMT\n\
+         beats it wherever under-utilized resources hide redundancy.\n\n{}",
+        t.render()
+    ))
+}
+
+/// The `ablation` experiment: machine-model design-choice sensitivity.
+pub fn ablation(cfg: &ExpConfig) -> Result<String, String> {
+    let mut out = String::new();
+
+    // -- L2 atomic banking vs Inter-Group communication cost. -------------
+    {
+        let b = by_abbrev("BlkSch").expect("BlkSch exists");
+        let mut t = Table::new(&["L2 banks", "orig cycles", "Inter", "slowdown"]);
+        for banks in [1usize, 2, 4, 8, 16] {
+            let mut device = cfg.device.clone();
+            device.l2_banks = banks;
+            let fail = |e| format!("BlkSch banks={banks}: {e}");
+            let base = run_original(b.as_ref(), cfg.scale, &device, &|c| c)
+                .map_err(fail)?
+                .stats
+                .cycles;
+            let inter = run_rmt(b.as_ref(), cfg.scale, &device, &TransformOptions::inter())
+                .map_err(fail)?
+                .stats
+                .cycles;
+            t.row(vec![
+                banks.to_string(),
+                base.to_string(),
+                inter.to_string(),
+                x(inter as f64 / base as f64),
+            ]);
+        }
+        out.push_str(&format!(
+            "Ablation A: L2 atomic banking vs Inter-Group cost (BlkSch)\n\
+             The communication protocol lives on L2 atomics; serializing them\n\
+             through fewer banks inflates Inter-Group overhead while leaving\n\
+             the original kernel almost untouched.\n\n{}\n",
+            t.render()
+        ));
+    }
+
+    // -- Write-buffer depth vs a write-heavy kernel. -----------------------
+    {
+        let b = by_abbrev("FWT").expect("FWT exists");
+        let mut t = Table::new(&["write buffer lines", "orig cycles", "WriteUnitStalled"]);
+        for lines in [2u64, 8, 16, 64] {
+            let mut device = cfg.device.clone();
+            device.lat.write_buffer_lines = lines;
+            let fail = |e| format!("FWT wb={lines}: {e}");
+            let run = run_original(b.as_ref(), cfg.scale, &device, &|c| c).map_err(fail)?;
+            t.row(vec![
+                lines.to_string(),
+                run.stats.cycles.to_string(),
+                format!("{:.1}%", run.stats.counters.write_unit_stalled_pct()),
+            ]);
+        }
+        out.push_str(&format!(
+            "Ablation B: CU write-buffer depth vs the write-heavy FWT\n\n{}\n",
+            t.render()
+        ));
+    }
+
+    // -- Occupancy sensitivity: Intra-Group on a memory-bound kernel. ------
+    {
+        let b = by_abbrev("BinS").expect("BinS exists");
+        let mut t = Table::new(&["groups/CU cap", "orig", "Intra+LDS", "slowdown"]);
+        for cap in [16usize, 8, 4, 2] {
+            let fail = |e| format!("BinS cap={cap}: {e}");
+            let base = run_original(b.as_ref(), cfg.scale, &cfg.device, &|c| {
+                c.groups_per_cu_cap(cap)
+            })
+            .map_err(fail)?
+            .stats
+            .cycles;
+            // The RMT run inherits the same cap through its launch passes.
+            let rk_run = {
+                let mut device = cfg.device.clone();
+                device.max_groups_per_cu = cap;
+                run_rmt(b.as_ref(), cfg.scale, &device, &TransformOptions::intra_plus_lds())
+                    .map_err(fail)?
+                    .stats
+                    .cycles
+            };
+            t.row(vec![
+                cap.to_string(),
+                base.to_string(),
+                rk_run.to_string(),
+                x(rk_run as f64 / base as f64),
+            ]);
+        }
+        out.push_str(&format!(
+            "Ablation C: occupancy pressure vs Intra-Group RMT (BinS)\n\
+             Capping resident work-groups slows the memory-latency-bound\n\
+             original as much as (or more than) the RMT version — the doubled\n\
+             work-groups carry their own latency-hiding wavefronts, so the\n\
+             relative cost of RMT stays flat or even dips under pressure.\n\n{}",
+            t.render()
+        ));
+    }
+
+    // -- Device scaling: CU count vs the under-utilization findings. -------
+    {
+        let mut t = Table::new(&["CUs", "NB Intra+LDS", "NB Inter", "QRS Inter"]);
+        let nb = by_abbrev("NB").expect("NB exists");
+        let qrs = by_abbrev("QRS").expect("QRS exists");
+        for cus in [4usize, 8, 12, 24] {
+            let mut device = cfg.device.clone();
+            device.num_cus = cus;
+            let fail = |e| format!("scaling cus={cus}: {e}");
+            let nb_base = run_original(nb.as_ref(), cfg.scale, &device, &|c| c)
+                .map_err(fail)?
+                .stats
+                .cycles as f64;
+            let nb_intra = run_rmt(
+                nb.as_ref(),
+                cfg.scale,
+                &device,
+                &TransformOptions::intra_plus_lds(),
+            )
+            .map_err(fail)?
+            .stats
+            .cycles as f64;
+            let nb_inter = run_rmt(nb.as_ref(), cfg.scale, &device, &TransformOptions::inter())
+                .map_err(fail)?
+                .stats
+                .cycles as f64;
+            let qrs_base = run_original(qrs.as_ref(), cfg.scale, &device, &|c| c)
+                .map_err(fail)?
+                .stats
+                .cycles as f64;
+            let qrs_inter = run_rmt(qrs.as_ref(), cfg.scale, &device, &TransformOptions::inter())
+                .map_err(fail)?
+                .stats
+                .cycles as f64;
+            t.row(vec![
+                cus.to_string(),
+                x(nb_intra / nb_base),
+                x(nb_inter / nb_base),
+                x(qrs_inter / qrs_base),
+            ]);
+        }
+        out.push_str(&format!(
+            "
+Ablation D: CU count vs under-utilization (Section 7.4)
+             NBody launches few work-groups: on a small device they saturate
+             the CUs and Inter-Group RMT pays real money; with spare CUs the
+             redundant groups spread out and Inter approaches 1x. A saturated
+             kernel (QRS) keeps its Inter cost regardless of CU count.
+
+{}",
+            t.render()
+        ));
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_small_runs() {
+        let out = baseline(&ExpConfig::small()).unwrap();
+        assert!(out.contains("naive"));
+        assert!(out.contains("BinS"));
+    }
+}

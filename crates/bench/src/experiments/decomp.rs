@@ -1,0 +1,129 @@
+//! Figures 4 and 7: overhead decomposition into (1) doubled work-group
+//! scheduling pressure, (2) redundant computation, (3) communication.
+
+use crate::table::{pct, Table};
+use crate::ExpConfig;
+use rmt_core::{RmtFlavor, TransformOptions};
+use rmt_kernels::{all, run_original, run_rmt, Benchmark};
+
+struct Bars {
+    doubling: Option<f64>,
+    redundant: f64,
+    comm: f64,
+    total: f64,
+}
+
+fn decompose_suite(
+    cfg: &ExpConfig,
+    b: &dyn Benchmark,
+    opts: &TransformOptions,
+) -> Result<Bars, String> {
+    let fail = |e| format!("{}: {e}", b.abbrev());
+    let base = run_original(b, cfg.scale, &cfg.device, &|c| c)
+        .map_err(fail)?
+        .stats
+        .cycles as f64;
+    let full = run_rmt(b, cfg.scale, &cfg.device, opts).map_err(fail)?;
+    let g_rmt = full
+        .stats
+        .occupancy
+        .map(|o| o.groups_per_cu)
+        .unwrap_or(1);
+    let red = run_rmt(b, cfg.scale, &cfg.device, &opts.without_comm())
+        .map_err(fail)?
+        .stats
+        .cycles as f64;
+
+    // Resource-inflation run: original kernel, occupancy capped to what the
+    // RMT version achieves (Sections 6.4/7.4). For Inter the arithmetic
+    // only lines up for even RMT occupancy (the paper's starred subset).
+    let cap = match opts.flavor {
+        RmtFlavor::Inter => (g_rmt % 2 == 0).then_some(g_rmt / 2),
+        _ => Some(g_rmt),
+    };
+    let inflated = match cap {
+        Some(cap) => Some(
+            run_original(b, cfg.scale, &cfg.device, &|c| c.groups_per_cu_cap(cap))
+                .map_err(fail)?
+                .stats
+                .cycles as f64,
+        ),
+        None => None,
+    };
+
+    let fullc = full.stats.cycles as f64;
+    let doubling = inflated.map(|i| (i - base) / base);
+    let from = inflated.unwrap_or(base);
+    Ok(Bars {
+        doubling,
+        redundant: (red - from) / base,
+        comm: (fullc - red) / base,
+        total: fullc / base,
+    })
+}
+
+fn render(
+    cfg: &ExpConfig,
+    title: &str,
+    flavors: &[(&str, TransformOptions)],
+) -> Result<String, String> {
+    let mut t = Table::new(&[
+        "kernel", "flavor", "doubling", "redundant", "comm", "total",
+    ]);
+    for b in all() {
+        for (name, opts) in flavors {
+            let bars = decompose_suite(cfg, b.as_ref(), opts)?;
+            t.row(vec![
+                b.abbrev().into(),
+                (*name).into(),
+                bars.doubling.map_or("n/a".into(), |d| pct(100.0 * d)),
+                pct(100.0 * bars.redundant),
+                pct(100.0 * bars.comm),
+                format!("{:.2}x", bars.total),
+            ]);
+        }
+    }
+    Ok(format!(
+        "{title}\n(bars are additional slowdown added to the original kernel;\n\
+         negative values are speed-ups from the respective modification)\n\n{}",
+        t.render()
+    ))
+}
+
+/// Figure 4: Intra-Group overhead decomposition.
+pub fn fig4(cfg: &ExpConfig) -> Result<String, String> {
+    render(
+        cfg,
+        "Figure 4: relative overheads of Intra-Group RMT components",
+        &[
+            ("LDS+", TransformOptions::intra_plus_lds()),
+            ("LDS-", TransformOptions::intra_minus_lds()),
+        ],
+    )
+}
+
+/// Figure 7: Inter-Group overhead decomposition ("doubling" is `n/a` where
+/// the occupancy arithmetic cannot be matched — the paper's unstarred
+/// kernels).
+pub fn fig7(cfg: &ExpConfig) -> Result<String, String> {
+    render(
+        cfg,
+        "Figure 7: relative overheads of Inter-Group RMT components",
+        &[("Inter", TransformOptions::inter())],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_kernels::by_abbrev;
+
+    #[test]
+    fn decomposition_components_sum_to_total() {
+        let cfg = ExpConfig::small();
+        let b = by_abbrev("URNG").unwrap();
+        let bars = decompose_suite(&cfg, b.as_ref(), &TransformOptions::intra_plus_lds()).unwrap();
+        let sum = 1.0 + bars.doubling.unwrap_or(0.0) + bars.redundant + bars.comm;
+        assert!((sum - bars.total).abs() < 1e-9, "{sum} vs {}", bars.total);
+    }
+}

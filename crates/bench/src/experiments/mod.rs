@@ -1,0 +1,66 @@
+//! One module per reproduced table/figure. Each experiment renders a text
+//! report; the `repro` binary dispatches on experiment id.
+
+pub mod ablation;
+pub mod coverage;
+pub mod decomp;
+pub mod perf;
+pub mod power;
+pub mod swizzle;
+pub mod tables;
+
+use crate::ExpConfig;
+
+/// Every experiment id, in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "coverage", "staleness", "baseline", "ablation",
+];
+
+/// Dispatches an experiment by id.
+///
+/// # Errors
+///
+/// Returns an error string for unknown ids or failed runs.
+pub fn run(id: &str, cfg: &ExpConfig) -> Result<String, String> {
+    match id {
+        "table1" => Ok(tables::table1()),
+        "table2" => Ok(tables::table2()),
+        "table3" => Ok(tables::table3()),
+        "fig2" => perf::fig2(cfg),
+        "fig3" => perf::fig3(cfg),
+        "fig4" => decomp::fig4(cfg),
+        "fig5" => power::fig5(cfg),
+        "fig6" => perf::fig6(cfg),
+        "fig7" => decomp::fig7(cfg),
+        "fig8" => Ok(swizzle::fig8()),
+        "fig9" => perf::fig9(cfg),
+        "coverage" => coverage::coverage(cfg),
+        "staleness" => coverage::staleness(cfg),
+        "baseline" => ablation::baseline(cfg),
+        "ablation" => ablation::ablation(cfg),
+        other => Err(format!(
+            "unknown experiment `{other}`; known: {}",
+            ALL_IDS.join(", ")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_lists_known() {
+        let e = run("fig99", &ExpConfig::small()).unwrap_err();
+        assert!(e.contains("fig2"));
+    }
+
+    #[test]
+    fn static_tables_render() {
+        assert!(run("table1", &ExpConfig::small()).unwrap().contains("ECC"));
+        assert!(run("table2", &ExpConfig::small()).unwrap().contains("LDS"));
+        assert!(run("table3", &ExpConfig::small()).unwrap().contains("SRF"));
+        assert!(run("fig8", &ExpConfig::small()).unwrap().contains("swizzle"));
+    }
+}

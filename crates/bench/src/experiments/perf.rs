@@ -1,0 +1,134 @@
+//! Figures 2, 3, 6 and 9: suite-wide performance and counter sweeps.
+
+use crate::table::{pct, x, Table};
+use crate::ExpConfig;
+use rmt_core::TransformOptions;
+use rmt_kernels::{all, run_original, run_rmt, RunOutcome};
+
+fn orig(cfg: &ExpConfig, b: &dyn rmt_kernels::Benchmark) -> Result<RunOutcome, String> {
+    run_original(b, cfg.scale, &cfg.device, &|c| c).map_err(|e| format!("{}: {e}", b.abbrev()))
+}
+
+fn rmt(
+    cfg: &ExpConfig,
+    b: &dyn rmt_kernels::Benchmark,
+    opts: &TransformOptions,
+) -> Result<RunOutcome, String> {
+    run_rmt(b, cfg.scale, &cfg.device, opts).map_err(|e| format!("{}: {e}", b.abbrev()))
+}
+
+/// Figure 2: Intra-Group ±LDS slowdowns across the 16-kernel suite.
+pub fn fig2(cfg: &ExpConfig) -> Result<String, String> {
+    let mut t = Table::new(&["kernel", "Intra+LDS", "Intra-LDS"]);
+    for b in all() {
+        let base = orig(cfg, b.as_ref())?.stats.cycles as f64;
+        let plus = rmt(cfg, b.as_ref(), &TransformOptions::intra_plus_lds())?;
+        let minus = rmt(cfg, b.as_ref(), &TransformOptions::intra_minus_lds())?;
+        t.row(vec![
+            b.abbrev().into(),
+            x(plus.stats.cycles as f64 / base),
+            x(minus.stats.cycles as f64 / base),
+        ]);
+    }
+    Ok(format!(
+        "Figure 2: Intra-Group RMT slowdowns (normalized to the original kernel)\n\n{}",
+        t.render()
+    ))
+}
+
+/// Figure 3: VALUBusy / MemUnitBusy / WriteUnitStalled for Original,
+/// Intra-Group+LDS and Intra-Group−LDS.
+pub fn fig3(cfg: &ExpConfig) -> Result<String, String> {
+    let mut t = Table::new(&[
+        "kernel", "variant", "VALUBusy", "MemUnitBusy", "WriteUnitStalled", "LDSBusy",
+    ]);
+    for b in all() {
+        let variants: [(&str, RunOutcome); 3] = [
+            ("Original", orig(cfg, b.as_ref())?),
+            (
+                "LDS+",
+                rmt(cfg, b.as_ref(), &TransformOptions::intra_plus_lds())?,
+            ),
+            (
+                "LDS-",
+                rmt(cfg, b.as_ref(), &TransformOptions::intra_minus_lds())?,
+            ),
+        ];
+        for (name, run) in variants {
+            let c = &run.stats.counters;
+            t.row(vec![
+                b.abbrev().into(),
+                name.into(),
+                pct(c.valu_busy_pct()),
+                pct(c.mem_unit_busy_pct()),
+                pct(c.write_unit_stalled_pct()),
+                pct(c.lds_busy_pct()),
+            ]);
+        }
+    }
+    Ok(format!(
+        "Figure 3: kernel time in vector ALU vs memory operations\n\n{}",
+        t.render()
+    ))
+}
+
+/// Figure 6: Inter-Group slowdowns across the suite.
+pub fn fig6(cfg: &ExpConfig) -> Result<String, String> {
+    let mut t = Table::new(&["kernel", "Inter-Group", "detections"]);
+    for b in all() {
+        let base = orig(cfg, b.as_ref())?.stats.cycles as f64;
+        let inter = rmt(cfg, b.as_ref(), &TransformOptions::inter())?;
+        t.row(vec![
+            b.abbrev().into(),
+            x(inter.stats.cycles as f64 / base),
+            inter.detections.to_string(),
+        ]);
+    }
+    Ok(format!(
+        "Figure 6: Inter-Group RMT slowdowns (normalized to the original kernel)\n\n{}",
+        t.render()
+    ))
+}
+
+/// Figure 9: Intra-Group ±LDS, LDS communication vs FAST register-level
+/// (swizzle) communication.
+pub fn fig9(cfg: &ExpConfig) -> Result<String, String> {
+    let mut t = Table::new(&[
+        "kernel",
+        "Intra+LDS",
+        "Intra+LDS FAST",
+        "Intra-LDS",
+        "Intra-LDS FAST",
+    ]);
+    for b in all() {
+        let base = orig(cfg, b.as_ref())?.stats.cycles as f64;
+        let cell = |opts: TransformOptions| -> Result<String, String> {
+            Ok(x(rmt(cfg, b.as_ref(), &opts)?.stats.cycles as f64 / base))
+        };
+        t.row(vec![
+            b.abbrev().into(),
+            cell(TransformOptions::intra_plus_lds())?,
+            cell(TransformOptions::intra_plus_lds().with_swizzle())?,
+            cell(TransformOptions::intra_minus_lds())?,
+            cell(TransformOptions::intra_minus_lds().with_swizzle())?,
+        ]);
+    }
+    Ok(format!(
+        "Figure 9: Intra-Group RMT with LDS vs FAST (VRF swizzle) communication\n\n{}",
+        t.render()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_small_renders_all_kernels() {
+        let out = fig2(&ExpConfig::small()).unwrap();
+        for a in ["BinS", "URNG", "MM"] {
+            assert!(out.contains(a), "missing {a} in:\n{out}");
+        }
+        assert!(out.contains('x'));
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 5: average and peak power for the long-running workloads.
+
+use crate::table::Table;
+use crate::ExpConfig;
+use rmt_core::TransformOptions;
+use rmt_kernels::{by_abbrev, run_original, run_rmt};
+
+/// Figure 5: average (and peak) estimated chip power for BO, BlkSch and FW
+/// under Original / Intra+LDS / Intra−LDS — the three workloads whose
+/// kernels run long enough for meaningful sampling (Section 6.5).
+pub fn fig5(cfg: &ExpConfig) -> Result<String, String> {
+    let mut t = Table::new(&["kernel", "variant", "avg W", "peak W", "runtime ms"]);
+    for abbrev in ["BO", "BlkSch", "FW"] {
+        let b = by_abbrev(abbrev).expect("known benchmark");
+        let variants: [(&str, Option<TransformOptions>); 3] = [
+            ("Original", None),
+            ("Intra+LDS", Some(TransformOptions::intra_plus_lds())),
+            ("Intra-LDS", Some(TransformOptions::intra_minus_lds())),
+        ];
+        for (name, opts) in variants {
+            let run = match opts {
+                None => run_original(b.as_ref(), cfg.scale, &cfg.device, &|c| c),
+                Some(o) => run_rmt(b.as_ref(), cfg.scale, &cfg.device, &o),
+            }
+            .map_err(|e| format!("{abbrev}: {e}"))?;
+            let p = run.stats.power.ok_or("power stats missing")?;
+            t.row(vec![
+                abbrev.into(),
+                name.into(),
+                format!("{:.1}", p.avg_watts),
+                format!("{:.1}", p.peak_watts),
+                format!("{:.3}", p.runtime_ms),
+            ]);
+        }
+    }
+    Ok(format!(
+        "Figure 5: average and peak estimated chip power\n(expectation: RMT moves runtime, not average power — Section 6.5)\n\n{}",
+        t.render()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_small_reports_three_kernels() {
+        let out = fig5(&ExpConfig::small()).unwrap();
+        assert!(out.contains("BO"));
+        assert!(out.contains("BlkSch"));
+        assert!(out.contains("FW"));
+        assert!(out.matches("Original").count() == 3);
+    }
+}

@@ -1,0 +1,62 @@
+//! # rmt-bench
+//!
+//! Experiment harness regenerating **every table and figure** of the ISCA
+//! 2014 evaluation of compiler-managed GPU RMT, plus two extension
+//! experiments the paper argues but could not measure on real hardware
+//! (fault-injection validation of the spheres of replication, and the
+//! stale-L1 demonstration motivating the `atomic_add(·, 0)` reads).
+//!
+//! Run everything from the CLI:
+//!
+//! ```text
+//! cargo run -p rmt-bench --release --bin repro -- all
+//! cargo run -p rmt-bench --release --bin repro -- fig2 --scale small
+//! ```
+//!
+//! Each experiment is a function from an [`ExpConfig`] to a rendered text
+//! report; `EXPERIMENTS.md` archives one full run next to the paper's
+//! numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod table;
+
+pub use table::Table;
+
+use gcn_sim::DeviceConfig;
+use rmt_kernels::Scale;
+
+/// Configuration shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Input scaling for the benchmark suite.
+    pub scale: Scale,
+    /// The simulated device.
+    pub device: DeviceConfig,
+}
+
+impl ExpConfig {
+    /// The paper's setup: paper-scale inputs on the 12-CU HD 7790 model.
+    pub fn paper() -> Self {
+        ExpConfig {
+            scale: Scale::Paper,
+            device: DeviceConfig::radeon_hd_7790(),
+        }
+    }
+
+    /// Small inputs (quick smoke runs, CI).
+    pub fn small() -> Self {
+        ExpConfig {
+            scale: Scale::Small,
+            device: DeviceConfig::radeon_hd_7790(),
+        }
+    }
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}

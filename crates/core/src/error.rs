@@ -1,0 +1,58 @@
+//! Error type for transforms and RMT launches.
+
+use gcn_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from RMT transformation or launching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RmtError {
+    /// The kernel uses a construct the transform does not support.
+    Unsupported(String),
+    /// The source kernel failed IR validation.
+    InvalidKernel(String),
+    /// The launch geometry cannot be doubled (e.g. intra-group doubling
+    /// would exceed the maximum work-group size).
+    Geometry(String),
+    /// An underlying simulator error.
+    Sim(SimError),
+}
+
+impl fmt::Display for RmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmtError::Unsupported(m) => write!(f, "unsupported kernel construct: {m}"),
+            RmtError::InvalidKernel(m) => write!(f, "invalid kernel: {m}"),
+            RmtError::Geometry(m) => write!(f, "RMT launch geometry: {m}"),
+            RmtError::Sim(e) => write!(f, "simulator: {e}"),
+        }
+    }
+}
+
+impl Error for RmtError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RmtError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for RmtError {
+    fn from(e: SimError) -> Self {
+        RmtError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sim_errors() {
+        let e: RmtError = SimError::UnknownBuffer.into();
+        assert!(matches!(e, RmtError::Sim(_)));
+        assert!(e.to_string().contains("simulator"));
+        assert!(Error::source(&e).is_some());
+    }
+}

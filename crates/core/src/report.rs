@@ -1,0 +1,180 @@
+//! Structured summaries of what a transformation did to a kernel — the
+//! compiler-facing diagnostics a build system would log (instruction
+//! growth, instrumented SoR exits, resource deltas).
+
+use crate::options::{RmtFlavor, Stage};
+use crate::transform::RmtKernel;
+use rmt_ir::analysis::register_pressure;
+use rmt_ir::{Inst, Kernel, MemSpace};
+use std::fmt;
+
+/// Before/after summary of one RMT transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformReport {
+    /// Original kernel name.
+    pub kernel: String,
+    /// Flavor applied.
+    pub flavor: RmtFlavor,
+    /// Staging applied.
+    pub stage: Stage,
+    /// Instructions before → after (recursive).
+    pub insts: (usize, usize),
+    /// Estimated VGPR pressure before → after.
+    pub pressure: (u32, u32),
+    /// LDS bytes per work-group before → after.
+    pub lds_bytes: (u32, u32),
+    /// Kernel parameters before → after.
+    pub params: (usize, usize),
+    /// Sphere-of-replication exits instrumented: global stores.
+    pub global_store_exits: usize,
+    /// SoR exits instrumented: local stores (−LDS only).
+    pub local_store_exits: usize,
+    /// SoR exits instrumented: global atomics.
+    pub atomic_exits: usize,
+}
+
+impl TransformReport {
+    /// Builds the report from the original kernel and the transform result.
+    pub fn new(original: &Kernel, rk: &RmtKernel) -> Self {
+        let mut global_stores = 0;
+        let mut local_stores = 0;
+        let mut atomics = 0;
+        original.visit_insts(&mut |i| match i {
+            Inst::Store {
+                space: MemSpace::Global,
+                ..
+            } => global_stores += 1,
+            Inst::Store {
+                space: MemSpace::Local,
+                ..
+            } => local_stores += 1,
+            Inst::Atomic {
+                space: MemSpace::Global,
+                ..
+            } => atomics += 1,
+            _ => {}
+        });
+        let local_exits = match rk.meta.options.flavor {
+            RmtFlavor::IntraMinusLds => local_stores,
+            // +LDS duplicates the allocation instead; Inter's LDS is private
+            // per group — neither instruments local stores.
+            _ => 0,
+        };
+        TransformReport {
+            kernel: original.name.clone(),
+            flavor: rk.meta.options.flavor,
+            stage: rk.meta.options.stage,
+            insts: (original.total_insts(), rk.kernel.total_insts()),
+            pressure: (register_pressure(original), register_pressure(&rk.kernel)),
+            lds_bytes: (original.lds_bytes, rk.kernel.lds_bytes),
+            params: (original.params.len(), rk.kernel.params.len()),
+            global_store_exits: global_stores,
+            local_store_exits: local_exits,
+            atomic_exits: atomics,
+        }
+    }
+
+    /// Instruction growth factor.
+    pub fn inst_growth(&self) -> f64 {
+        self.insts.1 as f64 / self.insts.0.max(1) as f64
+    }
+
+    /// Total SoR exits that received output-comparison instrumentation.
+    pub fn total_exits(&self) -> usize {
+        self.global_store_exits + self.local_store_exits + self.atomic_exits
+    }
+}
+
+impl fmt::Display for TransformReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} ({})",
+            self.kernel, self.flavor, self.stage
+        )?;
+        writeln!(
+            f,
+            "  instructions  {:>5} -> {:<5} ({:.2}x)",
+            self.insts.0,
+            self.insts.1,
+            self.inst_growth()
+        )?;
+        writeln!(
+            f,
+            "  vgpr pressure {:>5} -> {:<5}",
+            self.pressure.0, self.pressure.1
+        )?;
+        writeln!(
+            f,
+            "  lds bytes     {:>5} -> {:<5}",
+            self.lds_bytes.0, self.lds_bytes.1
+        )?;
+        writeln!(
+            f,
+            "  params        {:>5} -> {:<5}",
+            self.params.0, self.params.1
+        )?;
+        writeln!(
+            f,
+            "  SoR exits instrumented: {} global stores, {} local stores, {} atomics",
+            self.global_store_exits, self.local_store_exits, self.atomic_exits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::TransformOptions;
+    use crate::transform::transform;
+    use rmt_ir::KernelBuilder;
+
+    fn kernel_with_lds() -> Kernel {
+        let mut b = KernelBuilder::new("probe");
+        b.set_lds_bytes(256);
+        let out = b.buffer_param("out");
+        let gid = b.global_id(0);
+        let lid = b.local_id(0);
+        let four = b.const_u32(4);
+        let lo = b.mul_u32(lid, four);
+        b.store_local(lo, gid);
+        b.barrier();
+        let v = b.load_local(lo);
+        let a = b.elem_addr(out, gid);
+        b.store_global(a, v);
+        b.finish()
+    }
+
+    #[test]
+    fn reports_growth_and_exits() {
+        let k = kernel_with_lds();
+        let rk = transform(&k, &TransformOptions::intra_minus_lds()).unwrap();
+        let r = TransformReport::new(&k, &rk);
+        assert!(r.inst_growth() > 1.5, "{:.2}", r.inst_growth());
+        assert_eq!(r.global_store_exits, 1);
+        assert_eq!(r.local_store_exits, 1, "-LDS instruments local stores");
+        assert_eq!(r.total_exits(), 2);
+        assert!(r.pressure.1 > r.pressure.0);
+        assert_eq!(r.params, (1, 2));
+        let s = r.to_string();
+        assert!(s.contains("SoR exits"));
+        assert!(s.contains("Intra-Group-LDS"));
+    }
+
+    #[test]
+    fn plus_lds_reports_no_local_exits_but_doubled_lds() {
+        let k = kernel_with_lds();
+        let rk = transform(&k, &TransformOptions::intra_plus_lds()).unwrap();
+        let r = TransformReport::new(&k, &rk);
+        assert_eq!(r.local_store_exits, 0);
+        assert!(r.lds_bytes.1 >= 2 * r.lds_bytes.0);
+    }
+
+    #[test]
+    fn inter_adds_two_extra_params() {
+        let k = kernel_with_lds();
+        let rk = transform(&k, &TransformOptions::inter()).unwrap();
+        let r = TransformReport::new(&k, &rk);
+        assert_eq!(r.params, (1, 4), "detect + ticket + comm");
+    }
+}

@@ -1,0 +1,173 @@
+//! Spheres of replication: which CU structures each RMT flavor protects.
+//!
+//! Regenerates Tables 2 and 3 of the paper. The reasoning (Sections 6.1 and
+//! 7.1):
+//!
+//! * Intra-Group pairs live in one wavefront → they duplicate vector state
+//!   (SIMD ALUs, VRF) but share the scalar stream (SU, SRF), the
+//!   fetch/decode/schedule logic, and potentially L1 lines.
+//! * Intra-Group+LDS additionally duplicates LDS allocations → LDS covered.
+//! * Inter-Group pairs are separate work-groups → everything per-wavefront
+//!   and per-group is duplicated (SIMD, VRF, LDS, SU, SRF, IF/SCHED, ID);
+//!   only the L1 can still be shared between two groups on one CU.
+
+use crate::options::RmtFlavor;
+use std::fmt;
+
+/// A hardware structure in a GCN compute unit (columns of Tables 2/3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Structure {
+    /// Vector SIMD ALUs.
+    SimdAlu,
+    /// Vector register file.
+    Vrf,
+    /// Local data share.
+    Lds,
+    /// Scalar unit.
+    ScalarUnit,
+    /// Scalar register file.
+    Srf,
+    /// Instruction decode.
+    InstructionDecode,
+    /// Instruction fetch & scheduling.
+    FetchSched,
+    /// Read/write L1 cache.
+    L1Cache,
+}
+
+impl Structure {
+    /// All structures in table column order.
+    pub const ALL: [Structure; 8] = [
+        Structure::SimdAlu,
+        Structure::Vrf,
+        Structure::Lds,
+        Structure::ScalarUnit,
+        Structure::Srf,
+        Structure::InstructionDecode,
+        Structure::FetchSched,
+        Structure::L1Cache,
+    ];
+
+    /// Short column label as used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Structure::SimdAlu => "SIMD ALU",
+            Structure::Vrf => "VRF",
+            Structure::Lds => "LDS",
+            Structure::ScalarUnit => "SU",
+            Structure::Srf => "SRF",
+            Structure::InstructionDecode => "ID",
+            Structure::FetchSched => "IF/SCHED",
+            Structure::L1Cache => "R/W L1$",
+        }
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The set of structures a flavor's sphere of replication covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SphereOfReplication {
+    flavor: RmtFlavor,
+}
+
+impl SphereOfReplication {
+    /// The SoR of an RMT flavor.
+    pub fn of(flavor: RmtFlavor) -> Self {
+        SphereOfReplication { flavor }
+    }
+
+    /// `true` if `s` is inside the sphere of replication (a ✓ in Tables
+    /// 2/3: faults there are detected by output comparison).
+    pub fn covers(&self, s: Structure) -> bool {
+        match self.flavor {
+            // Table 2: Intra-Group+LDS covers SIMD, VRF, LDS.
+            RmtFlavor::IntraPlusLds => {
+                matches!(s, Structure::SimdAlu | Structure::Vrf | Structure::Lds)
+            }
+            // Table 2: Intra-Group-LDS covers SIMD, VRF only.
+            RmtFlavor::IntraMinusLds => matches!(s, Structure::SimdAlu | Structure::Vrf),
+            // Table 3: Inter-Group covers everything except the L1.
+            RmtFlavor::Inter => !matches!(s, Structure::L1Cache),
+        }
+    }
+
+    /// The covered structures, in table order.
+    pub fn covered(&self) -> Vec<Structure> {
+        Structure::ALL
+            .into_iter()
+            .filter(|&s| self.covers(s))
+            .collect()
+    }
+
+    /// The uncovered structures, in table order.
+    pub fn uncovered(&self) -> Vec<Structure> {
+        Structure::ALL
+            .into_iter()
+            .filter(|&s| !self.covers(s))
+            .collect()
+    }
+}
+
+/// Renders Tables 2 and 3 as fixed-width text (one row per flavor).
+pub fn render_table(flavors: &[RmtFlavor]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<18}", ""));
+    for s in Structure::ALL {
+        out.push_str(&format!("{:>10}", s.label()));
+    }
+    out.push('\n');
+    for &f in flavors {
+        out.push_str(&format!("{:<18}", f.to_string()));
+        let sor = SphereOfReplication::of(f);
+        for s in Structure::ALL {
+            out.push_str(&format!("{:>10}", if sor.covers(s) { "Y" } else { "." }));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_intra_plus_lds() {
+        let sor = SphereOfReplication::of(RmtFlavor::IntraPlusLds);
+        assert!(sor.covers(Structure::SimdAlu));
+        assert!(sor.covers(Structure::Vrf));
+        assert!(sor.covers(Structure::Lds));
+        assert!(!sor.covers(Structure::ScalarUnit));
+        assert!(!sor.covers(Structure::Srf));
+        assert!(!sor.covers(Structure::InstructionDecode));
+        assert!(!sor.covers(Structure::FetchSched));
+        assert!(!sor.covers(Structure::L1Cache));
+    }
+
+    #[test]
+    fn table2_intra_minus_lds() {
+        let sor = SphereOfReplication::of(RmtFlavor::IntraMinusLds);
+        assert_eq!(sor.covered(), vec![Structure::SimdAlu, Structure::Vrf]);
+    }
+
+    #[test]
+    fn table3_inter_group() {
+        let sor = SphereOfReplication::of(RmtFlavor::Inter);
+        assert_eq!(sor.uncovered(), vec![Structure::L1Cache]);
+        assert_eq!(sor.covered().len(), 7);
+    }
+
+    #[test]
+    fn render_has_all_columns() {
+        let t = render_table(&RmtFlavor::ALL);
+        for s in Structure::ALL {
+            assert!(t.contains(s.label()), "missing column {s}");
+        }
+        assert_eq!(t.lines().count(), 4);
+    }
+}

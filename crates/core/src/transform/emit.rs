@@ -1,0 +1,240 @@
+//! A small instruction emitter used by the transform passes.
+//!
+//! Unlike [`rmt_ir::KernelBuilder`], the emitter continues register
+//! numbering from an existing kernel and writes into explicit `Vec<Inst>`
+//! sinks, which suits splicing sequences into a rewritten body.
+
+use rmt_ir::{
+    AtomicOp, BinOp, Block, Builtin, CmpOp, Inst, MemSpace, Reg, SwizzleMode, Ty, UnOp,
+};
+
+#[derive(Debug)]
+pub(crate) struct Emitter {
+    next: u32,
+}
+
+impl Emitter {
+    pub fn new(next_reg: u32) -> Self {
+        Emitter { next: next_reg }
+    }
+
+    pub fn next_reg(&self) -> u32 {
+        self.next
+    }
+
+    pub fn fresh(&mut self) -> Reg {
+        let r = Reg(self.next);
+        self.next += 1;
+        r
+    }
+
+    pub fn c_u32(&mut self, v: u32, out: &mut Vec<Inst>) -> Reg {
+        let dst = self.fresh();
+        out.push(Inst::Const {
+            dst,
+            ty: Ty::U32,
+            bits: v,
+        });
+        dst
+    }
+
+    pub fn builtin(&mut self, b: Builtin, out: &mut Vec<Inst>) -> Reg {
+        let dst = self.fresh();
+        out.push(Inst::ReadBuiltin { dst, builtin: b });
+        dst
+    }
+
+    pub fn read_param(&mut self, index: usize, out: &mut Vec<Inst>) -> Reg {
+        let dst = self.fresh();
+        out.push(Inst::ReadParam { dst, index });
+        dst
+    }
+
+    pub fn bin(&mut self, op: BinOp, a: Reg, b: Reg, out: &mut Vec<Inst>) -> Reg {
+        let dst = self.fresh();
+        out.push(Inst::Binary {
+            dst,
+            op,
+            ty: Ty::U32,
+            a,
+            b,
+        });
+        dst
+    }
+
+    pub fn add(&mut self, a: Reg, b: Reg, out: &mut Vec<Inst>) -> Reg {
+        self.bin(BinOp::Add, a, b, out)
+    }
+
+    pub fn mul(&mut self, a: Reg, b: Reg, out: &mut Vec<Inst>) -> Reg {
+        self.bin(BinOp::Mul, a, b, out)
+    }
+
+    pub fn and(&mut self, a: Reg, b: Reg, out: &mut Vec<Inst>) -> Reg {
+        self.bin(BinOp::And, a, b, out)
+    }
+
+    pub fn or(&mut self, a: Reg, b: Reg, out: &mut Vec<Inst>) -> Reg {
+        self.bin(BinOp::Or, a, b, out)
+    }
+
+    pub fn shr(&mut self, a: Reg, b: Reg, out: &mut Vec<Inst>) -> Reg {
+        self.bin(BinOp::Shr, a, b, out)
+    }
+
+    pub fn rem(&mut self, a: Reg, b: Reg, out: &mut Vec<Inst>) -> Reg {
+        self.bin(BinOp::Rem, a, b, out)
+    }
+
+    pub fn div(&mut self, a: Reg, b: Reg, out: &mut Vec<Inst>) -> Reg {
+        self.bin(BinOp::Div, a, b, out)
+    }
+
+    pub fn cmp(&mut self, op: CmpOp, a: Reg, b: Reg, out: &mut Vec<Inst>) -> Reg {
+        let dst = self.fresh();
+        out.push(Inst::Cmp {
+            dst,
+            op,
+            ty: Ty::U32,
+            a,
+            b,
+        });
+        dst
+    }
+
+    pub fn eq(&mut self, a: Reg, b: Reg, out: &mut Vec<Inst>) -> Reg {
+        self.cmp(CmpOp::Eq, a, b, out)
+    }
+
+    pub fn ne(&mut self, a: Reg, b: Reg, out: &mut Vec<Inst>) -> Reg {
+        self.cmp(CmpOp::Ne, a, b, out)
+    }
+
+    #[allow(dead_code)]
+    pub fn un(&mut self, op: UnOp, a: Reg, out: &mut Vec<Inst>) -> Reg {
+        let dst = self.fresh();
+        out.push(Inst::Unary { dst, op, a });
+        dst
+    }
+
+    pub fn load(&mut self, space: MemSpace, addr: Reg, out: &mut Vec<Inst>) -> Reg {
+        let dst = self.fresh();
+        out.push(Inst::Load { dst, space, addr });
+        dst
+    }
+
+    pub fn store(&mut self, space: MemSpace, addr: Reg, value: Reg, out: &mut Vec<Inst>) {
+        out.push(Inst::Store { space, addr, value });
+    }
+
+    pub fn atomic(
+        &mut self,
+        space: MemSpace,
+        op: AtomicOp,
+        addr: Reg,
+        value: Reg,
+        out: &mut Vec<Inst>,
+    ) -> Reg {
+        let dst = self.fresh();
+        out.push(Inst::Atomic {
+            dst: Some(dst),
+            space,
+            op,
+            addr,
+            value,
+        });
+        dst
+    }
+
+    pub fn atomic_noret(
+        &mut self,
+        space: MemSpace,
+        op: AtomicOp,
+        addr: Reg,
+        value: Reg,
+        out: &mut Vec<Inst>,
+    ) {
+        out.push(Inst::Atomic {
+            dst: None,
+            space,
+            op,
+            addr,
+            value,
+        });
+    }
+
+    pub fn swizzle(&mut self, src: Reg, mode: SwizzleMode, out: &mut Vec<Inst>) -> Reg {
+        let dst = self.fresh();
+        out.push(Inst::Swizzle { dst, src, mode });
+        dst
+    }
+
+    pub fn if_(&mut self, cond: Reg, then_blk: Vec<Inst>, out: &mut Vec<Inst>) {
+        out.push(Inst::If {
+            cond,
+            then_blk: Block(then_blk),
+            else_blk: Block::new(),
+        });
+    }
+
+    /// `while (cond-block; test cond_reg) { body }`.
+    pub fn while_(&mut self, cond: Vec<Inst>, cond_reg: Reg, body: Vec<Inst>, out: &mut Vec<Inst>) {
+        out.push(Inst::While {
+            cond: Block(cond),
+            cond_reg,
+            body: Block(body),
+        });
+    }
+
+    /// Local-linear work-item index: `lid0 + lid1*ls0 + lid2*ls0*ls1`,
+    /// computed from (possibly remapped) registers.
+    pub fn local_linear(
+        &mut self,
+        lid: [Reg; 3],
+        ls0: Reg,
+        ls1: Reg,
+        out: &mut Vec<Inst>,
+    ) -> Reg {
+        let t1 = self.mul(lid[1], ls0, out);
+        let acc = self.add(lid[0], t1, out);
+        let ls01 = self.mul(ls0, ls1, out);
+        let t2 = self.mul(lid[2], ls01, out);
+        self.add(acc, t2, out)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continues_register_numbering() {
+        let mut e = Emitter::new(100);
+        let mut out = Vec::new();
+        let a = e.c_u32(1, &mut out);
+        let b = e.c_u32(2, &mut out);
+        let c = e.add(a, b, &mut out);
+        assert_eq!(a, Reg(100));
+        assert_eq!(b, Reg(101));
+        assert_eq!(c, Reg(102));
+        assert_eq!(e.next_reg(), 103);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn control_wrappers_build_blocks() {
+        let mut e = Emitter::new(0);
+        let mut out = Vec::new();
+        let c = e.c_u32(1, &mut out);
+        let mut then = Vec::new();
+        let v = e.c_u32(9, &mut then);
+        e.store(MemSpace::Global, c, v, &mut then);
+        e.if_(c, then, &mut out);
+        assert_eq!(out.len(), 2);
+        match &out[1] {
+            Inst::If { then_blk, .. } => assert_eq!(then_blk.len(), 2),
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+}

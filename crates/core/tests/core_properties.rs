@@ -1,0 +1,162 @@
+//! Property-based tests over the transform layer itself: structural
+//! invariants of the rewritten kernels, report consistency, and the
+//! additive decomposition identity, across randomized kernels.
+
+use gcn_sim::DeviceConfig;
+use proptest::prelude::*;
+use rmt_core::decompose::decompose;
+use rmt_core::{transform, RmtFlavor, Stage, TransformOptions, TransformReport};
+use rmt_ir::{Inst, Kernel, KernelBuilder, MemSpace};
+
+/// A compact generated-kernel description: ALU rounds, LDS staging, and
+/// a conditional extra store.
+#[derive(Debug, Clone)]
+struct Spec {
+    alu_rounds: usize,
+    use_lds: bool,
+    conditional_store: bool,
+    extra_stores: usize,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (0usize..24, any::<bool>(), any::<bool>(), 0usize..3).prop_map(
+        |(alu_rounds, use_lds, conditional_store, extra_stores)| Spec {
+            alu_rounds,
+            use_lds,
+            conditional_store,
+            extra_stores,
+        },
+    )
+}
+
+fn build(spec: &Spec) -> Kernel {
+    let mut b = KernelBuilder::new("spec");
+    if spec.use_lds {
+        b.set_lds_bytes(64 * 4);
+    }
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let gid = b.global_id(0);
+    let lid = b.local_id(0);
+    let ia = b.elem_addr(inp, gid);
+    let mut v = b.load_global(ia);
+    let c = b.const_u32(0x9E37_79B9);
+    for _ in 0..spec.alu_rounds {
+        v = b.mul_u32(v, c);
+        v = b.xor_u32(v, gid);
+    }
+    if spec.use_lds {
+        let four = b.const_u32(4);
+        let lo = b.mul_u32(lid, four);
+        b.store_local(lo, v);
+        b.barrier();
+        v = b.load_local(lo);
+    }
+    let oa = b.elem_addr(out, gid);
+    for _ in 0..spec.extra_stores {
+        b.store_global(oa, v);
+    }
+    if spec.conditional_store {
+        let t = b.const_u32(1 << 20);
+        let big = b.gt_u32(v, t);
+        b.if_(big, |b| b.store_global(oa, v));
+    } else {
+        b.store_global(oa, v);
+    }
+    b.finish()
+}
+
+fn all_opts() -> [TransformOptions; 5] {
+    [
+        TransformOptions::intra_plus_lds(),
+        TransformOptions::intra_minus_lds(),
+        TransformOptions::inter(),
+        TransformOptions::intra_plus_lds().with_swizzle(),
+        TransformOptions::inter().without_comm(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every transformed kernel validates and satisfies the structural
+    /// contracts the launcher depends on.
+    #[test]
+    fn structural_invariants_hold(spec in spec_strategy()) {
+        let k = build(&spec);
+        for opts in all_opts() {
+            let rk = transform(&k, &opts).expect("transform succeeds");
+            prop_assert_eq!(rmt_ir::validate(&rk.kernel), Ok(()));
+            // Parameter layout contract: original params are untouched and
+            // the detect buffer directly follows them.
+            prop_assert_eq!(rk.meta.orig_param_count, k.params.len());
+            prop_assert_eq!(rk.meta.detect_param, k.params.len());
+            for (orig, new) in k.params.iter().zip(&rk.kernel.params) {
+                prop_assert_eq!(&orig.name, &new.name);
+            }
+            // Ticket/comm params appear iff inter-full.
+            let inter_full =
+                opts.flavor == RmtFlavor::Inter && opts.stage == Stage::Full;
+            prop_assert_eq!(rk.meta.ticket_param.is_some(), inter_full);
+            prop_assert_eq!(rk.meta.comm_param.is_some(), inter_full);
+            // Register numbering stays dense and grows monotonically.
+            prop_assert!(rk.kernel.next_reg >= k.next_reg);
+            // LDS never shrinks (+LDS doubles, comm regions add).
+            prop_assert!(rk.kernel.lds_bytes >= k.lds_bytes);
+        }
+    }
+
+    /// The report's exit accounting matches the source kernel's stores.
+    #[test]
+    fn report_counts_match_source(spec in spec_strategy()) {
+        let k = build(&spec);
+        let mut global_stores = 0usize;
+        let mut local_stores = 0usize;
+        k.visit_insts(&mut |i| match i {
+            Inst::Store { space: MemSpace::Global, .. } => global_stores += 1,
+            Inst::Store { space: MemSpace::Local, .. } => local_stores += 1,
+            _ => {}
+        });
+        for opts in all_opts() {
+            let rk = transform(&k, &opts).expect("transform succeeds");
+            let r = TransformReport::new(&k, &rk);
+            prop_assert_eq!(r.global_store_exits, global_stores);
+            let expect_local = if opts.flavor == RmtFlavor::IntraMinusLds {
+                local_stores
+            } else {
+                0
+            };
+            prop_assert_eq!(r.local_store_exits, expect_local);
+            prop_assert!(r.inst_growth() >= 1.0);
+        }
+    }
+
+    /// The three decomposition components plus 1 always reconstruct the
+    /// total slowdown exactly (the identity Figures 4/7 depend on).
+    #[test]
+    fn decomposition_identity(alu_rounds in 0usize..16, flavor_ix in 0usize..3) {
+        let spec = Spec { alu_rounds, use_lds: false, conditional_store: false, extra_stores: 0 };
+        let k = build(&spec);
+        let opts = [
+            TransformOptions::intra_plus_lds(),
+            TransformOptions::intra_minus_lds(),
+            TransformOptions::inter(),
+        ][flavor_ix];
+        let n = 2048usize;
+        let d = decompose(&DeviceConfig::small_test(), &k, &opts, &mut |dev| {
+            let ib = dev.create_buffer((n * 4) as u32);
+            let ob = dev.create_buffer((n * 4) as u32);
+            dev.write_u32s(ib, &(0..n as u32).collect::<Vec<_>>());
+            gcn_sim::LaunchConfig::new_1d(n, 64)
+                .arg(gcn_sim::Arg::Buffer(ib))
+                .arg(gcn_sim::Arg::Buffer(ob))
+        })
+        .expect("decompose succeeds");
+        let total = 1.0
+            + d.doubling_overhead().unwrap_or(0.0)
+            + d.redundant_overhead()
+            + d.communication_overhead();
+        prop_assert!((total - d.slowdown()).abs() < 1e-9);
+        prop_assert!(d.base_cycles > 0);
+    }
+}

@@ -1,0 +1,508 @@
+//! Semantic preservation: every RMT flavor must compute exactly what the
+//! original kernel computes, on kernels that exercise LDS, barriers,
+//! divergence, loops, 2-D NDRanges, and multi-wave groups.
+
+use gcn_sim::{Arg, Device, DeviceConfig, LaunchConfig};
+use rmt_core::{launch_rmt, transform, TransformOptions};
+use rmt_ir::{Kernel, KernelBuilder};
+
+/// All transform options that must preserve semantics.
+fn all_options() -> Vec<TransformOptions> {
+    vec![
+        TransformOptions::intra_plus_lds(),
+        TransformOptions::intra_minus_lds(),
+        TransformOptions::inter(),
+        TransformOptions::intra_plus_lds().with_swizzle(),
+        TransformOptions::intra_minus_lds().with_swizzle(),
+        TransformOptions::intra_plus_lds().without_comm(),
+        TransformOptions::intra_minus_lds().without_comm(),
+        TransformOptions::inter().without_comm(),
+    ]
+}
+
+/// Runs `kernel`原 and transformed over the same inputs; asserts identical
+/// output buffers and zero detections.
+fn assert_preserved(
+    kernel: &Kernel,
+    global: [usize; 3],
+    local: [usize; 3],
+    in_words: &[u32],
+    out_words: usize,
+) {
+    // Golden run.
+    let mut dev = Device::new(DeviceConfig::small_test());
+    let ib = dev.create_buffer((in_words.len() * 4).max(4) as u32);
+    let ob = dev.create_buffer((out_words * 4) as u32);
+    dev.write_u32s(ib, in_words);
+    let cfg = LaunchConfig::new(global, local)
+        .arg(Arg::Buffer(ib))
+        .arg(Arg::Buffer(ob));
+    dev.launch(kernel, &cfg).unwrap();
+    let golden = dev.read_u32s(ob);
+
+    for opts in all_options() {
+        let rk = transform(kernel, &opts).unwrap();
+        let mut dev = Device::new(DeviceConfig::small_test());
+        let ib = dev.create_buffer((in_words.len() * 4).max(4) as u32);
+        let ob = dev.create_buffer((out_words * 4) as u32);
+        dev.write_u32s(ib, in_words);
+        let cfg = LaunchConfig::new(global, local)
+            .arg(Arg::Buffer(ib))
+            .arg(Arg::Buffer(ob));
+        let run = launch_rmt(&mut dev, &rk, &cfg)
+            .unwrap_or_else(|e| panic!("{opts:?} on `{}`: {e}", kernel.name));
+        assert_eq!(run.detections, 0, "{opts:?} on `{}`", kernel.name);
+        let got = dev.read_u32s(ob);
+        assert_eq!(got, golden, "{opts:?} on `{}`", kernel.name);
+    }
+}
+
+#[test]
+fn preserves_streaming_kernel() {
+    let mut b = KernelBuilder::new("copy_scale");
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let gid = b.global_id(0);
+    let ia = b.elem_addr(inp, gid);
+    let oa = b.elem_addr(out, gid);
+    let v = b.load_global(ia);
+    let c = b.const_u32(7);
+    let w = b.mul_u32(v, c);
+    b.store_global(oa, w);
+    let k = b.finish();
+    let input: Vec<u32> = (0..256).map(|i| i * 3 + 1).collect();
+    assert_preserved(&k, [256, 1, 1], [64, 1, 1], &input, 256);
+}
+
+#[test]
+fn preserves_divergent_kernel() {
+    // out[i] = in[i] even ? in[i]/2 : 3*in[i]+1 (Collatz step).
+    let mut b = KernelBuilder::new("collatz");
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let gid = b.global_id(0);
+    let ia = b.elem_addr(inp, gid);
+    let oa = b.elem_addr(out, gid);
+    let v = b.load_global(ia);
+    let two = b.const_u32(2);
+    let zero = b.const_u32(0);
+    let r = b.rem_u32(v, two);
+    let even = b.eq_u32(r, zero);
+    b.if_else(
+        even,
+        |b| {
+            let h = b.div_u32(v, two);
+            b.store_global(oa, h);
+        },
+        |b| {
+            let three = b.const_u32(3);
+            let one = b.const_u32(1);
+            let t = b.mul_u32(v, three);
+            let w = b.add_u32(t, one);
+            b.store_global(oa, w);
+        },
+    );
+    let k = b.finish();
+    let input: Vec<u32> = (0..256).map(|i| i * 17 + 5).collect();
+    assert_preserved(&k, [256, 1, 1], [64, 1, 1], &input, 256);
+}
+
+#[test]
+fn preserves_lds_shuffle_kernel() {
+    // Reverse within work-group through the LDS (barrier + local mem).
+    let mut b = KernelBuilder::new("lds_reverse");
+    b.set_lds_bytes(64 * 4);
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let gid = b.global_id(0);
+    let lid = b.local_id(0);
+    let ls = b.local_size(0);
+    let four = b.const_u32(4);
+    let one = b.const_u32(1);
+    let ia = b.elem_addr(inp, gid);
+    let v = b.load_global(ia);
+    let lo = b.mul_u32(lid, four);
+    b.store_local(lo, v);
+    b.barrier();
+    let lsm1 = b.sub_u32(ls, one);
+    let mirror = b.sub_u32(lsm1, lid);
+    let mo = b.mul_u32(mirror, four);
+    let mv = b.load_local(mo);
+    let oa = b.elem_addr(out, gid);
+    b.store_global(oa, mv);
+    let k = b.finish();
+    let input: Vec<u32> = (0..128).map(|i| 1000 + i).collect();
+    assert_preserved(&k, [128, 1, 1], [32, 1, 1], &input, 128);
+}
+
+#[test]
+fn preserves_loop_kernel() {
+    // out[i] = sum of in[0..=i mod 16] — per-lane trip counts.
+    let mut b = KernelBuilder::new("prefix16");
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let gid = b.global_id(0);
+    let c16 = b.const_u32(16);
+    let n = b.rem_u32(gid, c16);
+    let zero = b.const_u32(0);
+    let one = b.const_u32(1);
+    let acc = b.fresh();
+    b.mov_to(acc, zero);
+    let i = b.fresh();
+    b.mov_to(i, zero);
+    b.while_(
+        |b| b.le_u32(i, n),
+        |b| {
+            let a = b.elem_addr(inp, i);
+            let v = b.load_global(a);
+            let s = b.add_u32(acc, v);
+            b.mov_to(acc, s);
+            let i2 = b.add_u32(i, one);
+            b.mov_to(i, i2);
+        },
+    );
+    let oa = b.elem_addr(out, gid);
+    b.store_global(oa, acc);
+    let k = b.finish();
+    let input: Vec<u32> = (0..16).map(|i| i + 1).collect();
+    assert_preserved(&k, [128, 1, 1], [64, 1, 1], &input, 128);
+}
+
+#[test]
+fn preserves_2d_kernel() {
+    // out[y][x] = in[y][x] + x * 10 + y over a 32x8 grid (8x4 groups).
+    let mut b = KernelBuilder::new("grid2d");
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let gx = b.global_id(0);
+    let gy = b.global_id(1);
+    let w = b.global_size(0);
+    let row = b.mul_u32(gy, w);
+    let idx = b.add_u32(row, gx);
+    let ia = b.elem_addr(inp, idx);
+    let v = b.load_global(ia);
+    let ten = b.const_u32(10);
+    let xt = b.mul_u32(gx, ten);
+    let t = b.add_u32(v, xt);
+    let r = b.add_u32(t, gy);
+    let oa = b.elem_addr(out, idx);
+    b.store_global(oa, r);
+    let k = b.finish();
+    let input: Vec<u32> = (0..(32 * 8)).map(|i| i * 2).collect();
+    assert_preserved(&k, [32, 8, 1], [8, 4, 1], &input, 32 * 8);
+}
+
+#[test]
+fn preserves_multiwave_group_kernel() {
+    // 128-item groups (2 waves after doubling intra keeps 4 waves) with a
+    // cross-wave LDS rotation.
+    let mut b = KernelBuilder::new("rotate");
+    b.set_lds_bytes(128 * 4);
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let gid = b.global_id(0);
+    let lid = b.local_id(0);
+    let ls = b.local_size(0);
+    let four = b.const_u32(4);
+    let one = b.const_u32(1);
+    let ia = b.elem_addr(inp, gid);
+    let v = b.load_global(ia);
+    let lo = b.mul_u32(lid, four);
+    b.store_local(lo, v);
+    b.barrier();
+    let next = b.add_u32(lid, one);
+    let wrapped = b.rem_u32(next, ls);
+    let no = b.mul_u32(wrapped, four);
+    let nv = b.load_local(no);
+    let oa = b.elem_addr(out, gid);
+    b.store_global(oa, nv);
+    let k = b.finish();
+    let input: Vec<u32> = (0..256).map(|i| i * i).collect();
+    assert_preserved(&k, [256, 1, 1], [128, 1, 1], &input, 256);
+}
+
+#[test]
+fn preserves_conditional_store_kernel() {
+    // Only some work-items store ("ghost" items that never exit the SoR —
+    // the BinarySearch-style pattern the paper discusses in Section 7.4).
+    let mut b = KernelBuilder::new("sparse_store");
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let gid = b.global_id(0);
+    let ia = b.elem_addr(inp, gid);
+    let v = b.load_global(ia);
+    let c100 = b.const_u32(100);
+    let big = b.gt_u32(v, c100);
+    b.if_(big, |b| {
+        let oa = b.elem_addr(out, gid);
+        b.store_global(oa, v);
+    });
+    let k = b.finish();
+    let input: Vec<u32> = (0..256).map(|i| (i * 37) % 200).collect();
+    assert_preserved(&k, [256, 1, 1], [64, 1, 1], &input, 256);
+}
+
+#[test]
+fn preserves_float_kernel() {
+    // Black-Scholes-flavoured math: exp/log/sqrt chains.
+    let mut b = KernelBuilder::new("mathy");
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let gid = b.global_id(0);
+    let ia = b.elem_addr(inp, gid);
+    let bits = b.load_global(ia);
+    let one = b.const_u32(1);
+    let shifted = b.add_u32(bits, one);
+    let f = b.u32_to_f32(shifted);
+    let l = b.log_f32(f);
+    let e = b.exp_f32(l);
+    let s = b.sqrt_f32(e);
+    let half = b.const_f32(0.5);
+    let r = b.mul_f32(s, half);
+    let oa = b.elem_addr(out, gid);
+    b.store_global(oa, r);
+    let k = b.finish();
+    let input: Vec<u32> = (0..128).map(|i| i * 7 + 3).collect();
+    assert_preserved(&k, [128, 1, 1], [64, 1, 1], &input, 128);
+}
+
+#[test]
+fn rmt_costs_more_than_original_for_compute_bound() {
+    // Timing sanity: a compute-bound kernel should slow down under every
+    // full RMT flavor (the ~2x expectation of Sections 6.4/7.4).
+    let mut b = KernelBuilder::new("alu_heavy");
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let gid = b.global_id(0);
+    let ia = b.elem_addr(inp, gid);
+    let mut v = b.load_global(ia);
+    let c = b.const_u32(2654435761);
+    for _ in 0..48 {
+        v = b.mul_u32(v, c);
+        v = b.xor_u32(v, gid);
+    }
+    let oa = b.elem_addr(out, gid);
+    b.store_global(oa, v);
+    let k = b.finish();
+
+    let n = 8192usize;
+    let mut dev = Device::new(DeviceConfig::small_test());
+    let ib = dev.create_buffer((n * 4) as u32);
+    let ob = dev.create_buffer((n * 4) as u32);
+    dev.write_u32s(ib, &(0..n as u32).collect::<Vec<_>>());
+    let cfg = LaunchConfig::new_1d(n, 64)
+        .arg(Arg::Buffer(ib))
+        .arg(Arg::Buffer(ob));
+    let base = dev.launch(&k, &cfg).unwrap().cycles;
+
+    for opts in [
+        TransformOptions::intra_plus_lds(),
+        TransformOptions::intra_minus_lds(),
+        TransformOptions::inter(),
+    ] {
+        let rk = transform(&k, &opts).unwrap();
+        let mut dev = Device::new(DeviceConfig::small_test());
+        let ib = dev.create_buffer((n * 4) as u32);
+        let ob = dev.create_buffer((n * 4) as u32);
+        dev.write_u32s(ib, &(0..n as u32).collect::<Vec<_>>());
+        let cfg = LaunchConfig::new_1d(n, 64)
+            .arg(Arg::Buffer(ib))
+            .arg(Arg::Buffer(ob));
+        let rmt_cycles = launch_rmt(&mut dev, &rk, &cfg).unwrap().stats.cycles;
+        let slowdown = rmt_cycles as f64 / base as f64;
+        assert!(
+            slowdown > 1.3,
+            "{opts:?}: compute-bound RMT should cost real time, got {slowdown:.2}x"
+        );
+        let limit = if opts.flavor == rmt_core::RmtFlavor::Inter {
+            20.0 // global-memory communication is brutal but bounded
+        } else {
+            10.0
+        };
+        assert!(
+            slowdown < limit,
+            "{opts:?}: implausible slowdown {slowdown:.2}x"
+        );
+    }
+}
+
+#[test]
+fn preserves_histogram_kernel_with_global_atomics() {
+    // Global atomic adds (no result) are SoR exits the paper leaves to
+    // future work; our extension executes them consumer-only after the
+    // usual operand comparison. Counts must come out exactly once.
+    use rmt_ir::{AtomicOp, MemSpace};
+    let mut b = KernelBuilder::new("histogram");
+    let inp = b.buffer_param("in");
+    let hist = b.buffer_param("hist");
+    let gid = b.global_id(0);
+    let ia = b.elem_addr(inp, gid);
+    let v = b.load_global(ia);
+    let c16 = b.const_u32(16);
+    let bin = b.rem_u32(v, c16);
+    let ba = b.elem_addr(hist, bin);
+    let one = b.const_u32(1);
+    b.atomic_noret(MemSpace::Global, AtomicOp::Add, ba, one);
+    let k = b.finish();
+
+    let n = 256usize;
+    let input: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761) >> 8).collect();
+    let mut want = vec![0u32; 16];
+    for &v in &input {
+        want[(v % 16) as usize] += 1;
+    }
+
+    // Golden (original).
+    let mut dev = Device::new(DeviceConfig::small_test());
+    let ib = dev.create_buffer((n * 4) as u32);
+    let hb = dev.create_buffer(16 * 4);
+    dev.write_u32s(ib, &input);
+    let cfg = LaunchConfig::new_1d(n, 64)
+        .arg(Arg::Buffer(ib))
+        .arg(Arg::Buffer(hb));
+    dev.launch(&k, &cfg).unwrap();
+    assert_eq!(dev.read_u32s(hb), want, "original histogram");
+
+    for opts in [
+        TransformOptions::intra_plus_lds(),
+        TransformOptions::intra_minus_lds(),
+        TransformOptions::intra_plus_lds().with_swizzle(),
+        TransformOptions::inter(),
+        TransformOptions::inter().without_comm(),
+    ] {
+        let rk = transform(&k, &opts).unwrap();
+        let mut dev = Device::new(DeviceConfig::small_test());
+        let ib = dev.create_buffer((n * 4) as u32);
+        let hb = dev.create_buffer(16 * 4);
+        dev.write_u32s(ib, &input);
+        let cfg = LaunchConfig::new_1d(n, 64)
+            .arg(Arg::Buffer(ib))
+            .arg(Arg::Buffer(hb));
+        let run = launch_rmt(&mut dev, &rk, &cfg).unwrap();
+        assert_eq!(run.detections, 0, "{opts:?}");
+        assert_eq!(
+            dev.read_u32s(hb),
+            want,
+            "{opts:?}: atomics must execute exactly once"
+        );
+    }
+}
+
+#[test]
+fn detection_counter_accumulates_across_multiple_faults() {
+    use gcn_sim::{FaultPlan, FaultTarget, Injection};
+    // Long-lived value register, multiple lanes corrupted -> several
+    // independent detections should accumulate in the counter.
+    let mut b = KernelBuilder::new("multi");
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let gid = b.global_id(0);
+    let ia = b.elem_addr(inp, gid);
+    let v = b.load_global(ia);
+    let mut pad = gid;
+    let c = b.const_u32(5);
+    for _ in 0..300 {
+        pad = b.add_u32(pad, c);
+    }
+    let zero = b.const_u32(0);
+    let sink = b.and_u32(pad, zero);
+    let v2 = b.or_u32(v, sink);
+    let oa = b.elem_addr(out, gid);
+    b.store_global(oa, v2);
+    let k = b.finish();
+    let vreg = v;
+
+    let rk = transform(&k, &TransformOptions::intra_plus_lds()).unwrap();
+    let mut dev = Device::new(DeviceConfig::small_test());
+    let ib = dev.create_buffer(64 * 4);
+    let ob = dev.create_buffer(64 * 4);
+    dev.write_u32s(ib, &(0..64).collect::<Vec<u32>>());
+    let plan = FaultPlan {
+        injections: (0..6)
+            .map(|i| Injection {
+                after_dyn_inst: 100 + i * 30,
+                target: FaultTarget::Vgpr {
+                    group: 0,
+                    wave: 0,
+                    reg: vreg.0,
+                    lane: (i * 2 + 1) as usize, // distinct consumer lanes
+                    bit: 3,
+                },
+            })
+            .collect(),
+    };
+    let cfg = LaunchConfig::new_1d(64, 32)
+        .arg(Arg::Buffer(ib))
+        .arg(Arg::Buffer(ob))
+        .faults(plan);
+    let run = launch_rmt(&mut dev, &rk, &cfg).unwrap();
+    assert!(
+        run.detections >= 2,
+        "multiple corrupted lanes should each be flagged, got {}",
+        run.detections
+    );
+}
+
+#[test]
+fn preserves_3d_kernel() {
+    // Full 3-D NDRange: the intra transform doubles dimension 0 only; the
+    // inter transform delinearizes tickets across all three dimensions.
+    let mut b = KernelBuilder::new("vol3d");
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let gx = b.global_id(0);
+    let gy = b.global_id(1);
+    let gz = b.global_id(2);
+    let w = b.global_size(0);
+    let h = b.global_size(1);
+    let hw = b.mul_u32(h, w);
+    let zp = b.mul_u32(gz, hw);
+    let yp = b.mul_u32(gy, w);
+    let i0 = b.add_u32(zp, yp);
+    let idx = b.add_u32(i0, gx);
+    let ia = b.elem_addr(inp, idx);
+    let v = b.load_global(ia);
+    let c3 = b.const_u32(3);
+    let c5 = b.const_u32(5);
+    let ty = b.mul_u32(gy, c3);
+    let tz = b.mul_u32(gz, c5);
+    let s0 = b.add_u32(v, ty);
+    let s1 = b.add_u32(s0, tz);
+    let oa = b.elem_addr(out, idx);
+    b.store_global(oa, s1);
+    let k = b.finish();
+
+    let (w_, h_, d_) = (16usize, 4usize, 4usize);
+    let n = w_ * h_ * d_;
+    let input: Vec<u32> = (0..n as u32).map(|i| i * 11).collect();
+
+    // Golden.
+    let mut dev = Device::new(DeviceConfig::small_test());
+    let ib = dev.create_buffer((n * 4) as u32);
+    let ob = dev.create_buffer((n * 4) as u32);
+    dev.write_u32s(ib, &input);
+    let cfg = LaunchConfig::new([w_, h_, d_], [8, 2, 2])
+        .arg(Arg::Buffer(ib))
+        .arg(Arg::Buffer(ob));
+    dev.launch(&k, &cfg).unwrap();
+    let golden = dev.read_u32s(ob);
+
+    for opts in [
+        TransformOptions::intra_plus_lds(),
+        TransformOptions::intra_minus_lds(),
+        TransformOptions::intra_plus_lds().with_swizzle(),
+        TransformOptions::inter(),
+    ] {
+        let rk = transform(&k, &opts).unwrap();
+        let mut dev = Device::new(DeviceConfig::small_test());
+        let ib = dev.create_buffer((n * 4) as u32);
+        let ob = dev.create_buffer((n * 4) as u32);
+        dev.write_u32s(ib, &input);
+        let cfg = LaunchConfig::new([w_, h_, d_], [8, 2, 2])
+            .arg(Arg::Buffer(ib))
+            .arg(Arg::Buffer(ob));
+        let run = launch_rmt(&mut dev, &rk, &cfg).unwrap();
+        assert_eq!(run.detections, 0, "{opts:?}");
+        assert_eq!(dev.read_u32s(ob), golden, "{opts:?}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Static instruction-mix statistics.
+
+use crate::inst::{Inst, MemSpace};
+use crate::kernel::Kernel;
+
+/// Static counts of instruction categories in a kernel.
+///
+/// "Static" means each instruction counts once regardless of loop trip
+/// counts; dynamic counts come from the simulator's performance counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstMix {
+    /// ALU-style ops (const/unary/binary/cmp/select/mov/builtin/param reads).
+    pub alu: usize,
+    /// Loads from global memory.
+    pub global_loads: usize,
+    /// Stores to global memory.
+    pub global_stores: usize,
+    /// Atomics on global memory.
+    pub global_atomics: usize,
+    /// Loads from the LDS.
+    pub local_loads: usize,
+    /// Stores to the LDS.
+    pub local_stores: usize,
+    /// Atomics on the LDS.
+    pub local_atomics: usize,
+    /// Work-group barriers.
+    pub barriers: usize,
+    /// Swizzle lane exchanges.
+    pub swizzles: usize,
+    /// Structured control-flow containers (`if`/`while`).
+    pub control: usize,
+}
+
+impl InstMix {
+    /// Total instructions counted.
+    pub fn total(&self) -> usize {
+        self.alu
+            + self.global_loads
+            + self.global_stores
+            + self.global_atomics
+            + self.local_loads
+            + self.local_stores
+            + self.local_atomics
+            + self.barriers
+            + self.swizzles
+            + self.control
+    }
+
+    /// All memory operations (any space, including atomics).
+    pub fn memory_ops(&self) -> usize {
+        self.global_loads
+            + self.global_stores
+            + self.global_atomics
+            + self.local_loads
+            + self.local_stores
+            + self.local_atomics
+    }
+}
+
+/// Computes the static instruction mix of a kernel.
+pub fn instruction_mix(kernel: &Kernel) -> InstMix {
+    let mut m = InstMix::default();
+    kernel.visit_insts(&mut |i| match i {
+        Inst::Load { space, .. } => match space {
+            MemSpace::Global => m.global_loads += 1,
+            MemSpace::Local => m.local_loads += 1,
+        },
+        Inst::Store { space, .. } => match space {
+            MemSpace::Global => m.global_stores += 1,
+            MemSpace::Local => m.local_stores += 1,
+        },
+        Inst::Atomic { space, .. } => match space {
+            MemSpace::Global => m.global_atomics += 1,
+            MemSpace::Local => m.local_atomics += 1,
+        },
+        Inst::Barrier => m.barriers += 1,
+        Inst::Swizzle { .. } => m.swizzles += 1,
+        Inst::If { .. } | Inst::While { .. } => m.control += 1,
+        _ => m.alu += 1,
+    });
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelBuilder;
+
+    #[test]
+    fn mix_counts_categories() {
+        let mut b = KernelBuilder::new("m");
+        b.set_lds_bytes(64);
+        let buf = b.buffer_param("b");
+        let gid = b.global_id(0);
+        let a = b.elem_addr(buf, gid);
+        let v = b.load_global(a);
+        b.store_local(gid, v);
+        b.barrier();
+        let w = b.load_local(gid);
+        b.store_global(a, w);
+        let k = b.finish();
+        let m = instruction_mix(&k);
+        assert_eq!(m.global_loads, 1);
+        assert_eq!(m.global_stores, 1);
+        assert_eq!(m.local_loads, 1);
+        assert_eq!(m.local_stores, 1);
+        assert_eq!(m.barriers, 1);
+        assert_eq!(m.memory_ops(), 4);
+        assert_eq!(m.total(), k.total_insts());
+    }
+
+    #[test]
+    fn control_counted_recursively() {
+        let mut b = KernelBuilder::new("m");
+        let c = b.const_u32(1);
+        b.if_(c, |b| {
+            let d = b.const_u32(2);
+            b.if_(d, |_| {});
+        });
+        let m = instruction_mix(&b.finish());
+        assert_eq!(m.control, 2);
+        assert_eq!(m.alu, 2);
+    }
+}

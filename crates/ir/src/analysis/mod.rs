@@ -1,0 +1,20 @@
+//! Static analyses over kernels.
+//!
+//! These feed the simulator's cost model:
+//!
+//! * [`pressure`] — peak virtual-register pressure, the input to the
+//!   occupancy calculation (VGPRs per work-item limit wavefronts per SIMD,
+//!   Section 3.3 of the paper);
+//! * [`uniform`] — wavefront-uniformity, deciding which operations the
+//!   compiler would place on the GCN scalar unit (the reason the SU/SRF sit
+//!   outside the Intra-Group sphere of replication, Section 6.1);
+//! * [`mix`] — static instruction-mix statistics used by experiment
+//!   reporting.
+
+pub mod mix;
+pub mod pressure;
+pub mod uniform;
+
+pub use mix::{instruction_mix, InstMix};
+pub use pressure::register_pressure;
+pub use uniform::uniform_regs;

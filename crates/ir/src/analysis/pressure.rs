@@ -1,0 +1,171 @@
+//! Peak register-pressure estimation.
+//!
+//! The simulator maps this onto the GCN VGPR budget: a SIMD has 256
+//! registers per lane, so a kernel needing `v` VGPRs admits at most
+//! `256 / v` wavefronts per SIMD. RMT transformations add registers, which
+//! is one of the three overhead components the paper isolates ("doubling
+//! the size of work-groups", Figures 4 and 7).
+
+use crate::inst::{Block, Inst, Reg};
+use crate::kernel::Kernel;
+use std::collections::HashMap;
+
+#[derive(Default)]
+struct Linearizer {
+    /// reg -> (first access index, last access index)
+    spans: HashMap<Reg, (usize, usize)>,
+    /// (start, end) index ranges of loop regions.
+    loops: Vec<(usize, usize)>,
+    idx: usize,
+}
+
+impl Linearizer {
+    fn touch(&mut self, r: Reg) {
+        let idx = self.idx;
+        self.spans
+            .entry(r)
+            .and_modify(|s| s.1 = idx)
+            .or_insert((idx, idx));
+    }
+
+    fn walk_inst(&mut self, inst: &Inst) {
+        self.idx += 1;
+        let mut srcs = Vec::new();
+        inst.srcs(&mut srcs);
+        for r in srcs {
+            self.touch(r);
+        }
+        if let Some(d) = inst.dst() {
+            self.touch(d);
+        }
+        match inst {
+            Inst::If {
+                then_blk, else_blk, ..
+            } => {
+                self.walk_block(then_blk);
+                self.walk_block(else_blk);
+            }
+            Inst::While { cond, body, .. } => {
+                let start = self.idx;
+                self.walk_block(cond);
+                self.walk_block(body);
+                let end = self.idx;
+                self.loops.push((start, end));
+            }
+            _ => {}
+        }
+    }
+
+    fn walk_block(&mut self, b: &Block) {
+        for inst in b.iter() {
+            self.walk_inst(inst);
+        }
+    }
+}
+
+/// Estimates the peak number of simultaneously-live virtual registers.
+///
+/// Registers accessed both inside and outside a loop are treated as live
+/// across the whole loop; registers only used inside one loop region are
+/// treated as live across that region too (loop-carried values cannot be
+/// distinguished cheaply, and GCN register allocation is similarly
+/// conservative across back-edges).
+pub fn register_pressure(kernel: &Kernel) -> u32 {
+    let mut lin = Linearizer::default();
+    lin.walk_block(&kernel.body);
+    if lin.spans.is_empty() {
+        return 0;
+    }
+
+    // Extend live ranges across loop regions they straddle or inhabit.
+    let mut spans: Vec<(usize, usize)> = lin.spans.values().copied().collect();
+    for span in &mut spans {
+        for &(ls, le) in &lin.loops {
+            let overlaps = span.0 <= le && span.1 >= ls;
+            if overlaps {
+                // Live into, out of, or within the loop: conservatively live
+                // for the entire loop body (the value must survive the
+                // back-edge).
+                span.0 = span.0.min(ls);
+                span.1 = span.1.max(le);
+            }
+        }
+    }
+
+    // Sweep for max overlap.
+    let mut events: Vec<(usize, i32)> = Vec::with_capacity(spans.len() * 2);
+    for (s, e) in spans {
+        events.push((s, 1));
+        events.push((e + 1, -1));
+    }
+    events.sort_unstable();
+    let mut live = 0i32;
+    let mut max = 0i32;
+    for (_, delta) in events {
+        live += delta;
+        max = max.max(live);
+    }
+    max as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelBuilder;
+
+    #[test]
+    fn straight_line_pressure() {
+        // Chain: each value used immediately -> low pressure.
+        let mut b = KernelBuilder::new("chain");
+        let mut v = b.const_u32(1);
+        for _ in 0..10 {
+            let one = b.const_u32(1);
+            v = b.add_u32(v, one);
+        }
+        let buf = b.buffer_param("out");
+        b.store_global(buf, v);
+        let p = register_pressure(&b.finish());
+        assert!(p <= 6, "chain pressure should be small, got {p}");
+    }
+
+    #[test]
+    fn wide_pressure() {
+        // Hold 16 values live simultaneously.
+        let mut b = KernelBuilder::new("wide");
+        let vals: Vec<_> = (0..16).map(|i| b.const_u32(i)).collect();
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.add_u32(acc, v);
+        }
+        let buf = b.buffer_param("out");
+        b.store_global(buf, acc);
+        let p = register_pressure(&b.finish());
+        assert!(p >= 16, "16 values live at once, got {p}");
+    }
+
+    #[test]
+    fn loop_extends_liveness() {
+        let mut b = KernelBuilder::new("loop");
+        let outside: Vec<_> = (0..8).map(|i| b.const_u32(100 + i)).collect();
+        let zero = b.const_u32(0);
+        let n = b.const_u32(4);
+        let buf = b.buffer_param("out");
+        b.for_range(zero, n, |b, i| {
+            // Use only one outside value per iteration; all 8 must still be
+            // live across the loop.
+            let a = b.elem_addr(buf, i);
+            b.store_global(a, outside[0]);
+        });
+        for &v in &outside {
+            b.store_global(buf, v);
+        }
+        let p = register_pressure(&b.finish());
+        assert!(p >= 8, "outside values live across loop, got {p}");
+    }
+
+    #[test]
+    fn empty_kernel_zero_pressure() {
+        let b = KernelBuilder::new("empty");
+        assert_eq!(register_pressure(&b.finish()), 0);
+    }
+}

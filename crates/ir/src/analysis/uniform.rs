@@ -1,0 +1,229 @@
+//! Wavefront-uniformity analysis.
+//!
+//! A register is *wavefront-uniform* if every lane of any wavefront always
+//! holds the same value in it. GCN executes computation on uniform values on
+//! the scalar unit (SU) with scalar registers (SRF) — which is precisely why
+//! Intra-Group RMT cannot protect the SU/SRF (redundant work-items inside one
+//! wavefront share the scalar stream) while Inter-Group RMT can (Sections
+//! 6.1 and 7.1 of the paper).
+
+use crate::inst::{Inst, Reg};
+use crate::kernel::Kernel;
+use std::collections::HashSet;
+
+/// Computes the set of wavefront-uniform registers.
+///
+/// Conservative: a register is reported uniform only when it provably holds
+/// the same value in every lane (uniform inputs, no definition under
+/// divergent control flow, no per-lane sources such as IDs, atomics with
+/// results, swizzles, or LDS loads).
+pub fn uniform_regs(kernel: &Kernel) -> HashSet<Reg> {
+    // Optimistic fixpoint: start by assuming every defined register is
+    // uniform, then strike out registers with non-uniform definitions until
+    // stable (needed for loop-carried values).
+    let mut uniform: HashSet<Reg> = HashSet::new();
+    kernel.visit_insts(&mut |i| {
+        if let Some(d) = i.dst() {
+            uniform.insert(d);
+        }
+    });
+
+    loop {
+        let mut changed = false;
+        // Divergence context is threaded through the walk: a definition
+        // under a non-uniform branch/loop condition is itself non-uniform.
+        fn walk(
+            insts: &[Inst],
+            divergent: bool,
+            uniform: &mut HashSet<Reg>,
+            changed: &mut bool,
+        ) {
+            let mut srcs = Vec::new();
+            for inst in insts {
+                srcs.clear();
+                inst.srcs(&mut srcs);
+                let inputs_uniform = srcs.iter().all(|r| uniform.contains(r));
+                let def_uniform = match inst {
+                    Inst::Const { .. } | Inst::ReadParam { .. } => !divergent,
+                    Inst::ReadBuiltin { builtin, .. } => {
+                        !divergent && builtin.is_wavefront_uniform()
+                    }
+                    Inst::Unary { .. }
+                    | Inst::Binary { .. }
+                    | Inst::Cmp { .. }
+                    | Inst::Select { .. }
+                    | Inst::Mov { .. } => !divergent && inputs_uniform,
+                    // Only globally-addressed loads with uniform addresses
+                    // can be scalarized (the SU has no LDS port).
+                    Inst::Load { space, .. } => {
+                        !divergent
+                            && inputs_uniform
+                            && *space == crate::inst::MemSpace::Global
+                    }
+                    // Atomics return per-lane old values; swizzles are
+                    // per-lane by construction.
+                    Inst::Atomic { .. } | Inst::Swizzle { .. } => false,
+                    Inst::Store { .. } | Inst::Barrier => true, // no dst
+                    Inst::If { .. } | Inst::While { .. } => true, // no dst
+                };
+                if let Some(d) = inst.dst() {
+                    if !def_uniform && uniform.remove(&d) {
+                        *changed = true;
+                    }
+                }
+                match inst {
+                    Inst::If {
+                        cond,
+                        then_blk,
+                        else_blk,
+                    } => {
+                        let div = divergent || !uniform.contains(cond);
+                        walk(&then_blk.0, div, uniform, changed);
+                        walk(&else_blk.0, div, uniform, changed);
+                    }
+                    Inst::While {
+                        cond,
+                        cond_reg,
+                        body,
+                    } => {
+                        // The loop trip count may differ per lane when the
+                        // condition is non-uniform, making everything
+                        // defined inside divergent.
+                        walk(&cond.0, divergent, uniform, changed);
+                        let div = divergent || !uniform.contains(cond_reg);
+                        // Re-walk the condition under the loop's divergence
+                        // (values computed there also iterate per lane).
+                        walk(&cond.0, div, uniform, changed);
+                        walk(&body.0, div, uniform, changed);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        walk(&kernel.body.0, false, &mut uniform, &mut changed);
+        if !changed {
+            break;
+        }
+    }
+    uniform
+}
+
+/// `true` if an instruction would be issued to the scalar unit: it defines
+/// a uniform register and all its inputs are uniform.
+pub fn is_scalar_inst(inst: &Inst, uniform: &HashSet<Reg>) -> bool {
+    match inst.dst() {
+        Some(d) => {
+            let mut srcs = Vec::new();
+            inst.srcs(&mut srcs);
+            uniform.contains(&d) && srcs.iter().all(|r| uniform.contains(r))
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelBuilder;
+
+    #[test]
+    fn ids_are_divergent_groups_are_uniform() {
+        let mut b = KernelBuilder::new("u");
+        let gid = b.global_id(0);
+        let grp = b.group_id(0);
+        let n = b.local_size(0);
+        let base = b.mul_u32(grp, n); // uniform * uniform = uniform
+        let mixed = b.add_u32(base, gid); // uniform + divergent = divergent
+        let buf = b.buffer_param("out");
+        let a = b.elem_addr(buf, mixed);
+        b.store_global(a, base);
+        let k = b.finish();
+        let u = uniform_regs(&k);
+        assert!(!u.contains(&gid));
+        assert!(u.contains(&grp));
+        assert!(u.contains(&n));
+        assert!(u.contains(&base));
+        assert!(!u.contains(&mixed));
+    }
+
+    #[test]
+    fn divergent_branch_poisons_defs() {
+        let mut b = KernelBuilder::new("u");
+        let gid = b.global_id(0);
+        let zero = b.const_u32(0);
+        let c = b.eq_u32(gid, zero); // divergent condition
+        let mut inner = None;
+        b.if_(c, |b| {
+            inner = Some(b.const_u32(5)); // defined under divergence
+        });
+        let k = b.finish();
+        let u = uniform_regs(&k);
+        assert!(!u.contains(&inner.unwrap()));
+        assert!(u.contains(&zero));
+    }
+
+    #[test]
+    fn uniform_branch_preserves_uniformity() {
+        let mut b = KernelBuilder::new("u");
+        let grp = b.group_id(0);
+        let zero = b.const_u32(0);
+        let c = b.eq_u32(grp, zero); // uniform condition
+        let mut inner = None;
+        b.if_(c, |b| {
+            inner = Some(b.const_u32(5));
+        });
+        let k = b.finish();
+        let u = uniform_regs(&k);
+        assert!(u.contains(&inner.unwrap()));
+    }
+
+    #[test]
+    fn loop_carried_divergence_reaches_fixpoint() {
+        // i starts uniform (0) but the loop bound is divergent, so i becomes
+        // divergent through iteration.
+        let mut b = KernelBuilder::new("u");
+        let gid = b.global_id(0);
+        let zero = b.const_u32(0);
+        let i = b.fresh();
+        b.mov_to(i, zero);
+        let one = b.const_u32(1);
+        b.while_(
+            |b| b.lt_u32(i, gid),
+            |b| {
+                let next = b.add_u32(i, one);
+                b.mov_to(i, next);
+            },
+        );
+        let k = b.finish();
+        let u = uniform_regs(&k);
+        assert!(!u.contains(&i), "loop variable with divergent bound");
+    }
+
+    #[test]
+    fn scalar_inst_predicate() {
+        let mut b = KernelBuilder::new("u");
+        let grp = b.group_id(0);
+        let two = b.const_u32(2);
+        let s = b.mul_u32(grp, two);
+        let gid = b.global_id(0);
+        let v = b.add_u32(s, gid);
+        let buf = b.buffer_param("out");
+        let a = b.elem_addr(buf, v);
+        b.store_global(a, s);
+        let k = b.finish();
+        let u = uniform_regs(&k);
+        let mut scalar = 0;
+        let mut vector = 0;
+        k.visit_insts(&mut |i| {
+            if i.dst().is_some() {
+                if is_scalar_inst(i, &u) {
+                    scalar += 1;
+                } else {
+                    vector += 1;
+                }
+            }
+        });
+        assert!(scalar >= 3, "grp, two, s at least");
+        assert!(vector >= 2, "gid, v at least");
+    }
+}

@@ -1,0 +1,153 @@
+//! Human-readable pretty-printer for kernels (assembly-like listing).
+
+use crate::inst::{Block, Inst};
+use crate::kernel::Kernel;
+use std::fmt;
+
+struct Indent(usize);
+
+impl fmt::Display for Indent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for _ in 0..self.0 {
+            f.write_str("  ")?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_block(b: &Block, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for inst in b.iter() {
+        fmt_inst(inst, depth, f)?;
+    }
+    Ok(())
+}
+
+fn fmt_inst(inst: &Inst, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let ind = Indent(depth);
+    match inst {
+        Inst::Const { dst, ty, bits } => {
+            if *ty == crate::Ty::F32 {
+                writeln!(f, "{ind}{dst} = const.{ty} {}", f32::from_bits(*bits))
+            } else {
+                writeln!(f, "{ind}{dst} = const.{ty} {bits}")
+            }
+        }
+        Inst::Unary { dst, op, a } => writeln!(f, "{ind}{dst} = {op} {a}"),
+        Inst::Binary { dst, op, ty, a, b } => writeln!(f, "{ind}{dst} = {op}.{ty} {a}, {b}"),
+        Inst::Cmp { dst, op, ty, a, b } => writeln!(f, "{ind}{dst} = cmp.{op}.{ty} {a}, {b}"),
+        Inst::Select {
+            dst,
+            cond,
+            if_true,
+            if_false,
+        } => writeln!(f, "{ind}{dst} = select {cond} ? {if_true} : {if_false}"),
+        Inst::Mov { dst, src } => writeln!(f, "{ind}{dst} = mov {src}"),
+        Inst::ReadBuiltin { dst, builtin } => writeln!(f, "{ind}{dst} = {builtin}"),
+        Inst::ReadParam { dst, index } => writeln!(f, "{ind}{dst} = param[{index}]"),
+        Inst::Load { dst, space, addr } => writeln!(f, "{ind}{dst} = load.{space} [{addr}]"),
+        Inst::Store { space, addr, value } => {
+            writeln!(f, "{ind}store.{space} [{addr}], {value}")
+        }
+        Inst::Atomic {
+            dst,
+            space,
+            op,
+            addr,
+            value,
+        } => match dst {
+            Some(d) => writeln!(f, "{ind}{d} = atomic.{op}.{space} [{addr}], {value}"),
+            None => writeln!(f, "{ind}atomic.{op}.{space} [{addr}], {value}"),
+        },
+        Inst::Barrier => writeln!(f, "{ind}barrier"),
+        Inst::Swizzle { dst, src, mode } => {
+            writeln!(f, "{ind}{dst} = swizzle.{mode} {src}")
+        }
+        Inst::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            writeln!(f, "{ind}if {cond} {{")?;
+            fmt_block(then_blk, depth + 1, f)?;
+            if !else_blk.is_empty() {
+                writeln!(f, "{ind}}} else {{")?;
+                fmt_block(else_blk, depth + 1, f)?;
+            }
+            writeln!(f, "{ind}}}")
+        }
+        Inst::While {
+            cond,
+            cond_reg,
+            body,
+        } => {
+            writeln!(f, "{ind}while {{")?;
+            fmt_block(cond, depth + 1, f)?;
+            writeln!(f, "{ind}}} test {cond_reg} {{")?;
+            fmt_block(body, depth + 1, f)?;
+            writeln!(f, "{ind}}}")
+        }
+    }
+}
+
+/// Renders a single instruction as a one-line listing fragment (nested
+/// blocks are summarized, not expanded) — used by tracing tools.
+pub fn inst_to_string(inst: &Inst) -> String {
+    struct OneLine<'a>(&'a Inst);
+    impl fmt::Display for OneLine<'_> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self.0 {
+                Inst::If { cond, .. } => write!(f, "if {cond} {{ ... }}"),
+                Inst::While { cond_reg, .. } => write!(f, "while {{ ... }} test {cond_reg}"),
+                other => fmt_inst(other, 0, f),
+            }
+        }
+    }
+    OneLine(inst).to_string().trim_end().to_string()
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}: {}", p.name, p.kind)?;
+        }
+        writeln!(f, ") lds={}B {{", self.lds_bytes)?;
+        fmt_block(&self.body, 1, f)?;
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::KernelBuilder;
+
+    #[test]
+    fn listing_contains_structure() {
+        let mut b = KernelBuilder::new("demo");
+        let buf = b.buffer_param("buf");
+        let gid = b.global_id(0);
+        let addr = b.elem_addr(buf, gid);
+        let v = b.load_global(addr);
+        let c = b.gt_u32(v, gid);
+        b.if_(c, |b| b.store_global(addr, gid));
+        let k = b.finish();
+        let s = k.to_string();
+        assert!(s.contains("kernel demo(buf: buffer)"));
+        assert!(s.contains("global_id.0"));
+        assert!(s.contains("load.global"));
+        assert!(s.contains("if %"));
+        assert!(s.contains("store.global"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn float_constants_printed_as_floats() {
+        let mut b = KernelBuilder::new("fc");
+        let _ = b.const_f32(1.5);
+        let k = b.finish();
+        assert!(k.to_string().contains("const.f32 1.5"));
+    }
+}

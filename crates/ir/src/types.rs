@@ -1,0 +1,71 @@
+//! Scalar value types.
+
+use std::fmt;
+
+/// Interpretation of a 32-bit register value.
+///
+/// Registers themselves are untyped 32-bit storage (as in GCN VGPRs);
+/// instructions carry a `Ty` that says how to interpret their operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ty {
+    /// Signed 32-bit integer (two's complement).
+    I32,
+    /// Unsigned 32-bit integer. Also used for addresses and booleans (0/1).
+    U32,
+    /// IEEE-754 single-precision float.
+    F32,
+}
+
+impl Ty {
+    /// All types, useful for exhaustive property tests.
+    pub const ALL: [Ty; 3] = [Ty::I32, Ty::U32, Ty::F32];
+
+    /// Returns `true` for the two integer interpretations.
+    pub fn is_int(self) -> bool {
+        matches!(self, Ty::I32 | Ty::U32)
+    }
+
+    /// Returns `true` for the float interpretation.
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F32)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::I32 => write!(f, "i32"),
+            Ty::U32 => write!(f, "u32"),
+            Ty::F32 => write!(f, "f32"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Ty::I32.is_int());
+        assert!(Ty::U32.is_int());
+        assert!(!Ty::F32.is_int());
+        assert!(Ty::F32.is_float());
+        assert!(!Ty::U32.is_float());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ty::I32.to_string(), "i32");
+        assert_eq!(Ty::U32.to_string(), "u32");
+        assert_eq!(Ty::F32.to_string(), "f32");
+    }
+
+    #[test]
+    fn all_is_exhaustive() {
+        for ty in Ty::ALL {
+            // Every type classifies as exactly one of int/float.
+            assert!(ty.is_int() ^ ty.is_float());
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Static well-formedness checks for kernels.
+//!
+//! The validator catches builder/transform bugs early, before a kernel
+//! reaches the simulator:
+//!
+//! * every register is textually defined before use (registers are plain
+//!   storage — a masked-off definition still defines the register — so a
+//!   linear program-order scan is the right discipline);
+//! * parameter indices are in range;
+//! * int-only binary operators are not applied at `f32`;
+//! * barriers do not appear inside divergent `if` bodies (OpenCL leaves
+//!   this undefined; the paper's kernels never need it).
+
+use crate::inst::{BinOp, Block, Inst, Reg};
+use crate::kernel::Kernel;
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A register was read before any textual definition.
+    UseBeforeDef {
+        /// The offending register.
+        reg: Reg,
+        /// Rendering of the instruction that read it.
+        inst: String,
+    },
+    /// `ReadParam` index out of range.
+    ParamOutOfRange {
+        /// The index used.
+        index: usize,
+        /// Number of declared parameters.
+        count: usize,
+    },
+    /// An integer-only operator used with a float interpretation.
+    IntOnlyOpOnFloat {
+        /// The operator.
+        op: BinOp,
+    },
+    /// `barrier` inside an `if` (potentially divergent) region.
+    BarrierInDivergentIf,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UseBeforeDef { reg, inst } => {
+                write!(f, "register {reg} used before definition in `{inst}`")
+            }
+            ValidateError::ParamOutOfRange { index, count } => {
+                write!(f, "parameter index {index} out of range ({count} declared)")
+            }
+            ValidateError::IntOnlyOpOnFloat { op } => {
+                write!(f, "integer-only operator `{op}` applied at f32")
+            }
+            ValidateError::BarrierInDivergentIf => {
+                write!(f, "barrier inside a divergent `if` region")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+struct Ctx<'k> {
+    kernel: &'k Kernel,
+    defined: HashSet<Reg>,
+    in_if: usize,
+}
+
+impl Ctx<'_> {
+    fn check_inst(&mut self, inst: &Inst) -> Result<(), ValidateError> {
+        // Loop-carried values require the condition/body of a While to see
+        // registers defined later in the same loop on iterations > 0 — and
+        // the While's own `cond_reg` is defined inside its condition block —
+        // so pre-scan loop contents before checking sources.
+        if let Inst::While { cond, body, .. } = inst {
+            collect_defs(cond, &mut self.defined);
+            collect_defs(body, &mut self.defined);
+        }
+        let mut srcs = Vec::new();
+        inst.srcs(&mut srcs);
+        for r in srcs {
+            if !self.defined.contains(&r) {
+                return Err(ValidateError::UseBeforeDef {
+                    reg: r,
+                    inst: format!("{inst:?}"),
+                });
+            }
+        }
+        match inst {
+            Inst::ReadParam { index, .. } => {
+                if *index >= self.kernel.params.len() {
+                    return Err(ValidateError::ParamOutOfRange {
+                        index: *index,
+                        count: self.kernel.params.len(),
+                    });
+                }
+            }
+            Inst::Binary { op, ty, .. } => {
+                if op.int_only() && ty.is_float() {
+                    return Err(ValidateError::IntOnlyOpOnFloat { op: *op });
+                }
+            }
+            Inst::Barrier => {
+                if self.in_if > 0 {
+                    return Err(ValidateError::BarrierInDivergentIf);
+                }
+            }
+            _ => {}
+        }
+        if let Some(d) = inst.dst() {
+            self.defined.insert(d);
+        }
+        match inst {
+            Inst::If {
+                then_blk, else_blk, ..
+            } => {
+                self.in_if += 1;
+                self.check_block(then_blk)?;
+                self.check_block(else_blk)?;
+                self.in_if -= 1;
+            }
+            Inst::While { cond, body, .. } => {
+                // Defs were pre-collected above; their *values* on iteration
+                // 0 are the zero-initialized register file (well-defined).
+                self.check_block(cond)?;
+                self.check_block(body)?;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn check_block(&mut self, b: &Block) -> Result<(), ValidateError> {
+        for inst in b.iter() {
+            self.check_inst(inst)?;
+        }
+        Ok(())
+    }
+}
+
+fn collect_defs(b: &Block, out: &mut HashSet<Reg>) {
+    for inst in b.iter() {
+        if let Some(d) = inst.dst() {
+            out.insert(d);
+        }
+        match inst {
+            Inst::If {
+                then_blk, else_blk, ..
+            } => {
+                collect_defs(then_blk, out);
+                collect_defs(else_blk, out);
+            }
+            Inst::While { cond, body, .. } => {
+                collect_defs(cond, out);
+                collect_defs(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Validates a kernel, returning the first problem found.
+///
+/// # Errors
+///
+/// Returns a [`ValidateError`] describing the first violated rule.
+pub fn validate(kernel: &Kernel) -> Result<(), ValidateError> {
+    let mut ctx = Ctx {
+        kernel,
+        defined: HashSet::new(),
+        in_if: 0,
+    };
+    ctx.check_block(&kernel.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{MemSpace, Reg};
+    use crate::{KernelBuilder, Ty};
+
+    #[test]
+    fn accepts_well_formed() {
+        let mut b = KernelBuilder::new("ok");
+        let buf = b.buffer_param("b");
+        let gid = b.global_id(0);
+        let a = b.elem_addr(buf, gid);
+        let v = b.load_global(a);
+        b.store_global(a, v);
+        assert_eq!(validate(&b.finish()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut b = KernelBuilder::new("bad");
+        let ghost = Reg(999);
+        b.emit(Inst::Store {
+            space: MemSpace::Global,
+            addr: ghost,
+            value: ghost,
+        });
+        let k = b.finish();
+        assert!(matches!(
+            validate(&k),
+            Err(ValidateError::UseBeforeDef { reg, .. }) if reg == ghost
+        ));
+    }
+
+    #[test]
+    fn rejects_param_out_of_range() {
+        let mut b = KernelBuilder::new("bad");
+        let dst = b.fresh();
+        b.emit(Inst::ReadParam { dst, index: 3 });
+        assert!(matches!(
+            validate(&b.finish()),
+            Err(ValidateError::ParamOutOfRange { index: 3, count: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_float_xor() {
+        let mut b = KernelBuilder::new("bad");
+        let x = b.const_f32(1.0);
+        b.binary(crate::BinOp::Xor, Ty::F32, x, x);
+        assert!(matches!(
+            validate(&b.finish()),
+            Err(ValidateError::IntOnlyOpOnFloat { op: BinOp::Xor })
+        ));
+    }
+
+    #[test]
+    fn rejects_barrier_in_if() {
+        let mut b = KernelBuilder::new("bad");
+        let c = b.const_u32(1);
+        b.if_(c, |b| b.barrier());
+        assert_eq!(validate(&b.finish()), Err(ValidateError::BarrierInDivergentIf));
+    }
+
+    #[test]
+    fn allows_barrier_in_uniform_loop() {
+        let mut b = KernelBuilder::new("ok");
+        let zero = b.const_u32(0);
+        let four = b.const_u32(4);
+        b.for_range(zero, four, |b, _i| {
+            b.barrier();
+        });
+        assert_eq!(validate(&b.finish()), Ok(()));
+    }
+
+    #[test]
+    fn loop_carried_registers_validate() {
+        // i is defined by a Mov before the loop and mutated inside: the
+        // condition reads it each iteration.
+        let mut b = KernelBuilder::new("loop");
+        let zero = b.const_u32(0);
+        let n = b.const_u32(8);
+        b.for_range(zero, n, |_b, _i| {});
+        assert_eq!(validate(&b.finish()), Ok(()));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ValidateError::ParamOutOfRange { index: 5, count: 2 };
+        assert!(e.to_string().contains("5"));
+        assert!(e.to_string().contains("2"));
+    }
+}

@@ -1,0 +1,100 @@
+//! # rmt-kernels
+//!
+//! The 16 kernels from the AMD OpenCL SDK sample suite used in the ISCA
+//! 2014 GPU RMT evaluation (paper Section 5), re-implemented in [`rmt_ir`]
+//! with deterministic input generators and CPU reference checkers:
+//!
+//! | abbrev | benchmark            | character (drives the figures)      |
+//! |--------|----------------------|-------------------------------------|
+//! | BinS   | BinarySearch         | memory-latency-bound, sparse writes |
+//! | BO     | BinomialOption       | LDS/barrier-bound                   |
+//! | BitS   | BitonicSort          | memory-bound, write-heavy, multi-pass|
+//! | BlkSch | BlackScholes         | ALU/transcendental-bound            |
+//! | DCT    | 8×8 DCT              | ALU + LDS, 2-D                      |
+//! | DWT    | DwtHaar1D            | LDS + memory, multi-level           |
+//! | FWT    | FastWalshTransform   | memory-bound butterfly, multi-pass  |
+//! | FW     | FloydWarshall        | memory-bound, multi-pass            |
+//! | MM     | MatrixMultiplication | ALU + LDS tiles, 2-D                |
+//! | NB     | NBody                | ALU-bound, CU-under-utilizing       |
+//! | PS     | PrefixSum            | LDS/barrier-bound, single group     |
+//! | QRS    | QuasiRandomSequence  | integer-ALU-bound                   |
+//! | R      | Reduction            | memory-read-bound, tiny writes      |
+//! | SC     | SimpleConvolution    | neighbourhood reads, cache-friendly |
+//! | SF     | SobelFilter          | memory-bound 2-D stencil            |
+//! | URNG   | UniformRandomNoise   | integer-ALU-bound image op          |
+//!
+//! Every benchmark implements [`Benchmark`]: it supplies one kernel, a
+//! [`Plan`] (buffers + one or more launch passes — BitonicSort, Floyd-
+//! Warshall and FastWalshTransform are genuinely multi-pass), and a CPU
+//! verifier — the paper's "built-in verification capabilities".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binary_search;
+mod binomial_option;
+mod bitonic_sort;
+mod black_scholes;
+mod convolution;
+mod dct;
+mod dwt_haar;
+mod fast_walsh;
+mod floyd_warshall;
+mod matmul;
+mod nbody;
+mod prefix_sum;
+mod quasi_random;
+mod reduction;
+mod sobel;
+mod stats;
+mod suite;
+mod urng;
+pub mod util;
+
+pub use stats::AggregateStats;
+pub use suite::{all, by_abbrev, run_duplicated, run_original, run_rmt, RunOutcome, SuiteError};
+
+use gcn_sim::{BufferId, Device, LaunchConfig};
+use rmt_ir::Kernel;
+
+/// Problem sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Tiny inputs for unit tests (debug-build friendly).
+    Small,
+    /// Inputs sized like the paper's evaluation relative to the 12-CU
+    /// device: enough work-groups to saturate the CUs (Section 5), sized
+    /// to keep full-suite simulation tractable.
+    Paper,
+    /// Larger inputs for longer-running studies (e.g. power, Figure 5).
+    Large,
+}
+
+/// A prepared run: device buffers plus the ordered launch passes.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Launches to execute in order (multi-pass algorithms have several).
+    pub passes: Vec<LaunchConfig>,
+    /// Buffers allocated by `plan` (meaning is benchmark-specific and
+    /// documented per module; used by `verify`).
+    pub buffers: Vec<BufferId>,
+}
+
+/// One benchmark from the AMD SDK sample suite.
+pub trait Benchmark {
+    /// Full benchmark name (e.g. `"BinarySearch"`).
+    fn name(&self) -> &'static str;
+    /// The paper's abbreviation (e.g. `"BinS"`).
+    fn abbrev(&self) -> &'static str;
+    /// Builds the kernel (scale-independent; sizes arrive as arguments).
+    fn kernel(&self) -> Kernel;
+    /// Allocates buffers, writes deterministic inputs, and lays out the
+    /// launch passes on the given device.
+    fn plan(&self, scale: Scale, dev: &mut Device) -> Plan;
+    /// Checks device results against a CPU reference.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable mismatch description.
+    fn verify(&self, scale: Scale, dev: &Device, plan: &Plan) -> Result<(), String>;
+}

@@ -1,0 +1,142 @@
+//! Deterministic input generation and numeric comparison helpers.
+
+/// A small deterministic PRNG (xorshift32) so every run — and the CPU
+/// references — see identical inputs without threading a rand crate
+/// through the benchmark trait.
+#[derive(Debug, Clone)]
+pub struct Xorshift {
+    state: u32,
+}
+
+impl Xorshift {
+    /// Seeds the generator (zero is remapped to a fixed non-zero seed).
+    pub fn new(seed: u32) -> Self {
+        Xorshift {
+            state: if seed == 0 { 0x9E37_79B9 } else { seed },
+        }
+    }
+
+    /// Next u32.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.state = x;
+        x
+    }
+
+    /// Uniform float in [0, 1).
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+    }
+
+    /// Uniform float in [lo, hi).
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform u32 in [0, n).
+    pub fn below(&mut self, n: u32) -> u32 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u32() % n
+        }
+    }
+}
+
+/// Compares float slices with a combined absolute/relative tolerance.
+///
+/// # Errors
+///
+/// Describes the worst mismatch (index, values, error).
+pub fn check_f32s(got: &[f32], want: &[f32], tol: f32) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("length mismatch: {} vs {}", got.len(), want.len()));
+    }
+    let mut worst: Option<(usize, f32, f32, f32)> = None;
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        let denom = 1.0f32.max(w.abs());
+        let err = (g - w).abs() / denom;
+        if err.is_nan() || err > tol {
+            if worst.map_or(true, |(_, _, _, e)| err > e || err.is_nan()) {
+                worst = Some((i, g, w, err));
+            }
+        }
+    }
+    match worst {
+        None => Ok(()),
+        Some((i, g, w, e)) => Err(format!(
+            "f32 mismatch at {i}: got {g}, want {w} (rel err {e:.3e} > {tol:.1e})"
+        )),
+    }
+}
+
+/// Compares u32 slices exactly.
+///
+/// # Errors
+///
+/// Describes the first mismatch and the total mismatch count.
+pub fn check_u32s(got: &[u32], want: &[u32]) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("length mismatch: {} vs {}", got.len(), want.len()));
+    }
+    let mismatches: Vec<usize> = (0..got.len()).filter(|&i| got[i] != want[i]).collect();
+    match mismatches.first() {
+        None => Ok(()),
+        Some(&i) => Err(format!(
+            "u32 mismatch at {i}: got {}, want {} ({} total mismatches)",
+            got[i],
+            want[i],
+            mismatches.len()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut a = Xorshift::new(42);
+        let mut b = Xorshift::new(42);
+        for _ in 0..1000 {
+            let v = a.next_u32();
+            assert_eq!(v, b.next_u32());
+            assert_ne!(v, 0, "xorshift never yields zero from nonzero state");
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = Xorshift::new(0);
+        assert_ne!(r.next_u32(), 0);
+    }
+
+    #[test]
+    fn f32_range_is_bounded() {
+        let mut r = Xorshift::new(7);
+        for _ in 0..1000 {
+            let v = r.range_f32(5.0, 10.0);
+            assert!((5.0..10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn check_f32s_reports_worst() {
+        assert!(check_f32s(&[1.0, 2.0], &[1.0, 2.0], 1e-6).is_ok());
+        let err = check_f32s(&[1.0, 2.5], &[1.0, 2.0], 1e-3).unwrap_err();
+        assert!(err.contains("at 1"));
+        assert!(check_f32s(&[1.0], &[1.0, 2.0], 1e-3).is_err());
+        assert!(check_f32s(&[f32::NAN], &[1.0], 1e-3).is_err());
+    }
+
+    #[test]
+    fn check_u32s_counts_mismatches() {
+        assert!(check_u32s(&[1, 2, 3], &[1, 2, 3]).is_ok());
+        let err = check_u32s(&[1, 9, 9], &[1, 2, 3]).unwrap_err();
+        assert!(err.contains("2 total"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Hardware-style performance counters.
+//!
+//! Mirrors the CodeXL counters the paper reads (Section 5 / Figure 3):
+//! `VALUBusy`, `MemUnitBusy`, `WriteUnitStalled`, plus cache, LDS and
+//! traffic statistics used in the analysis sections.
+
+use crate::cache::CacheStats;
+use crate::config::TICKS_PER_CYCLE;
+
+/// Counters accumulated over one kernel launch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfCounters {
+    /// Wall-clock of the launch, in ticks.
+    pub wall_ticks: u64,
+    /// Sum over all SIMDs of ticks spent executing vector ALU ops.
+    pub valu_busy_ticks: u64,
+    /// Sum over all CUs of ticks the scalar unit was busy.
+    pub salu_busy_ticks: u64,
+    /// Sum over all CUs of ticks the vector memory path was occupied.
+    pub mem_unit_busy_ticks: u64,
+    /// Sum over all CUs of ticks wavefronts stalled on a full write buffer.
+    pub write_stall_ticks: u64,
+    /// Sum over all CUs of ticks the LDS pipe was occupied.
+    pub lds_busy_ticks: u64,
+    /// Dynamic wavefront instructions executed (including control ops).
+    pub dyn_insts: u64,
+    /// Dynamic vector ALU instructions.
+    pub valu_insts: u64,
+    /// Dynamic scalar instructions (incl. lowered control ops).
+    pub salu_insts: u64,
+    /// Vector memory instructions issued (global space).
+    pub vmem_insts: u64,
+    /// LDS instructions issued.
+    pub lds_insts: u64,
+    /// Global atomic operations executed (lane-level).
+    pub atomic_ops: u64,
+    /// Work-group barriers executed (wavefront-level arrivals).
+    pub barrier_waits: u64,
+    /// 64 B transactions that reached the L1s.
+    pub l1_transactions: u64,
+    /// 64 B transactions that reached the L2.
+    pub l2_transactions: u64,
+    /// 64 B transactions that reached DRAM.
+    pub dram_transactions: u64,
+    /// Bytes fetched by loads (lane-level, 4 B each).
+    pub bytes_loaded: u64,
+    /// Bytes written by stores (lane-level, 4 B each).
+    pub bytes_stored: u64,
+    /// LDS bank-conflict extra passes.
+    pub lds_conflicts: u64,
+    /// Aggregated L1 statistics (all CUs).
+    pub l1: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// Work-groups executed.
+    pub groups_executed: u64,
+    /// Wavefronts executed.
+    pub waves_executed: u64,
+
+    // -- geometry captured at launch (denominators for the ratios) --
+    /// Total SIMD units on the device.
+    pub total_simds: u64,
+    /// Total CUs on the device.
+    pub total_cus: u64,
+}
+
+impl PerfCounters {
+    /// Wall-clock cycles of the launch.
+    pub fn cycles(&self) -> u64 {
+        self.wall_ticks / TICKS_PER_CYCLE
+    }
+
+    fn pct(num: u64, denom: u64) -> f64 {
+        if denom == 0 {
+            0.0
+        } else {
+            100.0 * num as f64 / denom as f64
+        }
+    }
+
+    /// `VALUBusy` — percentage of GPU time the vector ALUs were executing
+    /// (averaged over all SIMDs), as in Figure 3.
+    pub fn valu_busy_pct(&self) -> f64 {
+        Self::pct(self.valu_busy_ticks, self.wall_ticks * self.total_simds)
+    }
+
+    /// `MemUnitBusy` — percentage of GPU time the vector memory units were
+    /// occupied (averaged over CUs).
+    pub fn mem_unit_busy_pct(&self) -> f64 {
+        Self::pct(self.mem_unit_busy_ticks, self.wall_ticks * self.total_cus)
+    }
+
+    /// `WriteUnitStalled` — percentage of GPU time wavefronts were stalled
+    /// behind a full write buffer (averaged over CUs).
+    pub fn write_unit_stalled_pct(&self) -> f64 {
+        Self::pct(self.write_stall_ticks, self.wall_ticks * self.total_cus)
+    }
+
+    /// `LDSBusy` — percentage of GPU time the LDS pipes were occupied.
+    pub fn lds_busy_pct(&self) -> f64 {
+        Self::pct(self.lds_busy_ticks, self.wall_ticks * self.total_cus)
+    }
+
+    /// Ratio of memory-ish time to ALU time — the paper's
+    /// "memory-boundedness" discriminator (Section 6.4).
+    pub fn memory_boundedness(&self) -> f64 {
+        let mem = self.mem_unit_busy_pct() + self.write_unit_stalled_pct();
+        let alu = self.valu_busy_pct();
+        if alu == 0.0 {
+            f64::INFINITY
+        } else {
+            mem / alu
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_use_geometry_denominators() {
+        let c = PerfCounters {
+            wall_ticks: 1000,
+            valu_busy_ticks: 2000,
+            mem_unit_busy_ticks: 500,
+            total_simds: 4,
+            total_cus: 1,
+            ..Default::default()
+        };
+        assert!((c.valu_busy_pct() - 50.0).abs() < 1e-9);
+        assert!((c.mem_unit_busy_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wall_is_safe() {
+        let c = PerfCounters::default();
+        assert_eq!(c.valu_busy_pct(), 0.0);
+        assert_eq!(c.cycles(), 0);
+    }
+
+    #[test]
+    fn memory_boundedness_discriminates() {
+        let mut c = PerfCounters {
+            wall_ticks: 1000,
+            total_simds: 4,
+            total_cus: 1,
+            valu_busy_ticks: 4000, // 100% ALU
+            mem_unit_busy_ticks: 100,
+            ..Default::default()
+        };
+        assert!(c.memory_boundedness() < 0.2, "compute bound");
+        c.valu_busy_ticks = 200;
+        c.mem_unit_busy_ticks = 900;
+        assert!(c.memory_boundedness() > 10.0, "memory bound");
+    }
+}
+
+impl std::fmt::Display for PerfCounters {
+    /// Profiler-style summary (the CodeXL-like view of one launch).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "cycles            {:>12}", self.cycles())?;
+        writeln!(
+            f,
+            "VALUBusy          {:>11.1}%   ({} vector ALU insts)",
+            self.valu_busy_pct(),
+            self.valu_insts
+        )?;
+        writeln!(
+            f,
+            "MemUnitBusy       {:>11.1}%   ({} vector memory insts)",
+            self.mem_unit_busy_pct(),
+            self.vmem_insts
+        )?;
+        writeln!(
+            f,
+            "WriteUnitStalled  {:>11.1}%",
+            self.write_unit_stalled_pct()
+        )?;
+        writeln!(
+            f,
+            "LDSBusy           {:>11.1}%   ({} LDS insts, {} conflicts)",
+            self.lds_busy_pct(),
+            self.lds_insts,
+            self.lds_conflicts
+        )?;
+        writeln!(
+            f,
+            "scalar unit       {:>12}    insts",
+            self.salu_insts
+        )?;
+        writeln!(
+            f,
+            "L1                {:>11.1}%   read hit ({} transactions)",
+            100.0 * self.l1.read_hit_rate(),
+            self.l1_transactions
+        )?;
+        writeln!(
+            f,
+            "L2 / DRAM         {:>12}    / {} transactions",
+            self.l2_transactions, self.dram_transactions
+        )?;
+        writeln!(
+            f,
+            "traffic           {:>12} B  loaded, {} B stored",
+            self.bytes_loaded, self.bytes_stored
+        )?;
+        writeln!(
+            f,
+            "atomics           {:>12}    lane ops",
+            self.atomic_ops
+        )?;
+        writeln!(
+            f,
+            "work              {:>12}    groups, {} wavefronts, {} dyn insts",
+            self.groups_executed, self.waves_executed, self.dyn_insts
+        )
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_every_counter_family() {
+        let c = PerfCounters {
+            wall_ticks: 16_000,
+            valu_busy_ticks: 8_000,
+            total_simds: 8,
+            total_cus: 2,
+            valu_insts: 123,
+            vmem_insts: 45,
+            lds_insts: 6,
+            atomic_ops: 7,
+            groups_executed: 2,
+            waves_executed: 4,
+            dyn_insts: 200,
+            ..Default::default()
+        };
+        let s = c.to_string();
+        for needle in [
+            "VALUBusy",
+            "MemUnitBusy",
+            "WriteUnitStalled",
+            "LDSBusy",
+            "L1",
+            "DRAM",
+            "atomics",
+            "wavefronts",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+        assert!(s.contains("123"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by kernel launches and memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A lane accessed a global address outside any allocated buffer.
+    BadGlobalAccess {
+        /// The byte address accessed.
+        addr: u32,
+        /// The kernel that faulted.
+        kernel: String,
+    },
+    /// A lane accessed an unaligned 32-bit word.
+    UnalignedAccess {
+        /// The byte address accessed.
+        addr: u32,
+    },
+    /// A lane accessed LDS beyond the kernel's declared allocation.
+    BadLdsAccess {
+        /// The byte offset accessed.
+        offset: u32,
+        /// The kernel's declared LDS bytes.
+        lds_bytes: u32,
+    },
+    /// The launch geometry is invalid (zero sizes, global not divisible by
+    /// local, work-group too large).
+    BadGeometry(String),
+    /// The kernel's arguments do not match its parameter list.
+    BadArgs(String),
+    /// A work-group cannot be scheduled at all (VGPR or LDS demand exceeds
+    /// a CU's capacity even for a single group).
+    Unschedulable(String),
+    /// The watchdog instruction budget was exhausted: livelock/deadlock
+    /// (e.g., an inter-group protocol spinning forever).
+    Watchdog {
+        /// Dynamic wavefront instructions executed before the abort.
+        executed: u64,
+    },
+    /// A barrier deadlock: some wavefronts of a group finished without
+    /// reaching a barrier their siblings are waiting on.
+    BarrierDeadlock {
+        /// The (global linear) work-group id.
+        group: usize,
+    },
+    /// A buffer id does not belong to this device.
+    UnknownBuffer,
+    /// Kernel failed IR validation before launch.
+    InvalidKernel(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadGlobalAccess { addr, kernel } => {
+                write!(f, "kernel `{kernel}`: global access at {addr:#x} outside any buffer")
+            }
+            SimError::UnalignedAccess { addr } => {
+                write!(f, "unaligned 32-bit access at {addr:#x}")
+            }
+            SimError::BadLdsAccess { offset, lds_bytes } => {
+                write!(f, "LDS access at offset {offset} beyond allocation of {lds_bytes} bytes")
+            }
+            SimError::BadGeometry(msg) => write!(f, "bad launch geometry: {msg}"),
+            SimError::BadArgs(msg) => write!(f, "bad kernel arguments: {msg}"),
+            SimError::Unschedulable(msg) => write!(f, "work-group unschedulable: {msg}"),
+            SimError::Watchdog { executed } => {
+                write!(f, "watchdog fired after {executed} instructions (livelock?)")
+            }
+            SimError::BarrierDeadlock { group } => {
+                write!(f, "barrier deadlock in work-group {group}")
+            }
+            SimError::UnknownBuffer => write!(f, "buffer does not belong to this device"),
+            SimError::InvalidKernel(msg) => write!(f, "invalid kernel: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = SimError::BadGlobalAccess {
+            addr: 0x1234,
+            kernel: "mm".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x1234"));
+        assert!(s.contains("mm"));
+        assert!(SimError::Watchdog { executed: 42 }.to_string().contains("42"));
+    }
+}

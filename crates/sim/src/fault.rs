@@ -1,0 +1,127 @@
+//! Architectural fault injection.
+//!
+//! Injects single-event upsets (bit flips) into the structures of Tables 2
+//! and 3 of the paper: vector registers, scalar registers (modelled as a
+//! wavefront-broadcast corruption), the LDS, the L1 data array, and global
+//! memory. Used by the coverage-validation experiment to demonstrate which
+//! faults each RMT flavor's sphere of replication detects.
+
+/// Where to flip a bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// A bit in one lane of one virtual register of one wavefront
+    /// (VRF fault).
+    Vgpr {
+        /// Global linear work-group id.
+        group: usize,
+        /// Wavefront index within the group.
+        wave: usize,
+        /// Virtual register number.
+        reg: u32,
+        /// Lane (0..63).
+        lane: usize,
+        /// Bit position (0..31).
+        bit: u8,
+    },
+    /// A bit in a scalar register: the corruption is observed by *all*
+    /// lanes of the wavefront, because the scalar unit broadcasts (SRF
+    /// fault). Only meaningful for registers the compiler scalarized.
+    Sgpr {
+        /// Global linear work-group id.
+        group: usize,
+        /// Wavefront index within the group.
+        wave: usize,
+        /// Virtual register number.
+        reg: u32,
+        /// Bit position (0..31).
+        bit: u8,
+    },
+    /// A bit in the work-group's LDS allocation.
+    Lds {
+        /// Global linear work-group id.
+        group: usize,
+        /// Byte offset within the allocation.
+        offset: u32,
+        /// Bit position (0..7) within the byte.
+        bit: u8,
+    },
+    /// A bit in a CU's L1 data array (only applies if the line is
+    /// resident at injection time).
+    L1Data {
+        /// CU index.
+        cu: usize,
+        /// Absolute global byte address whose cached copy to corrupt.
+        addr: u32,
+        /// Bit position (0..7) within the byte.
+        bit: u8,
+    },
+    /// A bit in global memory (off-chip; the paper assumes ECC covers
+    /// this — included to show such faults escape every software SoR).
+    GlobalMem {
+        /// Absolute global byte address.
+        addr: u32,
+        /// Bit position (0..7) within the byte.
+        bit: u8,
+    },
+}
+
+/// One planned injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Fire once the machine has executed this many dynamic wavefront
+    /// instructions (a deterministic trigger).
+    pub after_dyn_inst: u64,
+    /// What to corrupt.
+    pub target: FaultTarget,
+}
+
+/// A set of injections for one launch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Planned injections (fired in `after_dyn_inst` order).
+    pub injections: Vec<Injection>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with a single injection.
+    pub fn single(after_dyn_inst: u64, target: FaultTarget) -> Self {
+        FaultPlan {
+            injections: vec![Injection {
+                after_dyn_inst,
+                target,
+            }],
+        }
+    }
+
+    /// `true` if the plan contains no injections.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_compose() {
+        let p = FaultPlan::single(
+            100,
+            FaultTarget::Vgpr {
+                group: 0,
+                wave: 0,
+                reg: 3,
+                lane: 7,
+                bit: 31,
+            },
+        );
+        assert!(!p.is_empty());
+        assert_eq!(p.injections.len(), 1);
+        assert!(FaultPlan::none().is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! Compilation of structured IR into a flat SIMT program.
+//!
+//! Structured `if`/`while` are lowered to explicit mask-stack operations
+//! with pre-resolved jump targets, the form the wavefront interpreter
+//! executes. This mirrors how GCN's scalar unit manipulates the EXEC mask
+//! around divergent control flow.
+
+use crate::error::SimError;
+use rmt_ir::analysis::uniform::{is_scalar_inst, uniform_regs};
+use rmt_ir::analysis::{instruction_mix, register_pressure, InstMix};
+use rmt_ir::{Block, Inst, Kernel, Param, Reg};
+
+/// A lowered instruction with resolved control targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatOp {
+    /// A non-control IR instruction.
+    Op(Inst),
+    /// Begin a divergent region: split the mask on `cond`.
+    IfBegin {
+        /// Condition register (per-lane boolean).
+        cond: Reg,
+        /// PC of the matching [`FlatOp::Else`].
+        else_pc: usize,
+        /// PC of the matching [`FlatOp::EndIf`].
+        end_pc: usize,
+    },
+    /// Switch to the else-mask (or skip to the end when it is empty).
+    Else {
+        /// PC of the matching [`FlatOp::EndIf`].
+        end_pc: usize,
+    },
+    /// Restore the pre-`if` mask.
+    EndIf,
+    /// Enter a loop: save the mask.
+    LoopBegin {
+        /// PC one past the matching [`FlatOp::LoopEnd`].
+        end_pc: usize,
+    },
+    /// Test the loop condition; lanes reading 0 retire from the loop.
+    LoopTest {
+        /// Condition register.
+        cond: Reg,
+        /// PC one past the matching [`FlatOp::LoopEnd`] (loop exit).
+        end_pc: usize,
+    },
+    /// Jump back to re-evaluate the loop condition.
+    LoopEnd {
+        /// PC of the matching [`FlatOp::LoopBegin`].
+        begin_pc: usize,
+    },
+}
+
+impl FlatOp {
+    /// `true` for the mask-manipulation ops introduced by lowering.
+    pub fn is_control(&self) -> bool {
+        !matches!(self, FlatOp::Op(_))
+    }
+}
+
+/// A kernel lowered for execution, with precomputed analyses.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// Kernel name.
+    pub name: String,
+    /// Parameter declarations (positional).
+    pub params: Vec<Param>,
+    /// LDS bytes per work-group.
+    pub lds_bytes: u32,
+    /// The flat program.
+    pub ops: Vec<FlatOp>,
+    /// Per-op: would this issue on the scalar unit?
+    pub scalar: Vec<bool>,
+    /// Estimated VGPRs per work-item (register pressure).
+    pub pressure: u32,
+    /// Number of virtual registers to allocate per lane.
+    pub nregs: u32,
+    /// Static instruction mix of the source kernel.
+    pub mix: InstMix,
+}
+
+fn lower_block(block: &Block, ops: &mut Vec<FlatOp>) {
+    for inst in block.iter() {
+        match inst {
+            Inst::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let begin = ops.len();
+                ops.push(FlatOp::IfBegin {
+                    cond: *cond,
+                    else_pc: 0,
+                    end_pc: 0,
+                });
+                lower_block(then_blk, ops);
+                let else_pc = ops.len();
+                ops.push(FlatOp::Else { end_pc: 0 });
+                lower_block(else_blk, ops);
+                let end_pc = ops.len();
+                ops.push(FlatOp::EndIf);
+                ops[begin] = FlatOp::IfBegin {
+                    cond: *cond,
+                    else_pc,
+                    end_pc,
+                };
+                ops[else_pc] = FlatOp::Else { end_pc };
+            }
+            Inst::While {
+                cond,
+                cond_reg,
+                body,
+            } => {
+                let begin = ops.len();
+                ops.push(FlatOp::LoopBegin { end_pc: 0 });
+                lower_block(cond, ops);
+                let test_pc = ops.len();
+                ops.push(FlatOp::LoopTest {
+                    cond: *cond_reg,
+                    end_pc: 0,
+                });
+                lower_block(body, ops);
+                ops.push(FlatOp::LoopEnd { begin_pc: begin });
+                let end_pc = ops.len(); // one past LoopEnd
+                ops[begin] = FlatOp::LoopBegin { end_pc };
+                ops[test_pc] = FlatOp::LoopTest {
+                    cond: *cond_reg,
+                    end_pc,
+                };
+            }
+            other => ops.push(FlatOp::Op(other.clone())),
+        }
+    }
+}
+
+/// Lowers and analyzes a kernel.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidKernel`] if IR validation fails.
+pub fn compile(kernel: &Kernel) -> Result<CompiledKernel, SimError> {
+    rmt_ir::validate(kernel).map_err(|e| SimError::InvalidKernel(e.to_string()))?;
+    let mut ops = Vec::with_capacity(kernel.total_insts() * 2);
+    lower_block(&kernel.body, &mut ops);
+
+    let uniform = uniform_regs(kernel);
+    let scalar = ops
+        .iter()
+        .map(|op| match op {
+            FlatOp::Op(inst) => is_scalar_inst(inst, &uniform),
+            _ => true, // mask manipulation runs on the scalar path
+        })
+        .collect();
+
+    Ok(CompiledKernel {
+        name: kernel.name.clone(),
+        params: kernel.params.clone(),
+        lds_bytes: kernel.lds_bytes,
+        ops,
+        scalar,
+        pressure: register_pressure(kernel),
+        nregs: kernel.next_reg.max(1),
+        mix: instruction_mix(kernel),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_ir::KernelBuilder;
+
+    #[test]
+    fn lowers_if_with_targets() {
+        let mut b = KernelBuilder::new("k");
+        let c = b.const_u32(1);
+        b.if_else(c, |b| b.emit_nop_const(), |b| b.emit_nop_const());
+        let k = b.finish();
+        let ck = compile(&k).unwrap();
+        // const, IfBegin, const, Else, const, EndIf
+        assert_eq!(ck.ops.len(), 6);
+        match &ck.ops[1] {
+            FlatOp::IfBegin {
+                else_pc, end_pc, ..
+            } => {
+                assert_eq!(*else_pc, 3);
+                assert_eq!(*end_pc, 5);
+            }
+            other => panic!("expected IfBegin, got {other:?}"),
+        }
+        match &ck.ops[3] {
+            FlatOp::Else { end_pc } => assert_eq!(*end_pc, 5),
+            other => panic!("expected Else, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowers_while_with_targets() {
+        let mut b = KernelBuilder::new("k");
+        let zero = b.const_u32(0);
+        let two = b.const_u32(2);
+        b.for_range(zero, two, |_b, _i| {});
+        let k = b.finish();
+        let ck = compile(&k).unwrap();
+        let begin = ck
+            .ops
+            .iter()
+            .position(|o| matches!(o, FlatOp::LoopBegin { .. }))
+            .unwrap();
+        let end = ck
+            .ops
+            .iter()
+            .position(|o| matches!(o, FlatOp::LoopEnd { .. }))
+            .unwrap();
+        match ck.ops[begin] {
+            FlatOp::LoopBegin { end_pc } => assert_eq!(end_pc, end + 1),
+            _ => unreachable!(),
+        }
+        match ck.ops[end] {
+            FlatOp::LoopEnd { begin_pc } => assert_eq!(begin_pc, begin),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_kernel() {
+        let mut b = KernelBuilder::new("bad");
+        let dst = b.fresh();
+        b.emit(rmt_ir::Inst::ReadParam { dst, index: 7 });
+        assert!(matches!(
+            compile(&b.finish()),
+            Err(SimError::InvalidKernel(_))
+        ));
+    }
+
+    #[test]
+    fn scalar_flags_follow_uniformity() {
+        let mut b = KernelBuilder::new("k");
+        let grp = b.group_id(0);
+        let two = b.const_u32(2);
+        let _s = b.mul_u32(grp, two); // uniform -> scalar
+        let gid = b.global_id(0);
+        let _v = b.add_u32(gid, two); // divergent -> vector
+        let k = b.finish();
+        let ck = compile(&k).unwrap();
+        // ops: grp, two, mul, gid, add
+        assert_eq!(ck.scalar, vec![true, true, true, false, false]);
+    }
+
+    // helper so the first test reads cleanly
+    trait EmitNop {
+        fn emit_nop_const(&mut self);
+    }
+    impl EmitNop for KernelBuilder {
+        fn emit_nop_const(&mut self) {
+            let _ = self.const_u32(42);
+        }
+    }
+}

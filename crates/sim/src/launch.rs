@@ -1,0 +1,208 @@
+//! Launch configuration and results.
+
+use crate::counters::PerfCounters;
+use crate::device::BufferId;
+use crate::fault::FaultPlan;
+use crate::power::PowerStats;
+
+/// A kernel argument, bound positionally to a parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arg {
+    /// A device buffer (binds to a `ParamKind::Buffer`).
+    Buffer(BufferId),
+    /// A u32 scalar.
+    U32(u32),
+    /// An i32 scalar.
+    I32(i32),
+    /// An f32 scalar.
+    F32(f32),
+}
+
+impl Arg {
+    /// The raw bits a scalar argument contributes (buffers resolve at
+    /// launch).
+    pub fn scalar_bits(self) -> Option<u32> {
+        match self {
+            Arg::Buffer(_) => None,
+            Arg::U32(v) => Some(v),
+            Arg::I32(v) => Some(v as u32),
+            Arg::F32(v) => Some(v.to_bits()),
+        }
+    }
+}
+
+/// What limited the number of work-groups resident per CU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimiter {
+    /// VGPR demand.
+    Vgpr,
+    /// LDS demand.
+    Lds,
+    /// Wavefront slots.
+    WaveSlots,
+    /// Work-group slots.
+    GroupSlots,
+}
+
+/// Resolved occupancy for a launch — the quantity RMT's resource inflation
+/// attacks (Sections 6.4 and 7.4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// VGPRs allocated per work-item (pressure + reserved + inflation).
+    pub vgprs_per_wave: u32,
+    /// Wavefronts per work-group.
+    pub waves_per_group: usize,
+    /// Work-groups resident per CU.
+    pub groups_per_cu: usize,
+    /// Wavefronts resident per CU.
+    pub waves_per_cu: usize,
+    /// The binding constraint.
+    pub limiter: OccupancyLimiter,
+}
+
+/// Configuration for one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchConfig {
+    /// Global NDRange sizes per dimension.
+    pub global: [usize; 3],
+    /// Work-group sizes per dimension.
+    pub local: [usize; 3],
+    /// Positional arguments.
+    pub args: Vec<Arg>,
+    /// Extra VGPRs charged per work-item *for occupancy only* — the
+    /// paper's "inflate resource usage" methodology for isolating the cost
+    /// of doubled work-groups (Figures 4 and 7).
+    pub extra_vgprs: u32,
+    /// Extra LDS bytes charged per group for occupancy only (same
+    /// methodology).
+    pub extra_lds: u32,
+    /// Hard cap on resident work-groups per CU (occupancy-only knob used
+    /// by the decomposition experiments to "reserve space" for redundant
+    /// work without executing it).
+    pub groups_per_cu_cap: Option<usize>,
+    /// Fault injections to perform.
+    pub faults: FaultPlan,
+}
+
+impl LaunchConfig {
+    /// Creates a launch with the given geometry and no arguments.
+    pub fn new(global: [usize; 3], local: [usize; 3]) -> Self {
+        LaunchConfig {
+            global,
+            local,
+            args: Vec::new(),
+            extra_vgprs: 0,
+            extra_lds: 0,
+            groups_per_cu_cap: None,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Convenience constructor for 1-D launches.
+    pub fn new_1d(global: usize, local: usize) -> Self {
+        Self::new([global, 1, 1], [local, 1, 1])
+    }
+
+    /// Appends an argument (builder style).
+    pub fn arg(mut self, a: Arg) -> Self {
+        self.args.push(a);
+        self
+    }
+
+    /// Replaces the argument list.
+    pub fn args(mut self, args: Vec<Arg>) -> Self {
+        self.args = args;
+        self
+    }
+
+    /// Sets occupancy-only VGPR inflation.
+    pub fn extra_vgprs(mut self, v: u32) -> Self {
+        self.extra_vgprs = v;
+        self
+    }
+
+    /// Sets occupancy-only LDS inflation (bytes per group).
+    pub fn extra_lds(mut self, v: u32) -> Self {
+        self.extra_lds = v;
+        self
+    }
+
+    /// Caps resident work-groups per CU (occupancy-only).
+    pub fn groups_per_cu_cap(mut self, cap: usize) -> Self {
+        self.groups_per_cu_cap = Some(cap);
+        self
+    }
+
+    /// Attaches a fault plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Total work-items in the NDRange.
+    pub fn global_items(&self) -> usize {
+        self.global[0] * self.global[1] * self.global[2]
+    }
+
+    /// Work-items per work-group.
+    pub fn group_size(&self) -> usize {
+        self.local[0] * self.local[1] * self.local[2]
+    }
+
+    /// Total work-groups.
+    pub fn num_groups(&self) -> usize {
+        if self.group_size() == 0 {
+            0
+        } else {
+            self.global_items() / self.group_size()
+        }
+    }
+}
+
+/// Results of a completed launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchStats {
+    /// Simulated wall-clock cycles.
+    pub cycles: u64,
+    /// Performance counters.
+    pub counters: PerfCounters,
+    /// Power estimate.
+    pub power: PowerStats,
+    /// Resolved occupancy.
+    pub occupancy: Occupancy,
+    /// Number of planned fault injections that were actually applied
+    /// (a target can be missed if, e.g., its work-group already retired).
+    pub faults_applied: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_helpers() {
+        let c = LaunchConfig::new([256, 2, 1], [64, 1, 1]);
+        assert_eq!(c.global_items(), 512);
+        assert_eq!(c.group_size(), 64);
+        assert_eq!(c.num_groups(), 8);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = LaunchConfig::new_1d(128, 64)
+            .arg(Arg::U32(7))
+            .extra_vgprs(10)
+            .extra_lds(256);
+        assert_eq!(c.args.len(), 1);
+        assert_eq!(c.extra_vgprs, 10);
+        assert_eq!(c.extra_lds, 256);
+    }
+
+    #[test]
+    fn scalar_bits() {
+        assert_eq!(Arg::U32(5).scalar_bits(), Some(5));
+        assert_eq!(Arg::I32(-1).scalar_bits(), Some(u32::MAX));
+        assert_eq!(Arg::F32(1.0).scalar_bits(), Some(1.0f32.to_bits()));
+        assert_eq!(Arg::Buffer(BufferId(0)).scalar_bits(), None);
+    }
+}

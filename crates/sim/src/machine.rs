@@ -1,0 +1,1242 @@
+//! The execution engine: functional SIMT interpretation + resource timing.
+//!
+//! Execution is event-driven but globally time-ordered: a priority queue
+//! always runs the ready wavefront with the earliest timestamp, so memory
+//! operations (including atomics and the inter-group communication
+//! protocols built on them) observe a single consistent global order.
+
+use crate::alu;
+use crate::cache::Cache;
+use crate::config::DeviceConfig;
+use crate::counters::PerfCounters;
+use crate::error::SimError;
+use crate::fault::FaultTarget;
+use crate::flat::{CompiledKernel, FlatOp};
+use crate::launch::{LaunchConfig, Occupancy, OccupancyLimiter};
+use crate::memory::GlobalMemory;
+use crate::power::PowerModel;
+use rmt_ir::{AtomicOp, Builtin, Inst, MemSpace, ParamKind, Reg};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const LANES: usize = 64;
+
+#[derive(Debug, Clone, Copy)]
+enum Frame {
+    If { saved: u64, else_mask: u64 },
+    Loop { saved: u64 },
+}
+
+#[derive(Debug)]
+struct Wave {
+    group: usize, // index into Machine::groups
+    wave_in_group: usize,
+    cu: usize,
+    simd: usize,
+    pc: usize,
+    mask: u64,
+    stack: Vec<Frame>,
+    regs: Vec<u32>,
+    /// Completion tick of the in-flight load producing each register
+    /// (GCN-style s_waitcnt: consumers stall at first use, not at issue).
+    reg_ready: Vec<u64>,
+    ready_at: u64,
+    done: bool,
+    at_barrier: bool,
+}
+
+#[derive(Debug)]
+struct GroupState {
+    linear: usize,
+    coords: [u32; 3],
+    lds: Vec<u8>,
+    wave_ids: Vec<usize>,
+    waves_done: usize,
+    barrier_arrived: usize,
+}
+
+#[derive(Debug)]
+struct CuState {
+    simd_free: Vec<u64>,
+    su_free: u64,
+    mem_free: u64,
+    lds_free: u64,
+    write_free: u64,
+    resident: usize,
+    wave_rr: usize, // round-robin SIMD assignment
+}
+
+pub(crate) struct Machine<'a> {
+    cfg: &'a DeviceConfig,
+    kernel: &'a CompiledKernel,
+    mem: &'a mut GlobalMemory,
+    global: [usize; 3],
+    local: [usize; 3],
+    group_dims: [usize; 3],
+    group_size: usize,
+    waves_per_group: usize,
+    param_values: Vec<u32>,
+    occupancy: Occupancy,
+
+    l1: Vec<Cache>,
+    l2: Cache,
+    l2_free: Vec<u64>, // per bank
+    dram_free: u64,
+    cus: Vec<CuState>,
+
+    waves: Vec<Wave>,
+    groups: Vec<GroupState>,
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    next_group: usize,
+    groups_total: usize,
+
+    counters: PerfCounters,
+    power: PowerModel,
+    end_tick: u64,
+
+    faults: Vec<crate::fault::Injection>,
+    next_fault: usize,
+    faults_applied: usize,
+
+    tracer: Option<crate::trace::Tracer>,
+}
+
+/// Computes launch occupancy, or why the kernel cannot be scheduled.
+pub(crate) fn occupancy(
+    cfg: &DeviceConfig,
+    kernel: &CompiledKernel,
+    launch: &LaunchConfig,
+) -> Result<Occupancy, SimError> {
+    let group_size = launch.group_size();
+    let vgprs = kernel
+        .pressure
+        .max(1)
+        .saturating_add(cfg.reserved_vgprs)
+        .saturating_add(launch.extra_vgprs);
+    if vgprs > cfg.vgprs_per_simd {
+        return Err(SimError::Unschedulable(format!(
+            "kernel needs {vgprs} VGPRs, SIMD has {}",
+            cfg.vgprs_per_simd
+        )));
+    }
+    let waves_by_vgpr = ((cfg.vgprs_per_simd / vgprs) as usize).min(cfg.max_waves_per_simd);
+    let max_waves_cu = waves_by_vgpr * cfg.simds_per_cu;
+    let waves_per_group = group_size.div_ceil(LANES);
+    if waves_per_group > max_waves_cu {
+        return Err(SimError::Unschedulable(format!(
+            "group of {waves_per_group} waves exceeds CU capacity of {max_waves_cu}"
+        )));
+    }
+    let lds_total = kernel.lds_bytes as u64 + launch.extra_lds as u64;
+    let groups_by_lds = if lds_total == 0 {
+        usize::MAX
+    } else {
+        (cfg.lds_per_cu as u64 / lds_total) as usize
+    };
+    if groups_by_lds == 0 {
+        return Err(SimError::Unschedulable(format!(
+            "group needs {lds_total} LDS bytes, CU has {}",
+            cfg.lds_per_cu
+        )));
+    }
+    let groups_by_waves = max_waves_cu / waves_per_group;
+    let cap = launch.groups_per_cu_cap.unwrap_or(usize::MAX).max(1);
+    let groups_per_cu = groups_by_waves
+        .min(groups_by_lds)
+        .min(cfg.max_groups_per_cu)
+        .min(cap);
+    let limiter = if groups_per_cu == groups_by_lds && groups_by_lds <= groups_by_waves {
+        OccupancyLimiter::Lds
+    } else if groups_per_cu == cfg.max_groups_per_cu
+        && cfg.max_groups_per_cu < groups_by_waves.min(groups_by_lds)
+    {
+        OccupancyLimiter::GroupSlots
+    } else if waves_by_vgpr < cfg.max_waves_per_simd {
+        OccupancyLimiter::Vgpr
+    } else {
+        OccupancyLimiter::WaveSlots
+    };
+    Ok(Occupancy {
+        vgprs_per_wave: vgprs,
+        waves_per_group,
+        groups_per_cu,
+        waves_per_cu: groups_per_cu * waves_per_group,
+        limiter,
+    })
+}
+
+impl<'a> Machine<'a> {
+    pub(crate) fn new(
+        cfg: &'a DeviceConfig,
+        kernel: &'a CompiledKernel,
+        mem: &'a mut GlobalMemory,
+        launch: &LaunchConfig,
+    ) -> Result<Self, SimError> {
+        // Geometry checks.
+        for d in 0..3 {
+            if launch.global[d] == 0 || launch.local[d] == 0 {
+                return Err(SimError::BadGeometry("zero-sized dimension".into()));
+            }
+            if launch.global[d] % launch.local[d] != 0 {
+                return Err(SimError::BadGeometry(format!(
+                    "global[{d}]={} not divisible by local[{d}]={}",
+                    launch.global[d], launch.local[d]
+                )));
+            }
+        }
+        let group_size = launch.group_size();
+        if group_size > cfg.max_workgroup_size {
+            return Err(SimError::BadGeometry(format!(
+                "work-group of {group_size} exceeds limit {}",
+                cfg.max_workgroup_size
+            )));
+        }
+
+        // Argument binding.
+        if launch.args.len() != kernel.params.len() {
+            return Err(SimError::BadArgs(format!(
+                "kernel `{}` takes {} params, {} args given",
+                kernel.name,
+                kernel.params.len(),
+                launch.args.len()
+            )));
+        }
+        let mut param_values = Vec::with_capacity(launch.args.len());
+        for (i, (p, a)) in kernel.params.iter().zip(&launch.args).enumerate() {
+            let v = match (p.kind, a) {
+                (ParamKind::Buffer, crate::launch::Arg::Buffer(b)) => {
+                    mem.base(b.0).ok_or(SimError::UnknownBuffer)?
+                }
+                (ParamKind::Scalar(_), a) => a.scalar_bits().ok_or_else(|| {
+                    SimError::BadArgs(format!("param {i} (`{}`) expects a scalar", p.name))
+                })?,
+                (ParamKind::Buffer, _) => {
+                    return Err(SimError::BadArgs(format!(
+                        "param {i} (`{}`) expects a buffer",
+                        p.name
+                    )))
+                }
+            };
+            param_values.push(v);
+        }
+
+        let occ = occupancy(cfg, kernel, launch)?;
+        let group_dims = [
+            launch.global[0] / launch.local[0],
+            launch.global[1] / launch.local[1],
+            launch.global[2] / launch.local[2],
+        ];
+        let groups_total = group_dims[0] * group_dims[1] * group_dims[2];
+
+        let mut faults = launch.faults.injections.clone();
+        faults.sort_by_key(|i| i.after_dyn_inst);
+
+        let mut m = Machine {
+            cfg,
+            kernel,
+            mem,
+            global: launch.global,
+            local: launch.local,
+            group_dims,
+            group_size,
+            waves_per_group: occ.waves_per_group,
+            param_values,
+            occupancy: occ,
+            l1: (0..cfg.num_cus)
+                .map(|_| Cache::new(cfg.l1_bytes, cfg.line_bytes, cfg.l1_assoc, true))
+                .collect(),
+            l2: Cache::new(cfg.l2_bytes, cfg.line_bytes, cfg.l2_assoc, false),
+            l2_free: vec![0; cfg.l2_banks.max(1)],
+            dram_free: 0,
+            cus: (0..cfg.num_cus)
+                .map(|_| CuState {
+                    simd_free: vec![0; cfg.simds_per_cu],
+                    su_free: 0,
+                    mem_free: 0,
+                    lds_free: 0,
+                    write_free: 0,
+                    resident: 0,
+                    wave_rr: 0,
+                })
+                .collect(),
+            waves: Vec::new(),
+            groups: Vec::new(),
+            heap: BinaryHeap::new(),
+            next_group: 0,
+            groups_total,
+            counters: PerfCounters {
+                total_simds: cfg.total_simds() as u64,
+                total_cus: cfg.num_cus as u64,
+                ..Default::default()
+            },
+            power: PowerModel::new(cfg.power.clone(), cfg.clock_ghz),
+            end_tick: 0,
+            faults,
+            next_fault: 0,
+            faults_applied: 0,
+            tracer: None,
+        };
+
+        // Initial dispatch: fill CUs round-robin, staggered.
+        let mut t = 0u64;
+        'fill: loop {
+            let mut any = false;
+            for cu in 0..cfg.num_cus {
+                if m.next_group >= m.groups_total {
+                    break 'fill;
+                }
+                if m.cus[cu].resident < m.occupancy.groups_per_cu {
+                    m.start_group(cu, t);
+                    t += cfg.lat.dispatch_interval;
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        Ok(m)
+    }
+
+    fn start_group(&mut self, cu: usize, t: u64) {
+        let linear = self.next_group;
+        self.next_group += 1;
+        let ngx = self.group_dims[0];
+        let ngy = self.group_dims[1];
+        let coords = [
+            (linear % ngx) as u32,
+            ((linear / ngx) % ngy) as u32,
+            (linear / (ngx * ngy)) as u32,
+        ];
+        let gidx = self.groups.len();
+        let mut wave_ids = Vec::with_capacity(self.waves_per_group);
+        for w in 0..self.waves_per_group {
+            let lanes_left = self.group_size - w * LANES;
+            let mask = if lanes_left >= LANES {
+                u64::MAX
+            } else {
+                (1u64 << lanes_left) - 1
+            };
+            let simd = self.cus[cu].wave_rr % self.cfg.simds_per_cu;
+            self.cus[cu].wave_rr += 1;
+            let wid = self.waves.len();
+            self.waves.push(Wave {
+                group: gidx,
+                wave_in_group: w,
+                cu,
+                simd,
+                pc: 0,
+                mask,
+                stack: Vec::new(),
+                regs: vec![0; self.kernel.nregs as usize * LANES],
+                reg_ready: vec![0; self.kernel.nregs as usize],
+                ready_at: t,
+                done: false,
+                at_barrier: false,
+            });
+            self.heap.push(Reverse((t, wid)));
+            wave_ids.push(wid);
+            self.counters.waves_executed += 1;
+        }
+        self.groups.push(GroupState {
+            linear,
+            coords,
+            lds: vec![0; self.kernel.lds_bytes as usize],
+            wave_ids,
+            waves_done: 0,
+            barrier_arrived: 0,
+        });
+        self.cus[cu].resident += 1;
+    }
+
+    pub(crate) fn set_tracer(&mut self, cfg: crate::trace::TraceConfig) {
+        self.tracer = Some(crate::trace::Tracer::new(cfg));
+    }
+
+    /// Runs the launch to completion.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn run(
+        mut self,
+    ) -> Result<
+        (
+            PerfCounters,
+            crate::power::PowerStats,
+            Occupancy,
+            usize,
+            crate::trace::Trace,
+        ),
+        SimError,
+    > {
+        while let Some(Reverse((t, wid))) = self.heap.pop() {
+            {
+                let w = &self.waves[wid];
+                if w.done || w.at_barrier || w.ready_at != t {
+                    continue; // stale heap entry
+                }
+            }
+            if self.counters.dyn_insts > self.cfg.watchdog_insts {
+                return Err(SimError::Watchdog {
+                    executed: self.counters.dyn_insts,
+                });
+            }
+            self.apply_due_faults();
+            self.step(wid, t)?;
+            let w = &self.waves[wid];
+            if !w.done && !w.at_barrier {
+                self.heap.push(Reverse((w.ready_at, wid)));
+            }
+        }
+        // Anything not done now is deadlocked at a barrier.
+        if let Some(w) = self.waves.iter().find(|w| !w.done) {
+            return Err(SimError::BarrierDeadlock {
+                group: self.groups[w.group].linear,
+            });
+        }
+
+        self.counters.wall_ticks = self.end_tick.max(1);
+        self.counters.l2 = self.l2.stats;
+        for c in &self.l1 {
+            let s = &c.stats;
+            self.counters.l1.read_hits += s.read_hits;
+            self.counters.l1.read_misses += s.read_misses;
+            self.counters.l1.write_hits += s.write_hits;
+            self.counters.l1.write_misses += s.write_misses;
+            self.counters.l1.evictions += s.evictions;
+        }
+        let power = self.power.finish(self.counters.wall_ticks);
+        let trace = self.tracer.take().map(|t| t.trace).unwrap_or_default();
+        Ok((self.counters, power, self.occupancy, self.faults_applied, trace))
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    fn apply_due_faults(&mut self) {
+        while self.next_fault < self.faults.len()
+            && self.faults[self.next_fault].after_dyn_inst <= self.counters.dyn_insts
+        {
+            let inj = self.faults[self.next_fault];
+            self.next_fault += 1;
+            if self.apply_fault(inj.target) {
+                self.faults_applied += 1;
+            }
+        }
+    }
+
+    fn find_wave(&self, group_linear: usize, wave: usize) -> Option<usize> {
+        self.groups
+            .iter()
+            .find(|g| g.linear == group_linear)
+            .and_then(|g| g.wave_ids.get(wave))
+            .copied()
+            .filter(|&wid| !self.waves[wid].done)
+    }
+
+    fn apply_fault(&mut self, target: FaultTarget) -> bool {
+        match target {
+            FaultTarget::Vgpr {
+                group,
+                wave,
+                reg,
+                lane,
+                bit,
+            } => {
+                if reg >= self.kernel.nregs || lane >= LANES {
+                    return false;
+                }
+                match self.find_wave(group, wave) {
+                    Some(wid) => {
+                        let idx = reg as usize * LANES + lane;
+                        self.waves[wid].regs[idx] ^= 1 << (bit % 32);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            FaultTarget::Sgpr { group, wave, reg, bit } => {
+                if reg >= self.kernel.nregs {
+                    return false;
+                }
+                match self.find_wave(group, wave) {
+                    Some(wid) => {
+                        for lane in 0..LANES {
+                            let idx = reg as usize * LANES + lane;
+                            self.waves[wid].regs[idx] ^= 1 << (bit % 32);
+                        }
+                        true
+                    }
+                    None => false,
+                }
+            }
+            FaultTarget::Lds { group, offset, bit } => {
+                if let Some(g) = self.groups.iter_mut().find(|g| g.linear == group) {
+                    if (offset as usize) < g.lds.len() && g.waves_done < g.wave_ids.len() {
+                        g.lds[offset as usize] ^= 1 << (bit % 8);
+                        return true;
+                    }
+                }
+                false
+            }
+            FaultTarget::L1Data { cu, addr, bit } => {
+                cu < self.l1.len() && self.l1[cu].flip_bit(addr, bit)
+            }
+            FaultTarget::GlobalMem { addr, bit } => self.mem.flip_bit(addr, bit),
+        }
+    }
+
+    // ---- per-instruction execution ----------------------------------------
+
+    fn reg(&self, wid: usize, r: Reg, lane: usize) -> u32 {
+        self.waves[wid].regs[r.0 as usize * LANES + lane]
+    }
+
+    fn set_reg(&mut self, wid: usize, r: Reg, lane: usize, v: u32) {
+        self.waves[wid].regs[r.0 as usize * LANES + lane] = v;
+    }
+
+    fn lanes(mask: u64) -> impl Iterator<Item = usize> {
+        (0..LANES).filter(move |&l| mask >> l & 1 == 1)
+    }
+
+    fn builtin_value(&self, wid: usize, b: Builtin, lane: usize) -> u32 {
+        let w = &self.waves[wid];
+        let g = &self.groups[w.group];
+        let ll = w.wave_in_group * LANES + lane; // local linear index
+        let lsx = self.local[0];
+        let lsy = self.local[1];
+        let lcoord = [
+            (ll % lsx) as u32,
+            ((ll / lsx) % lsy) as u32,
+            (ll / (lsx * lsy)) as u32,
+        ];
+        match b {
+            Builtin::GlobalId(d) => {
+                g.coords[d.0 as usize] * self.local[d.0 as usize] as u32 + lcoord[d.0 as usize]
+            }
+            Builtin::LocalId(d) => lcoord[d.0 as usize],
+            Builtin::GroupId(d) => g.coords[d.0 as usize],
+            Builtin::GlobalSize(d) => self.global[d.0 as usize] as u32,
+            Builtin::LocalSize(d) => self.local[d.0 as usize] as u32,
+            Builtin::NumGroups(d) => self.group_dims[d.0 as usize] as u32,
+        }
+    }
+
+    /// Charges an ALU op and returns nothing; updates ready_at.
+    fn charge_alu(&mut self, wid: usize, t: u64, scalar: bool, transcendental: bool) {
+        let lat = &self.cfg.lat;
+        let w = &self.waves[wid];
+        let cu = w.cu;
+        let simd = w.simd;
+        if scalar {
+            let start = t.max(self.cus[cu].su_free);
+            self.cus[cu].su_free = start + lat.salu_issue;
+            self.counters.salu_busy_ticks += lat.salu_issue;
+            self.counters.salu_insts += 1;
+            self.waves[wid].ready_at = start + lat.salu_issue;
+            self.power.deposit(start, self.cfg.power.salu_nj);
+        } else {
+            let occ = lat.valu_issue + if transcendental { lat.valu_trans_extra } else { 0 };
+            let start = t.max(self.cus[cu].simd_free[simd]);
+            self.cus[cu].simd_free[simd] = start + occ;
+            self.counters.valu_busy_ticks += occ;
+            self.counters.valu_insts += 1;
+            self.waves[wid].ready_at = start + occ;
+            let nj = self.cfg.power.valu_nj
+                + if transcendental {
+                    self.cfg.power.trans_extra_nj
+                } else {
+                    0.0
+                };
+            self.power.deposit(start, nj);
+        }
+        self.bump_end(self.waves[wid].ready_at);
+    }
+
+    fn bump_end(&mut self, t: u64) {
+        if t > self.end_tick {
+            self.end_tick = t;
+        }
+    }
+
+    fn l2_bank(&self, line: u32) -> usize {
+        ((line / self.cfg.line_bytes) as usize) % self.l2_free.len()
+    }
+
+    /// Latest completion tick among in-flight loads feeding `regs`.
+    fn deps_ready(&self, wid: usize, regs: &[Reg]) -> u64 {
+        let rr = &self.waves[wid].reg_ready;
+        regs.iter().map(|r| rr[r.0 as usize]).max().unwrap_or(0)
+    }
+
+    /// Executes one wavefront instruction at time `t`.
+    fn step(&mut self, wid: usize, t: u64) -> Result<(), SimError> {
+        self.counters.dyn_insts += 1;
+        let pc = self.waves[wid].pc;
+        debug_assert!(pc < self.kernel.ops.len());
+        let scalar = self.kernel.scalar[pc];
+        // Clone of the op is cheap for non-control ops with no blocks.
+        let op = self.kernel.ops[pc].clone();
+        // Stall until in-flight loads feeding this instruction land.
+        let t = {
+            let mut srcs = Vec::new();
+            match &op {
+                FlatOp::Op(inst) => inst.srcs(&mut srcs),
+                FlatOp::IfBegin { cond, .. } | FlatOp::LoopTest { cond, .. } => srcs.push(*cond),
+                _ => {}
+            }
+            t.max(self.deps_ready(wid, &srcs))
+        };
+        if let Some(tracer) = &mut self.tracer {
+            let w = &self.waves[wid];
+            let (group, wave, cu, simd, mask) = (
+                self.groups[w.group].linear,
+                w.wave_in_group,
+                w.cu,
+                w.simd,
+                w.mask,
+            );
+            let op_ref = &op;
+            tracer.record(t, group, wave, cu, simd, pc, mask, || match op_ref {
+                FlatOp::Op(inst) => rmt_ir::inst_to_string(inst),
+                FlatOp::IfBegin { cond, .. } => format!("if.begin {cond}"),
+                FlatOp::Else { .. } => "if.else".into(),
+                FlatOp::EndIf => "if.end".into(),
+                FlatOp::LoopBegin { .. } => "loop.begin".into(),
+                FlatOp::LoopTest { cond, .. } => format!("loop.test {cond}"),
+                FlatOp::LoopEnd { .. } => "loop.end".into(),
+            });
+        }
+        match op {
+            FlatOp::IfBegin {
+                cond,
+                else_pc,
+                end_pc: _,
+            } => {
+                let mask = self.waves[wid].mask;
+                let mut tmask = 0u64;
+                for l in Self::lanes(mask) {
+                    if self.reg(wid, cond, l) != 0 {
+                        tmask |= 1 << l;
+                    }
+                }
+                let emask = mask & !tmask;
+                self.waves[wid].stack.push(Frame::If {
+                    saved: mask,
+                    else_mask: emask,
+                });
+                if tmask != 0 {
+                    self.waves[wid].mask = tmask;
+                    self.waves[wid].pc = pc + 1;
+                } else {
+                    self.waves[wid].mask = emask;
+                    self.waves[wid].pc = else_pc + 1;
+                }
+                self.charge_alu(wid, t, true, false);
+            }
+            FlatOp::Else { end_pc } => {
+                let frame = *self.waves[wid].stack.last().expect("if frame");
+                let Frame::If { else_mask, .. } = frame else {
+                    unreachable!("Else without If frame");
+                };
+                if else_mask != 0 {
+                    self.waves[wid].mask = else_mask;
+                    self.waves[wid].pc = pc + 1;
+                } else {
+                    self.waves[wid].pc = end_pc;
+                }
+                self.charge_alu(wid, t, true, false);
+            }
+            FlatOp::EndIf => {
+                let frame = self.waves[wid].stack.pop().expect("if frame");
+                let Frame::If { saved, .. } = frame else {
+                    unreachable!("EndIf without If frame");
+                };
+                self.waves[wid].mask = saved;
+                self.waves[wid].pc = pc + 1;
+                self.charge_alu(wid, t, true, false);
+            }
+            FlatOp::LoopBegin { end_pc: _ } => {
+                let mask = self.waves[wid].mask;
+                self.waves[wid].stack.push(Frame::Loop { saved: mask });
+                self.waves[wid].pc = pc + 1;
+                self.charge_alu(wid, t, true, false);
+            }
+            FlatOp::LoopTest { cond, end_pc } => {
+                let mask = self.waves[wid].mask;
+                let mut active = 0u64;
+                for l in Self::lanes(mask) {
+                    if self.reg(wid, cond, l) != 0 {
+                        active |= 1 << l;
+                    }
+                }
+                if active == 0 {
+                    let frame = self.waves[wid].stack.pop().expect("loop frame");
+                    let Frame::Loop { saved } = frame else {
+                        unreachable!("LoopTest without Loop frame");
+                    };
+                    self.waves[wid].mask = saved;
+                    self.waves[wid].pc = end_pc;
+                } else {
+                    self.waves[wid].mask = active;
+                    self.waves[wid].pc = pc + 1;
+                }
+                self.charge_alu(wid, t, true, false);
+            }
+            FlatOp::LoopEnd { begin_pc } => {
+                self.waves[wid].pc = begin_pc + 1;
+                self.charge_alu(wid, t, true, false);
+            }
+            FlatOp::Op(inst) => {
+                self.exec_inst(wid, t, &inst, scalar)?;
+            }
+        }
+
+        // Retire?
+        if self.waves[wid].pc >= self.kernel.ops.len() && !self.waves[wid].at_barrier {
+            self.retire_wave(wid);
+        }
+        Ok(())
+    }
+
+    fn retire_wave(&mut self, wid: usize) {
+        let w = &mut self.waves[wid];
+        w.done = true;
+        w.regs = Vec::new(); // free lane storage eagerly
+        w.reg_ready = Vec::new();
+        let gidx = w.group;
+        let end = w.ready_at;
+        let cu = w.cu;
+        self.groups[gidx].waves_done += 1;
+        self.bump_end(end);
+        self.check_barrier_release(gidx, end);
+        if self.groups[gidx].waves_done == self.groups[gidx].wave_ids.len() {
+            // Group complete.
+            self.counters.groups_executed += 1;
+            self.cus[cu].resident -= 1;
+            if self.next_group < self.groups_total {
+                let t = end + self.cfg.lat.dispatch_overhead;
+                self.start_group(cu, t);
+            }
+        }
+    }
+
+    fn check_barrier_release(&mut self, gidx: usize, now: u64) {
+        let g = &self.groups[gidx];
+        let live = g.wave_ids.len() - g.waves_done;
+        if g.barrier_arrived > 0 && g.barrier_arrived == live {
+            let ids = g.wave_ids.clone();
+            self.groups[gidx].barrier_arrived = 0;
+            let release = now + self.cfg.lat.salu_issue;
+            for wid in ids {
+                let w = &mut self.waves[wid];
+                if w.at_barrier {
+                    w.at_barrier = false;
+                    w.ready_at = w.ready_at.max(release);
+                    self.heap.push(Reverse((w.ready_at, wid)));
+                }
+            }
+        }
+    }
+
+    fn exec_inst(
+        &mut self,
+        wid: usize,
+        t: u64,
+        inst: &Inst,
+        scalar: bool,
+    ) -> Result<(), SimError> {
+        let mask = self.waves[wid].mask;
+        match inst {
+            Inst::Const { dst, bits, .. } => {
+                for l in Self::lanes(mask) {
+                    self.set_reg(wid, *dst, l, *bits);
+                }
+                self.advance(wid, t, scalar, false);
+            }
+            Inst::ReadParam { dst, index } => {
+                let v = self.param_values[*index];
+                for l in Self::lanes(mask) {
+                    self.set_reg(wid, *dst, l, v);
+                }
+                self.advance(wid, t, scalar, false);
+            }
+            Inst::ReadBuiltin { dst, builtin } => {
+                for l in Self::lanes(mask) {
+                    let v = self.builtin_value(wid, *builtin, l);
+                    self.set_reg(wid, *dst, l, v);
+                }
+                self.advance(wid, t, scalar, false);
+            }
+            Inst::Mov { dst, src } => {
+                for l in Self::lanes(mask) {
+                    let v = self.reg(wid, *src, l);
+                    self.set_reg(wid, *dst, l, v);
+                }
+                self.advance(wid, t, scalar, false);
+            }
+            Inst::Unary { dst, op, a } => {
+                for l in Self::lanes(mask) {
+                    let v = alu::eval_un(*op, self.reg(wid, *a, l));
+                    self.set_reg(wid, *dst, l, v);
+                }
+                self.advance(wid, t, scalar, op.is_transcendental());
+            }
+            Inst::Binary { dst, op, ty, a, b } => {
+                for l in Self::lanes(mask) {
+                    let v = alu::eval_bin(*op, *ty, self.reg(wid, *a, l), self.reg(wid, *b, l));
+                    self.set_reg(wid, *dst, l, v);
+                }
+                self.advance(wid, t, scalar, false);
+            }
+            Inst::Cmp { dst, op, ty, a, b } => {
+                for l in Self::lanes(mask) {
+                    let v = alu::eval_cmp(*op, *ty, self.reg(wid, *a, l), self.reg(wid, *b, l));
+                    self.set_reg(wid, *dst, l, v);
+                }
+                self.advance(wid, t, scalar, false);
+            }
+            Inst::Select {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => {
+                for l in Self::lanes(mask) {
+                    let c = self.reg(wid, *cond, l);
+                    let v = if c != 0 {
+                        self.reg(wid, *if_true, l)
+                    } else {
+                        self.reg(wid, *if_false, l)
+                    };
+                    self.set_reg(wid, *dst, l, v);
+                }
+                self.advance(wid, t, scalar, false);
+            }
+            Inst::Swizzle { dst, src, mode } => {
+                // Read all lanes first (true lane exchange).
+                let snapshot: Vec<u32> = (0..LANES).map(|l| self.reg(wid, *src, l)).collect();
+                for l in Self::lanes(mask) {
+                    self.set_reg(wid, *dst, l, snapshot[mode.source_lane(l)]);
+                }
+                self.advance(wid, t, false, false); // always a vector op
+            }
+            Inst::Load { dst, space, addr } => match space {
+                MemSpace::Global => self.exec_global_load(wid, t, *dst, *addr, scalar)?,
+                MemSpace::Local => self.exec_lds(wid, t, Some(*dst), *addr, None)?,
+            },
+            Inst::Store { space, addr, value } => match space {
+                MemSpace::Global => self.exec_global_store(wid, t, *addr, *value)?,
+                MemSpace::Local => self.exec_lds(wid, t, None, *addr, Some(*value))?,
+            },
+            Inst::Atomic {
+                dst,
+                space,
+                op,
+                addr,
+                value,
+            } => match space {
+                MemSpace::Global => self.exec_global_atomic(wid, t, *dst, *op, *addr, *value)?,
+                MemSpace::Local => self.exec_lds_atomic(wid, t, *dst, *op, *addr, *value)?,
+            },
+            Inst::Barrier => {
+                let gidx = self.waves[wid].group;
+                self.waves[wid].pc += 1;
+                self.waves[wid].at_barrier = true;
+                self.waves[wid].ready_at = t + self.cfg.lat.salu_issue;
+                self.groups[gidx].barrier_arrived += 1;
+                self.counters.barrier_waits += 1;
+                self.check_barrier_release(gidx, t);
+                return Ok(()); // pc already advanced
+            }
+            Inst::If { .. } | Inst::While { .. } => {
+                unreachable!("control flow is lowered before execution")
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances pc and charges an ALU cost.
+    fn advance(&mut self, wid: usize, t: u64, scalar: bool, transcendental: bool) {
+        self.waves[wid].pc += 1;
+        self.charge_alu(wid, t, scalar, transcendental);
+    }
+
+    /// `scalar`: a wavefront-uniform load the compiler would issue on the
+    /// scalar unit (GCN s_load through the constant cache) — it occupies
+    /// the SU instead of the vector memory unit, but still observes the
+    /// (potentially stale) cached line data.
+    fn exec_global_load(
+        &mut self,
+        wid: usize,
+        t: u64,
+        dst: Reg,
+        addr: Reg,
+        scalar: bool,
+    ) -> Result<(), SimError> {
+        let mask = self.waves[wid].mask;
+        let cu = self.waves[wid].cu;
+        let lat = self.cfg.lat.clone();
+        let line_mask = !(self.cfg.line_bytes - 1);
+
+        // Gather distinct lines (coalescing), preserving first-touch order.
+        let mut lines: Vec<u32> = Vec::new();
+        for l in Self::lanes(mask) {
+            let a = self.reg(wid, addr, l) & line_mask;
+            if !lines.contains(&a) {
+                lines.push(a);
+            }
+        }
+
+        let issue;
+        if scalar {
+            issue = t.max(self.cus[cu].su_free);
+            let occ = lines.len() as u64 * lat.salu_issue;
+            self.cus[cu].su_free = issue + occ;
+            self.counters.salu_busy_ticks += occ;
+            self.counters.salu_insts += 1;
+        } else {
+            issue = t.max(self.cus[cu].mem_free);
+            let occ = lines.len() as u64 * lat.l1_issue;
+            self.cus[cu].mem_free = issue + occ;
+            self.counters.mem_unit_busy_ticks += occ;
+            self.counters.vmem_insts += 1;
+        }
+        self.counters.l1_transactions += lines.len() as u64;
+
+        let mut done = issue + lat.l1_latency;
+        for &line in &lines {
+            self.power.deposit(issue, self.cfg.power.l1_nj);
+            let hit = self.l1[cu].load_word(line).is_some();
+            if !hit {
+                // L1 miss: consult the (banked) L2, then DRAM bandwidth.
+                self.counters.l2_transactions += 1;
+                self.power.deposit(issue, self.cfg.power.l2_nj);
+                let bank = self.l2_bank(line);
+                let l2_start = issue.max(self.l2_free[bank]);
+                self.l2_free[bank] = l2_start + lat.l2_issue;
+                let line_done = if self.l2.touch_read(line) {
+                    l2_start + lat.l2_latency
+                } else {
+                    self.counters.dram_transactions += 1;
+                    self.power.deposit(l2_start, self.cfg.power.dram_nj);
+                    let d_start = l2_start.max(self.dram_free);
+                    self.dram_free = d_start + lat.dram_issue;
+                    d_start + lat.dram_latency
+                };
+                done = done.max(line_done);
+                let data = self.mem.read_line(line, self.cfg.line_bytes as usize);
+                self.l1[cu].fill(line, data);
+            }
+        }
+
+        // Functional: validate bounds via backing store, then take the
+        // (possibly stale) L1 copy as the observed value.
+        for l in Self::lanes(mask) {
+            let a = self.reg(wid, addr, l);
+            let coherent = self.mem.load(a, &self.kernel.name)?;
+            let observed = self.l1[cu].peek_word(a).unwrap_or(coherent);
+            self.set_reg(wid, dst, l, observed);
+            self.counters.bytes_loaded += 4;
+        }
+
+        // The wavefront continues after issue; the destination register is
+        // gated on `done` (s_waitcnt semantics).
+        self.waves[wid].pc += 1;
+        self.waves[wid].ready_at = issue + lat.salu_issue;
+        self.waves[wid].reg_ready[dst.0 as usize] = done;
+        self.bump_end(done);
+        Ok(())
+    }
+
+    fn exec_global_store(&mut self, wid: usize, t: u64, addr: Reg, value: Reg) -> Result<(), SimError> {
+        let mask = self.waves[wid].mask;
+        let cu = self.waves[wid].cu;
+        let lat = self.cfg.lat.clone();
+        let line_mask = !(self.cfg.line_bytes - 1);
+
+        let mut lines: Vec<u32> = Vec::new();
+        for l in Self::lanes(mask) {
+            let a = self.reg(wid, addr, l) & line_mask;
+            if !lines.contains(&a) {
+                lines.push(a);
+            }
+        }
+
+        let issue = t.max(self.cus[cu].mem_free);
+        let occ = lines.len() as u64 * lat.l1_issue;
+        self.cus[cu].mem_free = issue + occ;
+        self.counters.mem_unit_busy_ticks += occ;
+        self.counters.vmem_insts += 1;
+        self.counters.l1_transactions += lines.len() as u64;
+        self.counters.l2_transactions += lines.len() as u64;
+
+        // Write-through: charge L2 + DRAM write bandwidth per line and
+        // drain through the CU's finite write buffer.
+        for &line in &lines {
+            self.power.deposit(issue, self.cfg.power.l2_nj);
+            let bank = self.l2_bank(line);
+            let l2_start = issue.max(self.l2_free[bank]);
+            self.l2_free[bank] = l2_start + lat.l2_issue;
+            let d_start = l2_start.max(self.dram_free);
+            self.dram_free = d_start + lat.dram_issue;
+            self.counters.dram_transactions += 1;
+            self.power.deposit(d_start, self.cfg.power.dram_nj);
+        }
+        let drained = self.cus[cu].write_free.max(issue) + lines.len() as u64 * lat.write_drain;
+        self.cus[cu].write_free = drained;
+        let backlog = drained - issue;
+        let threshold = lat.write_buffer_lines * lat.write_drain;
+        let mut ready = issue + lat.store_issue;
+        if backlog > threshold {
+            let stall = backlog - threshold;
+            ready += stall;
+            self.counters.write_stall_ticks += stall;
+        }
+
+        // Functional: write-through to the backing store + own L1 copy.
+        for l in Self::lanes(mask) {
+            let a = self.reg(wid, addr, l);
+            let v = self.reg(wid, value, l);
+            self.mem.store(a, v, &self.kernel.name)?;
+            self.l1[cu].store_word(a, v);
+            self.counters.bytes_stored += 4;
+        }
+
+        self.waves[wid].pc += 1;
+        self.waves[wid].ready_at = ready;
+        self.bump_end(ready);
+        Ok(())
+    }
+
+    fn exec_global_atomic(
+        &mut self,
+        wid: usize,
+        t: u64,
+        dst: Option<Reg>,
+        op: AtomicOp,
+        addr: Reg,
+        value: Reg,
+    ) -> Result<(), SimError> {
+        let mask = self.waves[wid].mask;
+        let cu = self.waves[wid].cu;
+        let lat = self.cfg.lat.clone();
+        let nlanes = mask.count_ones() as u64;
+
+        // The CU's vector memory unit issues the instruction quarter-wave
+        // by quarter-wave; the per-lane serialization happens at the L2.
+        let issue = t.max(self.cus[cu].mem_free);
+        let occ = nlanes.div_ceil(16) * lat.l1_issue;
+        self.cus[cu].mem_free = issue + occ;
+        self.counters.mem_unit_busy_ticks += occ;
+        self.counters.vmem_insts += 1;
+        self.counters.atomic_ops += nlanes;
+
+        // Atomics execute at the L2 banks, bypassing (and invalidating)
+        // the local L1 lines. Distinct addresses within one line pipeline
+        // as a single bank transaction; same-address lanes serialize (RMW
+        // dependency chains).
+        let line_mask = !(self.cfg.line_bytes - 1);
+        let mut line_costs: Vec<(u32, Vec<(u32, u32)>)> = Vec::new(); // line -> [(addr, dup count)]
+        for l in Self::lanes(mask) {
+            let a = self.reg(wid, addr, l);
+            let line = a & line_mask;
+            let entry = match line_costs.iter_mut().find(|(ln, _)| *ln == line) {
+                Some(e) => e,
+                None => {
+                    line_costs.push((line, Vec::new()));
+                    line_costs.last_mut().expect("just pushed")
+                }
+            };
+            match entry.1.iter_mut().find(|(ad, _)| *ad == a) {
+                Some(slot) => slot.1 += 1,
+                None => entry.1.push((a, 1)),
+            }
+        }
+        let mut done_by = issue;
+        for (line, addrs) in &line_costs {
+            let conflict = addrs.iter().map(|&(_, c)| c).max().unwrap_or(1) as u64;
+            let bank = self.l2_bank(*line);
+            let start = issue.max(self.l2_free[bank]);
+            self.l2_free[bank] = start + conflict * lat.atomic_issue;
+            done_by = done_by.max(start + conflict * lat.atomic_issue);
+            self.counters.l2_transactions += 1;
+            self.power.deposit(start, self.cfg.power.atomic_nj);
+        }
+        for l in Self::lanes(mask) {
+            let a = self.reg(wid, addr, l);
+            let v = self.reg(wid, value, l);
+            let old = self.mem.load(a, &self.kernel.name)?;
+            let new = match op {
+                AtomicOp::Add => old.wrapping_add(v),
+                AtomicOp::Exchange => v,
+                AtomicOp::CmpXchg { cmp } => {
+                    let c = self.reg(wid, cmp, l);
+                    if old == c {
+                        v
+                    } else {
+                        old
+                    }
+                }
+                AtomicOp::Max => old.max(v),
+                AtomicOp::Min => old.min(v),
+            };
+            self.mem.store(a, new, &self.kernel.name)?;
+            self.l1[cu].invalidate(a);
+            if let Some(d) = dst {
+                self.set_reg(wid, d, l, old);
+            }
+        }
+
+        let done = done_by + lat.atomic_latency;
+        self.waves[wid].pc += 1;
+        self.waves[wid].ready_at = done;
+        self.bump_end(done);
+        Ok(())
+    }
+
+    fn exec_lds(
+        &mut self,
+        wid: usize,
+        t: u64,
+        dst: Option<Reg>,
+        addr: Reg,
+        value: Option<Reg>,
+    ) -> Result<(), SimError> {
+        let mask = self.waves[wid].mask;
+        let cu = self.waves[wid].cu;
+        let gidx = self.waves[wid].group;
+        let lat = self.cfg.lat.clone();
+        let lds_bytes = self.kernel.lds_bytes;
+
+        // Bank-conflict factor: 32 banks, 4-byte words; the 64-lane wave is
+        // served in two 32-lane phases, so conflicts are counted per phase.
+        // Identical addresses within a phase broadcast (no conflict).
+        let mut factor = 1u64;
+        for phase in 0..2 {
+            let mut bank_addrs: Vec<Vec<u32>> = vec![Vec::new(); 32];
+            for l in Self::lanes(mask).filter(|&l| l / 32 == phase) {
+                let a = self.reg(wid, addr, l);
+                if a % 4 != 0 {
+                    return Err(SimError::UnalignedAccess { addr: a });
+                }
+                if a + 4 > lds_bytes {
+                    return Err(SimError::BadLdsAccess {
+                        offset: a,
+                        lds_bytes,
+                    });
+                }
+                let bank = ((a / 4) % 32) as usize;
+                if !bank_addrs[bank].contains(&a) {
+                    bank_addrs[bank].push(a);
+                }
+            }
+            let phase_factor = bank_addrs.iter().map(Vec::len).max().unwrap_or(1).max(1) as u64;
+            factor = factor.max(phase_factor);
+        }
+        self.counters.lds_conflicts += factor - 1;
+
+        let issue = t.max(self.cus[cu].lds_free);
+        let occ = lat.lds_issue + (factor - 1) * lat.lds_conflict;
+        self.cus[cu].lds_free = issue + occ;
+        self.counters.lds_busy_ticks += occ;
+        self.counters.lds_insts += 1;
+        self.power.deposit(issue, self.cfg.power.lds_nj);
+
+        // Functional.
+        for l in Self::lanes(mask) {
+            let a = self.reg(wid, addr, l) as usize;
+            match (dst, value) {
+                (Some(d), None) => {
+                    let bytes: [u8; 4] = self.groups[gidx].lds[a..a + 4]
+                        .try_into()
+                        .expect("4 bytes");
+                    self.set_reg(wid, d, l, u32::from_le_bytes(bytes));
+                }
+                (None, Some(v)) => {
+                    let val = self.reg(wid, v, l);
+                    self.groups[gidx].lds[a..a + 4].copy_from_slice(&val.to_le_bytes());
+                }
+                _ => unreachable!("LDS op is load xor store"),
+            }
+        }
+
+        let done = issue + lat.lds_latency + (factor - 1) * lat.lds_conflict;
+        self.waves[wid].pc += 1;
+        match dst {
+            Some(d) => {
+                // Loads release the wave at issue; the result register is
+                // gated on completion.
+                self.waves[wid].ready_at = issue + lat.lds_issue;
+                self.waves[wid].reg_ready[d.0 as usize] = done;
+            }
+            None => self.waves[wid].ready_at = issue + lat.lds_issue,
+        }
+        self.bump_end(done);
+        Ok(())
+    }
+
+    fn exec_lds_atomic(
+        &mut self,
+        wid: usize,
+        t: u64,
+        dst: Option<Reg>,
+        op: AtomicOp,
+        addr: Reg,
+        value: Reg,
+    ) -> Result<(), SimError> {
+        let mask = self.waves[wid].mask;
+        let cu = self.waves[wid].cu;
+        let gidx = self.waves[wid].group;
+        let lat = self.cfg.lat.clone();
+        let lds_bytes = self.kernel.lds_bytes;
+        let nlanes = mask.count_ones() as u64;
+
+        let issue = t.max(self.cus[cu].lds_free);
+        let occ = lat.lds_issue + nlanes * lat.lds_conflict;
+        self.cus[cu].lds_free = issue + occ;
+        self.counters.lds_busy_ticks += occ;
+        self.counters.lds_insts += 1;
+        self.power.deposit(issue, self.cfg.power.lds_nj);
+
+        for l in Self::lanes(mask) {
+            let a = self.reg(wid, addr, l);
+            if a % 4 != 0 {
+                return Err(SimError::UnalignedAccess { addr: a });
+            }
+            if a + 4 > lds_bytes {
+                return Err(SimError::BadLdsAccess {
+                    offset: a,
+                    lds_bytes,
+                });
+            }
+            let a = a as usize;
+            let old = u32::from_le_bytes(
+                self.groups[gidx].lds[a..a + 4].try_into().expect("4 bytes"),
+            );
+            let v = self.reg(wid, value, l);
+            let new = match op {
+                AtomicOp::Add => old.wrapping_add(v),
+                AtomicOp::Exchange => v,
+                AtomicOp::CmpXchg { cmp } => {
+                    let c = self.reg(wid, cmp, l);
+                    if old == c {
+                        v
+                    } else {
+                        old
+                    }
+                }
+                AtomicOp::Max => old.max(v),
+                AtomicOp::Min => old.min(v),
+            };
+            self.groups[gidx].lds[a..a + 4].copy_from_slice(&new.to_le_bytes());
+            if let Some(d) = dst {
+                self.set_reg(wid, d, l, old);
+            }
+        }
+
+        let done = issue + lat.lds_latency + nlanes * lat.lds_conflict;
+        self.waves[wid].pc += 1;
+        self.waves[wid].ready_at = done;
+        self.bump_end(done);
+        Ok(())
+    }
+}

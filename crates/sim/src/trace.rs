@@ -1,0 +1,171 @@
+//! Execution tracing: a bounded, filterable record of every wavefront
+//! instruction the machine executes — the debugging surface a simulator
+//! user reaches for first when a kernel misbehaves.
+
+use crate::config::TICKS_PER_CYCLE;
+
+/// What to trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Only record this global linear work-group (None = all).
+    pub group: Option<usize>,
+    /// Only record this wavefront index within its group (None = all).
+    pub wave: Option<usize>,
+    /// Stop recording after this many records (0 = unlimited — beware,
+    /// paper-scale launches execute tens of millions of instructions).
+    pub max_records: usize,
+}
+
+impl TraceConfig {
+    /// Traces a single wavefront, bounded to `max_records` records.
+    pub fn wavefront(group: usize, wave: usize, max_records: usize) -> Self {
+        TraceConfig {
+            group: Some(group),
+            wave: Some(wave),
+            max_records,
+        }
+    }
+}
+
+/// One executed wavefront instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Issue time in ticks.
+    pub tick: u64,
+    /// Global linear work-group id.
+    pub group: usize,
+    /// Wavefront index within the group.
+    pub wave: usize,
+    /// CU the wavefront resides on.
+    pub cu: usize,
+    /// SIMD slot within the CU.
+    pub simd: usize,
+    /// Program counter into the lowered (flat) program.
+    pub pc: usize,
+    /// Active-lane mask at execution.
+    pub mask: u64,
+    /// One-line rendering of the executed operation.
+    pub op: String,
+}
+
+impl TraceRecord {
+    /// Issue time in cycles.
+    pub fn cycle(&self) -> u64 {
+        self.tick / TICKS_PER_CYCLE
+    }
+}
+
+/// The collected trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Records in execution order (the machine's global time order).
+    pub records: Vec<TraceRecord>,
+    /// `true` if `max_records` cut the recording short.
+    pub truncated: bool,
+}
+
+impl Trace {
+    /// Renders the trace as a fixed-width listing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("    cycle  g/w    cu.simd  pc    exec              op\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "{:>9}  {:>2}/{:<2} {:>4}.{}  {:<5} {:016x}  {}\n",
+                r.cycle(),
+                r.group,
+                r.wave,
+                r.cu,
+                r.simd,
+                r.pc,
+                r.mask,
+                r.op
+            ));
+        }
+        if self.truncated {
+            out.push_str("… (truncated at max_records)\n");
+        }
+        out
+    }
+}
+
+/// Internal recorder handed to the machine.
+#[derive(Debug)]
+pub(crate) struct Tracer {
+    cfg: TraceConfig,
+    pub(crate) trace: Trace,
+}
+
+impl Tracer {
+    pub(crate) fn new(cfg: TraceConfig) -> Self {
+        Tracer {
+            cfg,
+            trace: Trace::default(),
+        }
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        tick: u64,
+        group: usize,
+        wave: usize,
+        cu: usize,
+        simd: usize,
+        pc: usize,
+        mask: u64,
+        op: impl FnOnce() -> String,
+    ) {
+        if self.trace.truncated {
+            return;
+        }
+        if self.cfg.group.is_some_and(|g| g != group) {
+            return;
+        }
+        if self.cfg.wave.is_some_and(|w| w != wave) {
+            return;
+        }
+        if self.cfg.max_records != 0 && self.trace.records.len() >= self.cfg.max_records {
+            self.trace.truncated = true;
+            return;
+        }
+        self.trace.records.push(TraceRecord {
+            tick,
+            group,
+            wave,
+            cu,
+            simd,
+            pc,
+            mask,
+            op: op(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_and_truncates() {
+        let mut t = Tracer::new(TraceConfig::wavefront(2, 0, 2));
+        t.record(16, 1, 0, 0, 0, 0, u64::MAX, || "skip-me".into());
+        t.record(16, 2, 1, 0, 0, 0, u64::MAX, || "skip-me".into());
+        t.record(16, 2, 0, 0, 0, 0, u64::MAX, || "a".into());
+        t.record(32, 2, 0, 0, 1, 1, 1, || "b".into());
+        t.record(48, 2, 0, 0, 0, 2, u64::MAX, || "c".into());
+        assert_eq!(t.trace.records.len(), 2);
+        assert!(t.trace.truncated);
+        assert_eq!(t.trace.records[0].op, "a");
+        assert_eq!(t.trace.records[1].cycle(), 2);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let mut t = Tracer::new(TraceConfig::default());
+        t.record(16, 0, 0, 3, 1, 7, u64::MAX, || "%1 = add.u32 %0, %0".into());
+        let s = t.trace.render();
+        assert!(s.contains("add.u32"));
+        assert!(s.contains("3.1"));
+        assert!(!s.contains("truncated"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Compiler-facing view of the RMT pass: for every suite kernel, what each
+//! flavor did to the code (instruction growth, register pressure, LDS
+//! footprint, instrumented sphere-of-replication exits) — the diagnostics
+//! a build system would log when "RMT-izing" a kernel, plus a full
+//! profiler dump for one kernel.
+//!
+//! ```text
+//! cargo run --release --example compiler_diagnostics
+//! ```
+
+use gpu_rmt::kernels::{all, by_abbrev, run_original, Scale};
+use gpu_rmt::rmt::{transform, TransformOptions, TransformReport};
+use gpu_rmt::sim::DeviceConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<8} {:<18} {:>6} {:>7} {:>9} {:>9} {:>6}",
+        "kernel", "flavor", "insts", "growth", "vgprs", "lds B", "exits"
+    );
+    for b in all() {
+        let kernel = b.kernel();
+        for opts in [
+            TransformOptions::intra_plus_lds(),
+            TransformOptions::intra_minus_lds(),
+            TransformOptions::inter(),
+        ] {
+            let rk = transform(&kernel, &opts)?;
+            let r = TransformReport::new(&kernel, &rk);
+            println!(
+                "{:<8} {:<18} {:>2}->{:<3} {:>6.2}x {:>3}->{:<4} {:>3}->{:<5} {:>6}",
+                b.abbrev(),
+                r.flavor.to_string(),
+                r.insts.0,
+                r.insts.1,
+                r.inst_growth(),
+                r.pressure.0,
+                r.pressure.1,
+                r.lds_bytes.0,
+                r.lds_bytes.1,
+                r.total_exits(),
+            );
+        }
+    }
+
+    // A full single-kernel report + the profiler view of a run.
+    let b = by_abbrev("R").expect("Reduction exists");
+    let kernel = b.kernel();
+    let rk = transform(&kernel, &TransformOptions::intra_minus_lds())?;
+    println!("\n== detailed report ==\n");
+    print!("{}", TransformReport::new(&kernel, &rk));
+
+    println!("\n== profiler view of the original Reduction (paper scale) ==\n");
+    let run = run_original(
+        b.as_ref(),
+        Scale::Paper,
+        &DeviceConfig::radeon_hd_7790(),
+        &|c| c,
+    )?;
+    print!("{}", run.stats.counters);
+    Ok(())
+}

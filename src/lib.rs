@@ -1,0 +1,20 @@
+//! # gpu-rmt
+//!
+//! Facade crate for the reproduction of *"Real-World Design and Evaluation
+//! of Compiler-Managed GPU Redundant Multithreading"* (ISCA 2014).
+//!
+//! Re-exports the four building blocks:
+//!
+//! * [`ir`] — the structured SIMT kernel IR ([`rmt_ir`]);
+//! * [`sim`] — the GCN-like GPU simulator ([`gcn_sim`]);
+//! * [`rmt`] — the RMT compiler transformations and launcher ([`rmt_core`]);
+//! * [`kernels`] — the 16 AMD SDK benchmark kernels ([`rmt_kernels`]).
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour: build a kernel,
+//! apply an RMT transformation, run both on the simulated GPU, inject a
+//! fault, and watch the redundant threads detect it.
+
+pub use gcn_sim as sim;
+pub use rmt_core as rmt;
+pub use rmt_ir as ir;
+pub use rmt_kernels as kernels;

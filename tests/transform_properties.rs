@@ -1,0 +1,178 @@
+//! Property-based testing: for *arbitrary* generated kernels, every RMT
+//! flavor must preserve the original kernel's observable results and
+//! report zero detections in fault-free runs.
+//!
+//! This is the strongest statement the repository makes about the
+//! transforms: not just the 16 suite kernels, but a randomized family of
+//! kernels with ALU chains, divergent branches, LDS staging and barriers.
+
+use gpu_rmt::ir::{Kernel, KernelBuilder, Reg};
+use gpu_rmt::rmt::{launch_rmt, transform, TransformOptions};
+use gpu_rmt::sim::{Arg, Device, DeviceConfig, LaunchConfig};
+use proptest::prelude::*;
+
+/// One step of straight-line computation over the value pool.
+#[derive(Debug, Clone)]
+enum Step {
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Xor(usize, usize),
+    Min(usize, usize),
+    Max(usize, usize),
+    SelectLt(usize, usize, usize),
+    /// Divergent branch: pool[a] < pool[b] decides which constant mixes in.
+    BranchMix(usize, usize, u32),
+    /// Stage pool[a] through the LDS (store at lid, barrier, reload from a
+    /// rotated slot).
+    LdsRotate(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..8usize, 0..8usize).prop_map(|(a, b)| Step::Add(a, b)),
+        (0..8usize, 0..8usize).prop_map(|(a, b)| Step::Sub(a, b)),
+        (0..8usize, 0..8usize).prop_map(|(a, b)| Step::Mul(a, b)),
+        (0..8usize, 0..8usize).prop_map(|(a, b)| Step::Xor(a, b)),
+        (0..8usize, 0..8usize).prop_map(|(a, b)| Step::Min(a, b)),
+        (0..8usize, 0..8usize).prop_map(|(a, b)| Step::Max(a, b)),
+        (0..8usize, 0..8usize, 0..8usize).prop_map(|(a, b, c)| Step::SelectLt(a, b, c)),
+        (0..8usize, 0..8usize, any::<u32>()).prop_map(|(a, b, k)| Step::BranchMix(a, b, k)),
+        (0..8usize).prop_map(Step::LdsRotate),
+    ]
+}
+
+/// Builds a kernel from generated steps: the value pool starts as
+/// [gid, in[gid], constants...] and every step appends a value; the last
+/// pool entry is stored to out[gid].
+fn build_kernel(steps: &[Step]) -> Kernel {
+    let mut b = KernelBuilder::new("generated");
+    b.set_lds_bytes(64 * 4);
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let gid = b.global_id(0);
+    let lid = b.local_id(0);
+    let ia = b.elem_addr(inp, gid);
+    let v = b.load_global(ia);
+    let c1 = b.const_u32(0x9E37_79B9);
+    let c2 = b.const_u32(12345);
+    let mut pool: Vec<Reg> = vec![gid, v, c1, c2];
+
+    let four = b.const_u32(4);
+    let one = b.const_u32(1);
+    let ls = b.local_size(0);
+    let get = |pool: &[Reg], i: usize| pool[i % pool.len()];
+
+    for step in steps {
+        let next = match *step {
+            Step::Add(x, y) => b.add_u32(get(&pool, x), get(&pool, y)),
+            Step::Sub(x, y) => b.sub_u32(get(&pool, x), get(&pool, y)),
+            Step::Mul(x, y) => b.mul_u32(get(&pool, x), get(&pool, y)),
+            Step::Xor(x, y) => b.xor_u32(get(&pool, x), get(&pool, y)),
+            Step::Min(x, y) => b.min_u32(get(&pool, x), get(&pool, y)),
+            Step::Max(x, y) => b.max_u32(get(&pool, x), get(&pool, y)),
+            Step::SelectLt(x, y, z) => {
+                let c = b.lt_u32(get(&pool, x), get(&pool, y));
+                b.select(c, get(&pool, z), get(&pool, x))
+            }
+            Step::BranchMix(x, y, k) => {
+                let c = b.lt_u32(get(&pool, x), get(&pool, y));
+                let dst = b.fresh();
+                let xv = get(&pool, x);
+                b.mov_to(dst, xv);
+                b.if_(c, |b| {
+                    let kc = b.const_u32(k);
+                    let mixed = b.xor_u32(xv, kc);
+                    b.mov_to(dst, mixed);
+                });
+                dst
+            }
+            Step::LdsRotate(x) => {
+                let lo = b.mul_u32(lid, four);
+                let val = get(&pool, x);
+                b.store_local(lo, val);
+                b.barrier();
+                let nxt = b.add_u32(lid, one);
+                let wrapped = b.rem_u32(nxt, ls);
+                let ro = b.mul_u32(wrapped, four);
+                let loaded = b.load_local(ro);
+                // Re-synchronize before the next possible LDS step.
+                b.barrier();
+                loaded
+            }
+        };
+        pool.push(next);
+    }
+    let last = *pool.last().expect("pool never empty");
+    let oa = b.elem_addr(out, gid);
+    b.store_global(oa, last);
+    b.finish()
+}
+
+fn run_kernel(kernel: &Kernel, rmt_opts: Option<TransformOptions>) -> Vec<u32> {
+    const N: usize = 128;
+    let mut dev = Device::new(DeviceConfig::small_test());
+    let ib = dev.create_buffer((N * 4) as u32);
+    let ob = dev.create_buffer((N * 4) as u32);
+    dev.write_u32s(ib, &(0..N as u32).map(|i| i.wrapping_mul(2654435761)).collect::<Vec<_>>());
+    let cfg = LaunchConfig::new_1d(N, 64)
+        .arg(Arg::Buffer(ib))
+        .arg(Arg::Buffer(ob));
+    match rmt_opts {
+        None => {
+            dev.launch(kernel, &cfg).expect("original runs");
+        }
+        Some(opts) => {
+            let rk = transform(kernel, &opts).expect("transform succeeds");
+            let run = launch_rmt(&mut dev, &rk, &cfg).expect("rmt runs");
+            assert_eq!(run.detections, 0, "no faults injected, no detections");
+        }
+    }
+    dev.read_u32s(ob)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case runs 9 simulated launches
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn every_flavor_preserves_generated_kernels(
+        steps in proptest::collection::vec(step_strategy(), 1..12)
+    ) {
+        let kernel = build_kernel(&steps);
+        let golden = run_kernel(&kernel, None);
+        for opts in [
+            TransformOptions::intra_plus_lds(),
+            TransformOptions::intra_minus_lds(),
+            TransformOptions::inter(),
+            TransformOptions::intra_plus_lds().with_swizzle(),
+            TransformOptions::intra_minus_lds().with_swizzle(),
+            TransformOptions::intra_plus_lds().without_comm(),
+            TransformOptions::intra_minus_lds().without_comm(),
+            TransformOptions::inter().without_comm(),
+        ] {
+            let got = run_kernel(&kernel, Some(opts));
+            prop_assert_eq!(&got, &golden, "flavor {:?} diverged on {:?}", opts, steps);
+        }
+    }
+
+    #[test]
+    fn transformed_kernels_always_validate(
+        steps in proptest::collection::vec(step_strategy(), 1..16)
+    ) {
+        let kernel = build_kernel(&steps);
+        for opts in [
+            TransformOptions::intra_plus_lds(),
+            TransformOptions::intra_minus_lds(),
+            TransformOptions::inter(),
+        ] {
+            let rk = transform(&kernel, &opts).expect("transform succeeds");
+            prop_assert_eq!(gpu_rmt::ir::validate(&rk.kernel), Ok(()));
+            // Structural invariants from the paper's algorithm:
+            prop_assert!(rk.kernel.params.len() > kernel.params.len());
+            prop_assert!(rk.kernel.total_insts() > kernel.total_insts());
+        }
+    }
+}
