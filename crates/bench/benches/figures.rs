@@ -43,10 +43,15 @@ fn bench_figures(c: &mut Criterion) {
         let b = by_abbrev("BinS").unwrap();
         bench.iter(|| {
             black_box(
-                run_rmt(b.as_ref(), Scale::Small, &device(), &TransformOptions::inter())
-                    .unwrap()
-                    .stats
-                    .cycles,
+                run_rmt(
+                    b.as_ref(),
+                    Scale::Small,
+                    &device(),
+                    &TransformOptions::inter(),
+                )
+                .unwrap()
+                .stats
+                .cycles,
             )
         })
     });

@@ -14,7 +14,10 @@ fn bench_transform(c: &mut Criterion) {
     for (name, opts) in [
         ("intra_plus_lds", TransformOptions::intra_plus_lds()),
         ("intra_minus_lds", TransformOptions::intra_minus_lds()),
-        ("intra_fast", TransformOptions::intra_plus_lds().with_swizzle()),
+        (
+            "intra_fast",
+            TransformOptions::intra_plus_lds().with_swizzle(),
+        ),
         ("inter", TransformOptions::inter()),
     ] {
         g.bench_function(name, |bench| {

@@ -38,8 +38,13 @@ pub fn baseline(cfg: &ExpConfig) -> Result<String, String> {
             &TransformOptions::intra_plus_lds(),
         )
         .map_err(fail)?;
-        let inter = run_rmt(b.as_ref(), cfg.scale, &cfg.device, &TransformOptions::inter())
-            .map_err(fail)?;
+        let inter = run_rmt(
+            b.as_ref(),
+            cfg.scale,
+            &cfg.device,
+            &TransformOptions::inter(),
+        )
+        .map_err(fail)?;
         t.row(vec![
             b.abbrev().into(),
             x(naive.stats.cycles as f64 / base),
@@ -129,10 +134,15 @@ pub fn ablation(cfg: &ExpConfig) -> Result<String, String> {
             let rk_run = {
                 let mut device = cfg.device.clone();
                 device.max_groups_per_cu = cap;
-                run_rmt(b.as_ref(), cfg.scale, &device, &TransformOptions::intra_plus_lds())
-                    .map_err(fail)?
-                    .stats
-                    .cycles
+                run_rmt(
+                    b.as_ref(),
+                    cfg.scale,
+                    &device,
+                    &TransformOptions::intra_plus_lds(),
+                )
+                .map_err(fail)?
+                .stats
+                .cycles
             };
             t.row(vec![
                 cap.to_string(),

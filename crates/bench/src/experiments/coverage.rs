@@ -36,7 +36,7 @@ fn probe_kernel() -> (Kernel, Reg, Reg) {
     let v = b.load_global(ia);
     let thousand = b.const_u32(1000);
     let s = b.mul_u32(grp, thousand); // uniform → SRF
-    // Pad #1: `v` (and `s`) stay live in registers across this window.
+                                      // Pad #1: `v` (and `s`) stay live in registers across this window.
     let mut pad = gid;
     let c = b.const_u32(31);
     for _ in 0..250 {
@@ -201,7 +201,14 @@ pub fn coverage(cfg: &ExpConfig) -> Result<String, String> {
         ("Global memory", &mem_targets, &probe),
     ];
 
-    let mut t = Table::new(&["structure", "flavor", "detected", "SDC", "masked", "applied"]);
+    let mut t = Table::new(&[
+        "structure",
+        "flavor",
+        "detected",
+        "SDC",
+        "masked",
+        "applied",
+    ]);
     for (sname, targets, kernel) in structures {
         for (fname, opts) in &flavors {
             let tally = run_campaign(&cfg.device, opts, targets, kernel)?;
@@ -296,7 +303,11 @@ pub fn staleness(cfg: &ExpConfig) -> Result<String, String> {
            atomic_add(·, 0)  observed {atomic}   (forced to the coherent L2)\n\n\
          This is why every flag poll in the Inter-Group communication protocol\n\
          is an atomic_add with constant 0.\n",
-        if plain == 0 { ", as the paper warns" } else { "" }
+        if plain == 0 {
+            ", as the paper warns"
+        } else {
+            ""
+        }
     ))
 }
 

@@ -24,11 +24,7 @@ fn decompose_suite(
         .stats
         .cycles as f64;
     let full = run_rmt(b, cfg.scale, &cfg.device, opts).map_err(fail)?;
-    let g_rmt = full
-        .stats
-        .occupancy
-        .map(|o| o.groups_per_cu)
-        .unwrap_or(1);
+    let g_rmt = full.stats.occupancy.map(|o| o.groups_per_cu).unwrap_or(1);
     let red = run_rmt(b, cfg.scale, &cfg.device, &opts.without_comm())
         .map_err(fail)?
         .stats
@@ -67,9 +63,7 @@ fn render(
     title: &str,
     flavors: &[(&str, TransformOptions)],
 ) -> Result<String, String> {
-    let mut t = Table::new(&[
-        "kernel", "flavor", "doubling", "redundant", "comm", "total",
-    ]);
+    let mut t = Table::new(&["kernel", "flavor", "doubling", "redundant", "comm", "total"]);
     for b in all() {
         for (name, opts) in flavors {
             let bars = decompose_suite(cfg, b.as_ref(), opts)?;

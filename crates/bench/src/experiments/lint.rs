@@ -1,0 +1,136 @@
+//! `repro lint` — static analysis over the whole benchmark suite.
+//!
+//! Runs the `rmt-ir` lint passes (barrier-interval race detector,
+//! divergence checker, LDS bounds) over every suite kernel as written and
+//! under every RMT transform flavor, at the work-group shapes each
+//! benchmark actually launches with (dimension 0 doubled for intra-group
+//! flavors, mirroring the launcher). A clean table is the static
+//! counterpart of the simulator's output-equivalence tests: the
+//! transforms introduce no races, divergent barriers, or out-of-bounds
+//! LDS traffic.
+
+use crate::{ExpConfig, Table};
+use gcn_sim::Device;
+use rmt_core::{transform, RmtFlavor, TransformOptions};
+use rmt_ir::analysis::lint::{lint_kernel, LintAssumptions, LintConfig};
+use rmt_ir::Kernel;
+use rmt_kernels::{all, Benchmark};
+
+/// The five lint postures, in paper order.
+fn variants() -> Vec<(&'static str, Option<TransformOptions>)> {
+    vec![
+        ("Original", None),
+        ("Intra+LDS", Some(TransformOptions::intra_plus_lds())),
+        ("Intra-LDS", Some(TransformOptions::intra_minus_lds())),
+        ("Inter", Some(TransformOptions::inter())),
+        (
+            "FAST",
+            Some(TransformOptions::intra_plus_lds().with_swizzle()),
+        ),
+    ]
+}
+
+/// Distinct per-pass work-group shapes of a benchmark's plan.
+fn shapes(bench: &dyn Benchmark, cfg: &ExpConfig, double_dim0: bool) -> Vec<[usize; 3]> {
+    let mut dev = Device::new(cfg.device.clone());
+    let plan = bench.plan(cfg.scale, &mut dev);
+    let mut shapes: Vec<[usize; 3]> = Vec::new();
+    for pass in &plan.passes {
+        let mut local = pass.local;
+        if double_dim0 {
+            local[0] *= 2;
+        }
+        if !shapes.contains(&local) {
+            shapes.push(local);
+        }
+    }
+    shapes
+}
+
+fn lint_at(kernel: &Kernel, local: [usize; 3]) -> Vec<String> {
+    let cfg = LintConfig::with_assumptions(LintAssumptions {
+        local_size: [
+            Some(local[0] as u32),
+            Some(local[1] as u32),
+            Some(local[2] as u32),
+        ],
+        wavefront: 64,
+    });
+    lint_kernel(kernel, &cfg)
+        .into_iter()
+        .map(|d| format!("(local {local:?}) {d}"))
+        .collect()
+}
+
+/// Renders the suite-wide lint table. Errs (with the full report) when any
+/// kernel/flavor combination produces diagnostics, so `repro lint` exits
+/// nonzero on regressions.
+///
+/// # Errors
+///
+/// Returns the rendered report as an error string if any diagnostics were
+/// produced.
+pub fn lint(cfg: &ExpConfig) -> Result<String, String> {
+    let vs = variants();
+    let mut header: Vec<&str> = vec!["kernel"];
+    header.extend(vs.iter().map(|(label, _)| *label));
+    let mut table = Table::new(&header);
+
+    let mut details: Vec<String> = Vec::new();
+    let mut total = 0usize;
+
+    for bench in all() {
+        let mut cells = vec![bench.abbrev().to_string()];
+        for (label, opts) in &vs {
+            let kernel = match opts {
+                None => bench.kernel(),
+                Some(o) => match transform(&bench.kernel(), o) {
+                    Ok(rk) => rk.kernel,
+                    Err(e) => {
+                        details.push(format!("{} {label}: transform failed: {e}", bench.abbrev()));
+                        total += 1;
+                        cells.push("ERR".into());
+                        continue;
+                    }
+                },
+            };
+            let doubles = matches!(opts, Some(o) if o.flavor != RmtFlavor::Inter);
+            let mut count = 0usize;
+            for local in shapes(bench.as_ref(), cfg, doubles) {
+                for d in lint_at(&kernel, local) {
+                    details.push(format!("{} {label} {d}", bench.abbrev()));
+                    count += 1;
+                }
+            }
+            total += count;
+            cells.push(if count == 0 {
+                "clean".into()
+            } else {
+                count.to_string()
+            });
+        }
+        table.row(cells);
+    }
+
+    let mut out = table.render();
+    out.push_str(&format!("\n{total} diagnostics\n"));
+    if total > 0 {
+        out.push('\n');
+        out.push_str(&details.join("\n"));
+        out.push('\n');
+        return Err(out);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_lints_clean_at_small_scale() {
+        let report = lint(&ExpConfig::small()).expect("suite must lint clean");
+        assert!(report.contains("clean"));
+        assert!(report.contains("0 diagnostics"));
+    }
+}

@@ -4,6 +4,7 @@
 pub mod ablation;
 pub mod coverage;
 pub mod decomp;
+pub mod lint;
 pub mod perf;
 pub mod power;
 pub mod swizzle;
@@ -13,8 +14,22 @@ use crate::ExpConfig;
 
 /// Every experiment id, in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "coverage", "staleness", "baseline", "ablation",
+    "table1",
+    "table2",
+    "table3",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "coverage",
+    "staleness",
+    "baseline",
+    "ablation",
+    "lint",
 ];
 
 /// Dispatches an experiment by id.
@@ -39,6 +54,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Result<String, String> {
         "staleness" => coverage::staleness(cfg),
         "baseline" => ablation::baseline(cfg),
         "ablation" => ablation::ablation(cfg),
+        "lint" => lint::lint(cfg),
         other => Err(format!(
             "unknown experiment `{other}`; known: {}",
             ALL_IDS.join(", ")
@@ -61,6 +77,8 @@ mod tests {
         assert!(run("table1", &ExpConfig::small()).unwrap().contains("ECC"));
         assert!(run("table2", &ExpConfig::small()).unwrap().contains("LDS"));
         assert!(run("table3", &ExpConfig::small()).unwrap().contains("SRF"));
-        assert!(run("fig8", &ExpConfig::small()).unwrap().contains("swizzle"));
+        assert!(run("fig8", &ExpConfig::small())
+            .unwrap()
+            .contains("swizzle"));
     }
 }

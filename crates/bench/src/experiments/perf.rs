@@ -40,7 +40,12 @@ pub fn fig2(cfg: &ExpConfig) -> Result<String, String> {
 /// Intra-Group+LDS and Intra-Group−LDS.
 pub fn fig3(cfg: &ExpConfig) -> Result<String, String> {
     let mut t = Table::new(&[
-        "kernel", "variant", "VALUBusy", "MemUnitBusy", "WriteUnitStalled", "LDSBusy",
+        "kernel",
+        "variant",
+        "VALUBusy",
+        "MemUnitBusy",
+        "WriteUnitStalled",
+        "LDSBusy",
     ]);
     for b in all() {
         let variants: [(&str, RunOutcome); 3] = [

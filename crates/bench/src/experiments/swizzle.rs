@@ -28,8 +28,8 @@ pub fn fig8() -> String {
             s.push_str(&format!("{:>3}", l));
         }
         s.push_str("  ...\n  value: ");
-        for l in 0..8 {
-            s.push_str(&format!("{:>3}", vals[l]));
+        for v in vals.iter().take(8) {
+            s.push_str(&format!("{v:>3}"));
         }
         s.push_str("  ...\n");
         s

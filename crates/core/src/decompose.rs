@@ -211,7 +211,10 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(d.full_cycles > d.base_cycles, "inter RMT is never free here");
+        assert!(
+            d.full_cycles > d.base_cycles,
+            "inter RMT is never free here"
+        );
         let reconstructed = 1.0
             + d.doubling_overhead().unwrap_or(0.0)
             + d.redundant_overhead()

@@ -96,17 +96,13 @@ impl RmtLauncher {
         cfg.local = local;
 
         // Detection counter (always present).
-        let detect = *self
-            .detect
-            .get_or_insert_with(|| dev.create_buffer(4));
+        let detect = *self.detect.get_or_insert_with(|| dev.create_buffer(4));
         dev.write_u32s(detect, &[0]);
         cfg.args.push(Arg::Buffer(detect));
 
         // Ticket counter (inter-group, full stage).
         if rk.meta.ticket_param.is_some() {
-            let ticket = *self
-                .ticket
-                .get_or_insert_with(|| dev.create_buffer(4));
+            let ticket = *self.ticket.get_or_insert_with(|| dev.create_buffer(4));
             dev.write_u32s(ticket, &[0]);
             cfg.args.push(Arg::Buffer(ticket));
         }

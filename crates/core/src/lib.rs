@@ -73,14 +73,16 @@
 
 pub mod decompose;
 mod error;
-mod report;
 mod launcher;
 mod options;
+mod report;
 pub mod sor;
 mod transform;
+pub mod verify;
 
 pub use error::RmtError;
 pub use launcher::{launch_rmt, RmtLauncher, RmtRunResult};
 pub use options::{CommMode, RmtFlavor, Stage, TransformOptions};
 pub use report::TransformReport;
 pub use transform::{transform, RmtKernel, RmtMeta};
+pub use verify::{verify_rmt, VerifyError};

@@ -87,11 +87,7 @@ impl TransformReport {
 
 impl fmt::Display for TransformReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "{}: {} ({})",
-            self.kernel, self.flavor, self.stage
-        )?;
+        writeln!(f, "{}: {} ({})", self.kernel, self.flavor, self.stage)?;
         writeln!(
             f,
             "  instructions  {:>5} -> {:<5} ({:.2}x)",

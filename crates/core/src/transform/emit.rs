@@ -4,9 +4,7 @@
 //! numbering from an existing kernel and writes into explicit `Vec<Inst>`
 //! sinks, which suits splicing sequences into a rewritten body.
 
-use rmt_ir::{
-    AtomicOp, BinOp, Block, Builtin, CmpOp, Inst, MemSpace, Reg, SwizzleMode, Ty, UnOp,
-};
+use rmt_ir::{AtomicOp, BinOp, Block, Builtin, CmpOp, Inst, MemSpace, Reg, SwizzleMode, Ty, UnOp};
 
 #[derive(Debug)]
 pub(crate) struct Emitter {
@@ -188,20 +186,13 @@ impl Emitter {
 
     /// Local-linear work-item index: `lid0 + lid1*ls0 + lid2*ls0*ls1`,
     /// computed from (possibly remapped) registers.
-    pub fn local_linear(
-        &mut self,
-        lid: [Reg; 3],
-        ls0: Reg,
-        ls1: Reg,
-        out: &mut Vec<Inst>,
-    ) -> Reg {
+    pub fn local_linear(&mut self, lid: [Reg; 3], ls0: Reg, ls1: Reg, out: &mut Vec<Inst>) -> Reg {
         let t1 = self.mul(lid[1], ls0, out);
         let acc = self.add(lid[0], t1, out);
         let ls01 = self.mul(ls0, ls1, out);
         let t2 = self.mul(lid[2], ls01, out);
         self.add(acc, t2, out)
     }
-
 }
 
 #[cfg(test)]

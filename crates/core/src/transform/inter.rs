@@ -31,9 +31,7 @@ use super::rewrite::{map_block, rewrite_builtin};
 use super::{RmtKernel, RmtMeta};
 use crate::error::RmtError;
 use crate::options::{Stage, TransformOptions};
-use rmt_ir::{
-    AtomicOp, Block, Builtin, Dim, Inst, Kernel, MemSpace, Param, ParamKind, Reg,
-};
+use rmt_ir::{AtomicOp, Block, Builtin, Dim, Inst, Kernel, MemSpace, Param, ParamKind, Reg};
 use std::collections::HashMap;
 
 struct Ctx {
@@ -340,7 +338,11 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
     let mut insts = pro;
     insts.extend(body.0);
 
-    let suffix = if full { "rmt_inter" } else { "rmt_inter_nocomm" };
+    let suffix = if full {
+        "rmt_inter"
+    } else {
+        "rmt_inter_nocomm"
+    };
     Ok(RmtKernel {
         kernel: Kernel {
             name: format!("{}__{}", kernel.name, suffix),

@@ -125,7 +125,8 @@ impl Ctx {
                     let pa = self.em.load(MemSpace::Local, slot, &mut cons);
                     let pv = self.em.load(MemSpace::Local, slot4, &mut cons);
                     self.compare_detect(pa, pv, addr, value, &mut cons);
-                    self.em.atomic_noret(MemSpace::Global, op, addr, value, &mut cons);
+                    self.em
+                        .atomic_noret(MemSpace::Global, op, addr, value, &mut cons);
                     self.em.if_(self.is_cons, cons, &mut seq);
                 }
                 CommMode::Swizzle => {
@@ -133,13 +134,15 @@ impl Ctx {
                     let pv = self.em.swizzle(value, SwizzleMode::DupEven, &mut seq);
                     let mut cons = Vec::new();
                     self.compare_detect(pa, pv, addr, value, &mut cons);
-                    self.em.atomic_noret(MemSpace::Global, op, addr, value, &mut cons);
+                    self.em
+                        .atomic_noret(MemSpace::Global, op, addr, value, &mut cons);
                     self.em.if_(self.is_cons, cons, &mut seq);
                 }
             }
         } else {
             let mut cons = Vec::new();
-            self.em.atomic_noret(MemSpace::Global, op, addr, value, &mut cons);
+            self.em
+                .atomic_noret(MemSpace::Global, op, addr, value, &mut cons);
             self.em.if_(self.is_cons, cons, &mut seq);
         }
         seq
@@ -207,7 +210,11 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
     } else {
         None
     };
-    let comm_region_base = if duplicate_lds { 2 * orig_lds } else { orig_lds };
+    let comm_region_base = if duplicate_lds {
+        2 * orig_lds
+    } else {
+        orig_lds
+    };
     let use_lds_comm = opts.stage == Stage::Full && opts.comm == CommMode::Lds;
 
     let (comm_slot, comm_slot4) = if use_lds_comm {

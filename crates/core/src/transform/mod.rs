@@ -67,6 +67,12 @@ pub fn transform(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel, 
         "transform produced invalid IR for `{}`",
         kernel.name
     );
+    debug_assert_eq!(
+        crate::verify::verify_rmt(kernel, &rk),
+        Vec::new(),
+        "transform broke an RMT invariant for `{}`",
+        kernel.name
+    );
     Ok(rk)
 }
 
@@ -222,7 +228,10 @@ mod tests {
         let a = b.elem_addr(out, old);
         b.store_global(a, one);
         let k = b.finish();
-        for opts in [TransformOptions::intra_plus_lds(), TransformOptions::inter()] {
+        for opts in [
+            TransformOptions::intra_plus_lds(),
+            TransformOptions::inter(),
+        ] {
             assert!(matches!(
                 transform(&k, &opts),
                 Err(RmtError::Unsupported(_))

@@ -6,10 +6,7 @@ use std::collections::HashMap;
 /// Rewrites a block: `f` may claim an instruction by returning a
 /// replacement sequence; unclaimed control flow recurses, everything else
 /// copies through.
-pub(crate) fn map_block(
-    block: &Block,
-    f: &mut impl FnMut(&Inst) -> Option<Vec<Inst>>,
-) -> Block {
+pub(crate) fn map_block(block: &Block, f: &mut impl FnMut(&Inst) -> Option<Vec<Inst>>) -> Block {
     let mut out = Vec::with_capacity(block.len());
     for inst in block.iter() {
         match f(inst) {
@@ -42,10 +39,7 @@ pub(crate) fn map_block(
 
 /// Replaces reads of remapped builtins with copies of prologue-computed
 /// registers. Returns `Some` replacement when the builtin is in the map.
-pub(crate) fn rewrite_builtin(
-    inst: &Inst,
-    map: &HashMap<Builtin, Reg>,
-) -> Option<Vec<Inst>> {
+pub(crate) fn rewrite_builtin(inst: &Inst, map: &HashMap<Builtin, Reg>) -> Option<Vec<Inst>> {
     if let Inst::ReadBuiltin { dst, builtin } = inst {
         if let Some(&src) = map.get(builtin) {
             return Some(vec![Inst::Mov { dst: *dst, src }]);

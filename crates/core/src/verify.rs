@@ -1,0 +1,757 @@
+//! Structural invariant verifier for transformed RMT kernels.
+//!
+//! The transform passes promise specific *shapes* — every sphere-of-
+//! replication exit is compared before it retires, the Inter-Group ticket
+//! prologue cannot deadlock, protocol polls defeat the stale L1 — and a
+//! bug in a pass silently weakens fault coverage rather than breaking
+//! outputs (a dropped comparison still computes the right answer; it just
+//! stops detecting). This module re-derives those promises from the
+//! *output* IR, independently of how the passes build it, and is wired
+//! into [`crate::transform`] as a debug assertion so every transformed
+//! kernel in every test is re-checked.
+//!
+//! Checked invariants:
+//!
+//! 1. **Detection reachability** — a full-stage kernel with at least one
+//!    SoR exit contains a detect-counter bump (`atomic_add` on the
+//!    appended detection buffer).
+//! 2. **Protected stores** — every SoR-exiting store is guarded by a
+//!    replica-role `if` and, in the full stage, preceded in its block by a
+//!    compare-and-detect sequence whose comparison consumes a value that
+//!    crossed the communication channel (LDS load, global load, or VRF
+//!    swizzle). Protocol stores (into the communication buffer) are
+//!    exempt but must themselves sit under a role guard.
+//! 3. **Ticket prologue** (Inter-Group, full stage) — exactly one ticket
+//!    acquisition, performed before any wait loop, under a
+//!    `local_linear == 0` guard that broadcasts through LDS followed by a
+//!    top-level barrier. Tickets issued in dispatch order before any
+//!    producer/consumer spin is what makes the protocol deadlock-free
+//!    (paper Section 7.2).
+//! 4. **Poll shape** (Inter-Group, full stage) — wait loops read the slot
+//!    state with `atomic_add(·, 0)`, never a plain load: the write-through
+//!    L1s are not coherent and a plain load can spin forever on a stale
+//!    line.
+//! 5. **Barrier preservation** — the transform adds exactly the barriers
+//!    its protocol needs (one for the Inter ticket broadcast) and drops
+//!    none of the original ones.
+
+use crate::options::{CommMode, RmtFlavor, Stage};
+use crate::transform::RmtKernel;
+use rmt_ir::{AtomicOp, Block, CmpOp, Inst, Kernel, MemSpace, Reg};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A violated RMT transform invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Full-stage kernel with SoR exits but no detect-counter bump.
+    MissingDetect,
+    /// An SoR-exiting store outside any replica-role guard.
+    UnguardedStore {
+        /// Address space of the store.
+        space: MemSpace,
+    },
+    /// An SoR-exiting store not preceded by a compare-and-detect sequence
+    /// in its enclosing block.
+    StoreWithoutCompare {
+        /// Address space of the store.
+        space: MemSpace,
+    },
+    /// The comparison guarding a detect bump never consumes a value from
+    /// the communication channel — it compares a replica against itself.
+    CompareWithoutChannel,
+    /// The Inter-Group ticket prologue deviates from the deadlock-free
+    /// shape (the string names the deviation).
+    TicketPrologue(String),
+    /// A wait loop polls protocol state with a plain load.
+    PlainPoll,
+    /// A protocol poll atomic is not `add(·, 0)`.
+    MalformedPoll,
+    /// Barrier count changed beyond what the protocol requires.
+    BarrierCount {
+        /// Barriers in the transformed kernel.
+        got: usize,
+        /// Barriers the flavor should produce.
+        want: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::MissingDetect => {
+                write!(f, "kernel has SoR exits but no detect-counter bump")
+            }
+            VerifyError::UnguardedStore { space } => {
+                write!(
+                    f,
+                    "SoR-exiting {space:?} store outside any replica-role guard"
+                )
+            }
+            VerifyError::StoreWithoutCompare { space } => write!(
+                f,
+                "SoR-exiting {space:?} store without a preceding compare-and-detect"
+            ),
+            VerifyError::CompareWithoutChannel => write!(
+                f,
+                "detect comparison reads no channel value (replica compared to itself)"
+            ),
+            VerifyError::TicketPrologue(why) => write!(f, "ticket prologue: {why}"),
+            VerifyError::PlainPoll => {
+                write!(f, "wait loop polls protocol state with a plain load")
+            }
+            VerifyError::MalformedPoll => {
+                write!(f, "protocol poll is not atomic_add(state, 0)")
+            }
+            VerifyError::BarrierCount { got, want } => {
+                write!(f, "transformed kernel has {got} barriers, expected {want}")
+            }
+        }
+    }
+}
+
+/// Flow-insensitive register facts, closed over the whole kernel.
+struct Facts {
+    /// Params each register transitively derives from through pure ops.
+    params: HashMap<Reg, HashSet<usize>>,
+    /// Registers whose value crossed the communication channel (defined by
+    /// a load or swizzle, or computed from such a value).
+    channel: HashSet<Reg>,
+    /// Registers defined as `Const 0`.
+    zeros: HashSet<Reg>,
+    /// Registers defined by an equality comparison.
+    eq_cmps: HashSet<Reg>,
+}
+
+impl Facts {
+    fn derives_from(&self, r: Reg, param: usize) -> bool {
+        self.params.get(&r).is_some_and(|s| s.contains(&param))
+    }
+}
+
+fn compute_facts(kernel: &Kernel) -> Facts {
+    let mut f = Facts {
+        params: HashMap::new(),
+        channel: HashSet::new(),
+        zeros: HashSet::new(),
+        eq_cmps: HashSet::new(),
+    };
+    // Iterate to a fixpoint so loop-carried `Mov` chains converge.
+    loop {
+        let before = (
+            f.params.values().map(HashSet::len).sum::<usize>(),
+            f.channel.len(),
+        );
+        facts_block(&kernel.body, &mut f);
+        let after = (
+            f.params.values().map(HashSet::len).sum::<usize>(),
+            f.channel.len(),
+        );
+        if before == after {
+            return f;
+        }
+    }
+}
+
+fn facts_block(b: &Block, f: &mut Facts) {
+    for inst in b.iter() {
+        match inst {
+            Inst::ReadParam { dst, index } => {
+                f.params.entry(*dst).or_default().insert(*index);
+            }
+            Inst::Const { dst, bits: 0, .. } => {
+                f.zeros.insert(*dst);
+            }
+            Inst::Load { dst, .. } | Inst::Swizzle { dst, .. } => {
+                f.channel.insert(*dst);
+            }
+            Inst::Atomic { dst: Some(d), .. } => {
+                f.channel.insert(*d);
+            }
+            Inst::Cmp {
+                dst, op: CmpOp::Eq, ..
+            } => {
+                f.eq_cmps.insert(*dst);
+            }
+            Inst::If {
+                then_blk, else_blk, ..
+            } => {
+                facts_block(then_blk, f);
+                facts_block(else_blk, f);
+            }
+            Inst::While { cond, body, .. } => {
+                facts_block(cond, f);
+                facts_block(body, f);
+            }
+            _ => {}
+        }
+        // Pure value ops propagate both param derivation and channel taint.
+        if matches!(
+            inst,
+            Inst::Unary { .. }
+                | Inst::Binary { .. }
+                | Inst::Cmp { .. }
+                | Inst::Select { .. }
+                | Inst::Mov { .. }
+        ) {
+            let mut srcs = Vec::new();
+            inst.srcs(&mut srcs);
+            let dst = inst.dst().expect("pure ops have a destination");
+            let mut union: HashSet<usize> = HashSet::new();
+            for s in &srcs {
+                if let Some(ps) = f.params.get(s) {
+                    union.extend(ps.iter().copied());
+                }
+            }
+            if !union.is_empty() {
+                f.params.entry(dst).or_default().extend(union);
+            }
+            if srcs.iter().any(|s| f.channel.contains(s)) {
+                f.channel.insert(dst);
+            }
+        }
+    }
+}
+
+/// Does this block (recursively) contain a detect-counter bump?
+fn has_detect_bump(b: &Block, facts: &Facts, detect_param: usize) -> bool {
+    b.iter().any(|inst| match inst {
+        Inst::Atomic {
+            space: MemSpace::Global,
+            op: AtomicOp::Add,
+            addr,
+            ..
+        } => facts.derives_from(*addr, detect_param),
+        Inst::If {
+            then_blk, else_blk, ..
+        } => {
+            has_detect_bump(then_blk, facts, detect_param)
+                || has_detect_bump(else_blk, facts, detect_param)
+        }
+        Inst::While { cond, body, .. } => {
+            has_detect_bump(cond, facts, detect_param) || has_detect_bump(body, facts, detect_param)
+        }
+        _ => false,
+    })
+}
+
+struct Checker<'a> {
+    rk: &'a RmtKernel,
+    facts: Facts,
+    errors: Vec<VerifyError>,
+}
+
+impl Checker<'_> {
+    fn detect_param(&self) -> usize {
+        self.rk.meta.detect_param
+    }
+
+    /// Is `r` a comparison result that consumed at least one channel value?
+    fn compare_uses_channel(&self, r: Reg) -> bool {
+        self.facts.channel.contains(&r)
+    }
+
+    fn check_block(&mut self, b: &Block, if_depth: usize, in_wait_cond: bool) {
+        for (i, inst) in b.iter().enumerate() {
+            match inst {
+                Inst::Store { space, addr, .. } => {
+                    self.check_store(b, i, *space, *addr, if_depth);
+                }
+                Inst::Load {
+                    space: MemSpace::Global,
+                    addr,
+                    ..
+                } if in_wait_cond => {
+                    if let Some(comm) = self.rk.meta.comm_param {
+                        if self.facts.derives_from(*addr, comm) {
+                            self.errors.push(VerifyError::PlainPoll);
+                        }
+                    }
+                }
+                Inst::Atomic {
+                    space: MemSpace::Global,
+                    op,
+                    addr,
+                    value,
+                    ..
+                } if in_wait_cond => {
+                    if let Some(comm) = self.rk.meta.comm_param {
+                        if self.facts.derives_from(*addr, comm)
+                            && (*op != AtomicOp::Add || !self.facts.zeros.contains(value))
+                        {
+                            self.errors.push(VerifyError::MalformedPoll);
+                        }
+                    }
+                }
+                Inst::If {
+                    then_blk, else_blk, ..
+                } => {
+                    self.check_block(then_blk, if_depth + 1, in_wait_cond);
+                    self.check_block(else_blk, if_depth + 1, in_wait_cond);
+                }
+                Inst::While { cond, body, .. } => {
+                    self.check_block(cond, if_depth, true);
+                    self.check_block(body, if_depth, in_wait_cond);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Verify one store against the protected-store discipline.
+    fn check_store(
+        &mut self,
+        blk: &Block,
+        idx: usize,
+        space: MemSpace,
+        addr: Reg,
+        if_depth: usize,
+    ) {
+        let meta = &self.rk.meta;
+        let flavor = meta.options.flavor;
+        match space {
+            MemSpace::Global => {
+                // Stores into the communication buffer are the protocol's
+                // own publishes, not SoR exits — but still role-guarded.
+                if let Some(comm) = meta.comm_param {
+                    if self.facts.derives_from(addr, comm) {
+                        if if_depth == 0 {
+                            self.errors.push(VerifyError::UnguardedStore { space });
+                        }
+                        return;
+                    }
+                }
+                self.check_sor_exit(blk, idx, space, if_depth);
+            }
+            MemSpace::Local => {
+                // LDS is inside the SoR except under Intra−LDS: there,
+                // full-stage local stores are either producer publishes
+                // (blocks of nothing but local stores) or protected
+                // consumer stores.
+                if flavor != RmtFlavor::IntraMinusLds {
+                    return;
+                }
+                if meta.options.stage == Stage::Full
+                    && meta.options.comm == CommMode::Lds
+                    && blk.iter().all(|i| {
+                        matches!(
+                            i,
+                            Inst::Store {
+                                space: MemSpace::Local,
+                                ..
+                            }
+                        )
+                    })
+                {
+                    if if_depth == 0 {
+                        self.errors.push(VerifyError::UnguardedStore { space });
+                    }
+                    return;
+                }
+                self.check_sor_exit(blk, idx, space, if_depth);
+            }
+        }
+    }
+
+    fn check_sor_exit(&mut self, blk: &Block, idx: usize, space: MemSpace, if_depth: usize) {
+        if if_depth == 0 {
+            self.errors.push(VerifyError::UnguardedStore { space });
+            return;
+        }
+        if self.rk.meta.options.stage != Stage::Full {
+            return; // redundant-no-comm: role guard is the whole contract
+        }
+        // Walk backwards: an earlier `if` in this block must bump the
+        // detect counter, and its condition must have consumed a value
+        // that crossed the channel.
+        for prior in blk.iter().take(idx) {
+            if let Inst::If { cond, then_blk, .. } = prior {
+                if has_detect_bump(then_blk, &self.facts, self.detect_param()) {
+                    if !self.compare_uses_channel(*cond) {
+                        self.errors.push(VerifyError::CompareWithoutChannel);
+                    }
+                    return;
+                }
+            }
+        }
+        self.errors.push(VerifyError::StoreWithoutCompare { space });
+    }
+
+    /// Inter-Group full stage: the deadlock-free ticket prologue.
+    fn check_ticket_prologue(&mut self) {
+        let Some(ticket) = self.rk.meta.ticket_param else {
+            return;
+        };
+        let body = &self.rk.kernel.body;
+        let is_ticket_atomic = |inst: &Inst| {
+            matches!(inst, Inst::Atomic {
+                space: MemSpace::Global,
+                op: AtomicOp::Add,
+                addr,
+                dst: Some(_),
+                ..
+            } if self.facts.derives_from(*addr, ticket))
+        };
+        let total = self.rk.kernel.count_insts(|i| is_ticket_atomic(i));
+        if total != 1 {
+            self.errors.push(VerifyError::TicketPrologue(format!(
+                "expected exactly one ticket acquisition, found {total}"
+            )));
+            return;
+        }
+        // Find the top-level barrier that publishes the broadcast.
+        let Some(bar_pos) = body.iter().position(|i| matches!(i, Inst::Barrier)) else {
+            self.errors.push(VerifyError::TicketPrologue(
+                "no top-level barrier after the ticket broadcast".into(),
+            ));
+            return;
+        };
+        // Before the barrier: a `local_linear == 0` guard whose block
+        // acquires the ticket and broadcasts it through LDS — and no wait
+        // loop (waiting before holding a ticket can deadlock the window).
+        let mut acquire_ok = false;
+        for inst in body.iter().take(bar_pos) {
+            match inst {
+                Inst::While { .. } => {
+                    self.errors.push(VerifyError::TicketPrologue(
+                        "wait loop before the ticket acquisition".into(),
+                    ));
+                    return;
+                }
+                Inst::If { cond, then_blk, .. } => {
+                    let Some(t0) =
+                        then_blk.iter().find_map(
+                            |i| {
+                                if is_ticket_atomic(i) {
+                                    i.dst()
+                                } else {
+                                    None
+                                }
+                            },
+                        )
+                    else {
+                        continue;
+                    };
+                    if !self.facts.eq_cmps.contains(cond) {
+                        self.errors.push(VerifyError::TicketPrologue(
+                            "ticket acquisition not guarded by an equality test".into(),
+                        ));
+                        return;
+                    }
+                    let broadcast = then_blk.iter().any(|i| {
+                        matches!(i, Inst::Store { space: MemSpace::Local, value, .. } if *value == t0)
+                    });
+                    if !broadcast {
+                        self.errors.push(VerifyError::TicketPrologue(
+                            "acquired ticket never broadcast through LDS".into(),
+                        ));
+                        return;
+                    }
+                    acquire_ok = true;
+                }
+                _ => {}
+            }
+        }
+        if !acquire_ok {
+            self.errors.push(VerifyError::TicketPrologue(
+                "no guarded ticket acquisition before the barrier".into(),
+            ));
+            return;
+        }
+        // After the barrier every work-item re-reads the broadcast slot.
+        let rebroadcast = body.iter().skip(bar_pos + 1).any(|i| {
+            matches!(
+                i,
+                Inst::Load {
+                    space: MemSpace::Local,
+                    ..
+                }
+            )
+        });
+        if !rebroadcast {
+            self.errors.push(VerifyError::TicketPrologue(
+                "no LDS read of the ticket after the barrier".into(),
+            ));
+        }
+    }
+}
+
+fn count_barriers(b: &Block) -> usize {
+    b.iter()
+        .map(|i| match i {
+            Inst::Barrier => 1,
+            Inst::If {
+                then_blk, else_blk, ..
+            } => count_barriers(then_blk) + count_barriers(else_blk),
+            Inst::While { cond, body, .. } => count_barriers(cond) + count_barriers(body),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Does the *original* kernel have any sphere-of-replication exit under
+/// the given flavor?
+fn original_has_sor_exit(original: &Kernel, flavor: RmtFlavor) -> bool {
+    original.count_insts(|i| match i {
+        Inst::Store {
+            space: MemSpace::Global,
+            ..
+        }
+        | Inst::Atomic {
+            space: MemSpace::Global,
+            ..
+        } => true,
+        Inst::Store {
+            space: MemSpace::Local,
+            ..
+        } => flavor == RmtFlavor::IntraMinusLds,
+        _ => false,
+    }) > 0
+}
+
+/// Verifies the structural RMT invariants of a transformed kernel.
+///
+/// Returns every violated invariant (empty = the kernel upholds the
+/// contract). `original` is the pre-transform kernel, used for the
+/// barrier-preservation and SoR-exit-existence checks.
+pub fn verify_rmt(original: &Kernel, rk: &RmtKernel) -> Vec<VerifyError> {
+    let facts = compute_facts(&rk.kernel);
+    let mut checker = Checker {
+        rk,
+        facts,
+        errors: Vec::new(),
+    };
+
+    let full = rk.meta.options.stage == Stage::Full;
+    if full
+        && original_has_sor_exit(original, rk.meta.options.flavor)
+        && !has_detect_bump(&rk.kernel.body, &checker.facts, rk.meta.detect_param)
+    {
+        checker.errors.push(VerifyError::MissingDetect);
+    }
+
+    checker.check_block(&rk.kernel.body, 0, false);
+    checker.check_ticket_prologue();
+
+    let want = count_barriers(&original.body)
+        + usize::from(rk.meta.options.flavor == RmtFlavor::Inter && full);
+    let got = count_barriers(&rk.kernel.body);
+    if got != want {
+        checker.errors.push(VerifyError::BarrierCount { got, want });
+    }
+
+    checker.errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::TransformOptions;
+    use crate::transform::transform;
+    use rmt_ir::KernelBuilder;
+
+    fn sample_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        b.set_lds_bytes(64);
+        let out = b.buffer_param("out");
+        let gid = b.global_id(0);
+        let lid = b.local_id(0);
+        let four = b.const_u32(4);
+        let lo = b.mul_u32(lid, four);
+        b.store_local(lo, gid);
+        b.barrier();
+        let v = b.load_local(lo);
+        let a = b.elem_addr(out, gid);
+        b.store_global(a, v);
+        b.finish()
+    }
+
+    fn all_option_sets() -> Vec<TransformOptions> {
+        vec![
+            TransformOptions::intra_plus_lds(),
+            TransformOptions::intra_minus_lds(),
+            TransformOptions::inter(),
+            TransformOptions::intra_plus_lds().with_swizzle(),
+            TransformOptions::intra_minus_lds().with_swizzle(),
+            TransformOptions::intra_plus_lds().without_comm(),
+            TransformOptions::inter().without_comm(),
+        ]
+    }
+
+    #[test]
+    fn transformed_kernels_verify_clean() {
+        let k = sample_kernel();
+        for opts in all_option_sets() {
+            let rk = transform(&k, &opts).unwrap();
+            let errs = verify_rmt(&k, &rk);
+            assert!(errs.is_empty(), "{opts:?}: {errs:?}");
+        }
+    }
+
+    /// Recursively drop instructions matching `pred` from a kernel body.
+    fn strip(b: &Block, pred: &impl Fn(&Inst) -> bool) -> Block {
+        let mut out = Vec::new();
+        for inst in b.iter() {
+            if pred(inst) {
+                continue;
+            }
+            out.push(match inst {
+                Inst::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => Inst::If {
+                    cond: *cond,
+                    then_blk: strip(then_blk, pred),
+                    else_blk: strip(else_blk, pred),
+                },
+                Inst::While {
+                    cond,
+                    cond_reg,
+                    body,
+                } => Inst::While {
+                    cond: strip(cond, pred),
+                    cond_reg: *cond_reg,
+                    body: strip(body, pred),
+                },
+                other => other.clone(),
+            });
+        }
+        Block(out)
+    }
+
+    #[test]
+    fn stripping_detect_bump_is_caught() {
+        let k = sample_kernel();
+        let mut rk = transform(&k, &TransformOptions::intra_plus_lds()).unwrap();
+        rk.kernel.body = strip(&rk.kernel.body, &|i| {
+            matches!(
+                i,
+                Inst::Atomic {
+                    space: MemSpace::Global,
+                    op: AtomicOp::Add,
+                    ..
+                }
+            )
+        });
+        let errs = verify_rmt(&k, &rk);
+        assert!(errs.contains(&VerifyError::MissingDetect), "got {errs:?}");
+    }
+
+    #[test]
+    fn stripping_comparison_is_caught() {
+        // Remove the detect `if` (compare consumers) but keep the store:
+        // the store is no longer dominated by a compare-and-detect.
+        let k = sample_kernel();
+        let mut rk = transform(&k, &TransformOptions::intra_plus_lds()).unwrap();
+        rk.kernel.body = strip(&rk.kernel.body, &|i| {
+            matches!(i, Inst::If { then_blk, .. }
+                if then_blk.len() == 1
+                    && matches!(then_blk.iter().next(), Some(Inst::Atomic { .. })))
+        });
+        let errs = verify_rmt(&k, &rk);
+        assert!(
+            errs.iter().any(|e| matches!(
+                e,
+                VerifyError::StoreWithoutCompare { .. } | VerifyError::MissingDetect
+            )),
+            "got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn stripping_ticket_barrier_is_caught() {
+        let k = sample_kernel();
+        let mut rk = transform(&k, &TransformOptions::inter()).unwrap();
+        // Drop the first (top-level) barrier — the ticket broadcast fence.
+        let mut dropped = false;
+        let mut out = Vec::new();
+        for inst in rk.kernel.body.iter() {
+            if !dropped && matches!(inst, Inst::Barrier) {
+                dropped = true;
+                continue;
+            }
+            out.push(inst.clone());
+        }
+        rk.kernel.body = Block(out);
+        let errs = verify_rmt(&k, &rk);
+        assert!(
+            errs.iter().any(|e| matches!(
+                e,
+                VerifyError::TicketPrologue(_) | VerifyError::BarrierCount { .. }
+            )),
+            "got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn plain_poll_load_is_caught() {
+        // Replace protocol poll atomics with plain loads: the verifier
+        // must flag the stale-L1 hazard.
+        let k = sample_kernel();
+        let mut rk = transform(&k, &TransformOptions::inter()).unwrap();
+        fn rewrite(b: &Block) -> Block {
+            let mut out = Vec::new();
+            let mut in_cond = false;
+            for inst in b.iter() {
+                out.push(match inst {
+                    Inst::While {
+                        cond,
+                        cond_reg,
+                        body,
+                    } => {
+                        in_cond = true;
+                        let c = {
+                            let mut cs = Vec::new();
+                            for ci in cond.iter() {
+                                cs.push(match ci {
+                                    Inst::Atomic {
+                                        dst: Some(d),
+                                        space: MemSpace::Global,
+                                        op: AtomicOp::Add,
+                                        addr,
+                                        ..
+                                    } => Inst::Load {
+                                        dst: *d,
+                                        space: MemSpace::Global,
+                                        addr: *addr,
+                                    },
+                                    other => other.clone(),
+                                });
+                            }
+                            Block(cs)
+                        };
+                        Inst::While {
+                            cond: c,
+                            cond_reg: *cond_reg,
+                            body: rewrite(body),
+                        }
+                    }
+                    Inst::If {
+                        cond,
+                        then_blk,
+                        else_blk,
+                    } => Inst::If {
+                        cond: *cond,
+                        then_blk: rewrite(then_blk),
+                        else_blk: rewrite(else_blk),
+                    },
+                    other => other.clone(),
+                });
+            }
+            let _ = in_cond;
+            Block(out)
+        }
+        rk.kernel.body = rewrite(&rk.kernel.body);
+        let errs = verify_rmt(&k, &rk);
+        assert!(errs.contains(&VerifyError::PlainPoll), "got {errs:?}");
+    }
+
+    #[test]
+    fn errors_display_informatively() {
+        let e = VerifyError::BarrierCount { got: 3, want: 2 };
+        assert!(e.to_string().contains("3"));
+        let e = VerifyError::TicketPrologue("x".into());
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -277,7 +277,10 @@ fn lds_fault_detected_only_with_lds_in_sor() {
             minus_sdc = true;
         }
     }
-    assert!(minus_sdc, "the LDS fault must corrupt at least one -LDS run");
+    assert!(
+        minus_sdc,
+        "the LDS fault must corrupt at least one -LDS run"
+    );
 
     // Inter: separate groups have separate LDS allocations — detected.
     let mut inter_detected = false;

@@ -346,7 +346,9 @@ fn preserves_histogram_kernel_with_global_atomics() {
     let k = b.finish();
 
     let n = 256usize;
-    let input: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761) >> 8).collect();
+    let input: Vec<u32> = (0..n as u32)
+        .map(|i| i.wrapping_mul(2654435761) >> 8)
+        .collect();
     let mut want = vec![0u32; 16];
     for &v in &input {
         want[(v % 16) as usize] += 1;

@@ -1,0 +1,1389 @@
+//! Abstract interpretation engine shared by the lint passes.
+//!
+//! One walk over a kernel body produces everything the passes consume:
+//!
+//! * **memory accesses**, each with a symbolic address polynomial and the
+//!   guard constraints active when it executes, partitioned into
+//!   barrier-delimited *intervals* (the race detector's unit of work);
+//! * **divergence diagnostics**: barriers reachable under non-uniform
+//!   control flow, and swizzles whose enclosing guards can split a
+//!   producer/consumer lane pair;
+//! * **bounds diagnostics**: LDS accesses whose address provably exceeds
+//!   the kernel's declared `lds_bytes`.
+//!
+//! Loops are handled by a numeric range pre-analysis (interval fixpoint
+//! with widening) plus *phase unrolling*: the body is walked twice with
+//! re-versioned loop-carried values, which pairs an iteration's tail
+//! accesses against the next iteration's head accesses across the
+//! back-edge. Loop-carried registers whose values cycle through a small
+//! constant sequence (ping-pong buffers) keep their exact constants in
+//! each phase; everything else is havocked to fresh range-bounded atoms.
+
+use super::expr::{builtin_poly, rem_poly, shr_poly, Atoms, LintAssumptions, Poly, BIG};
+use super::{Diagnostic, LintKind};
+use crate::inst::{BinOp, Block, CmpOp, Inst, MemSpace, Reg, UnOp};
+use crate::kernel::Kernel;
+use crate::types::Ty;
+use std::collections::{HashMap, HashSet};
+
+/// How an access touches memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// `Load`.
+    Read,
+    /// `Store`.
+    Write,
+    /// `Atomic` (any RMW op) — atomics never race with each other.
+    Atomic,
+}
+
+/// Relation of a guard constraint polynomial to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rel {
+    /// `poly == 0`.
+    EqZero,
+    /// `poly != 0`.
+    NeZero,
+    /// `poly <= 0`.
+    LeZero,
+}
+
+/// One guard fact active at an access: `poly REL 0`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// The polynomial.
+    pub poly: Poly,
+    /// Its relation to zero.
+    pub rel: Rel,
+}
+
+/// A memory access recorded by the walk.
+#[derive(Debug, Clone)]
+pub struct Access {
+    /// Address space.
+    pub space: MemSpace,
+    /// Read / write / atomic.
+    pub kind: AccessKind,
+    /// Symbolic byte address.
+    pub addr: Poly,
+    /// Guard facts active when the access executes (per-item).
+    pub constraints: Vec<Constraint>,
+    /// `true` if any enclosing guard depends on data the domain cannot
+    /// model (loads, float compares) — such accesses are never treated as
+    /// *definitely* racing in bug-finder postures.
+    pub opaque_guard: bool,
+    /// Monotone program-point id (for deduplication and ordering).
+    pub seq: usize,
+    /// Short human-readable description.
+    pub desc: String,
+}
+
+/// One barrier-delimited set of accesses that may execute concurrently.
+pub type Interval = Vec<Access>;
+
+/// Everything a walk produces.
+#[derive(Debug)]
+pub struct WalkOutput {
+    /// Interned atoms (shared by all access polynomials).
+    pub atoms: Atoms,
+    /// Closed intervals; each is one *alternative* execution of a
+    /// barrier-to-barrier region (uniform branches fork alternatives).
+    pub intervals: Vec<Interval>,
+    /// Divergence-family diagnostics found during the walk.
+    pub divergence: Vec<Diagnostic>,
+    /// LDS bounds diagnostics found during the walk.
+    pub bounds: Vec<Diagnostic>,
+}
+
+/// Cached structure of a comparison, for guard refinement.
+#[derive(Debug, Clone)]
+struct CmpDef {
+    op: CmpOp,
+    ty: Ty,
+    a: Poly,
+    b: Poly,
+}
+
+#[derive(Debug, Clone)]
+struct Guard {
+    divergent: bool,
+    pair_uniform: bool,
+    opaque: bool,
+    n_constraints: usize,
+    /// Value of the engine clock when this guard was pushed (definitions
+    /// with a later clock happened under the guard).
+    push_clock: usize,
+    /// Rendered condition, for diagnostics.
+    desc: String,
+}
+
+/// Cap on simultaneously-open interval alternatives.
+const MAX_ALTS: usize = 8;
+
+pub(super) struct Engine<'a> {
+    k: &'a Kernel,
+    asm: LintAssumptions,
+    atoms: Atoms,
+    env: HashMap<Reg, Poly>,
+    cmps: HashMap<Reg, CmpDef>,
+    /// Open interval alternatives (accesses since the last barrier).
+    open: Vec<Interval>,
+    intervals: Vec<Interval>,
+    guards: Vec<Guard>,
+    constraints: Vec<Constraint>,
+    divergence: Vec<Diagnostic>,
+    bounds: Vec<Diagnostic>,
+    seq: usize,
+    /// Monotone instruction clock; `def_clock` records when a register was
+    /// last defined, so the swizzle check can tell values produced inside
+    /// a divergent region from values both pair lanes already hold.
+    clock: usize,
+    def_clock: HashMap<Reg, usize>,
+    /// Opaque atoms proven *pair-uniform*: produced only from values that
+    /// work-items `2k`/`2k+1` share (e.g. a load from a `lid0 >> 1`
+    /// address). RMT-transformed kernels branch on such values, and both
+    /// lanes of a pair take the same side.
+    pair_atoms: HashSet<super::expr::AtomId>,
+}
+
+impl<'a> Engine<'a> {
+    pub(super) fn new(k: &'a Kernel, asm: LintAssumptions) -> Self {
+        Engine {
+            k,
+            asm,
+            atoms: Atoms::new(),
+            env: HashMap::new(),
+            cmps: HashMap::new(),
+            open: vec![Vec::new()],
+            intervals: Vec::new(),
+            guards: Vec::new(),
+            constraints: Vec::new(),
+            divergence: Vec::new(),
+            bounds: Vec::new(),
+            seq: 0,
+            clock: 0,
+            def_clock: HashMap::new(),
+            pair_atoms: HashSet::new(),
+        }
+    }
+
+    pub(super) fn run(mut self) -> WalkOutput {
+        let body = self.k.body.clone();
+        self.walk_block(&body);
+        // Close the trailing interval.
+        let open = std::mem::take(&mut self.open);
+        self.intervals
+            .extend(open.into_iter().filter(|i| !i.is_empty()));
+        WalkOutput {
+            atoms: self.atoms,
+            intervals: self.intervals,
+            divergence: self.divergence,
+            bounds: self.bounds,
+        }
+    }
+
+    fn poly(&mut self, r: Reg) -> Poly {
+        match self.env.get(&r) {
+            Some(p) => p.clone(),
+            None => {
+                // Use-before-def is `validate`'s job; stay total here.
+                let a = self.atoms.fresh_opaque(true, 0, BIG);
+                let p = Poly::atom(a);
+                self.env.insert(r, p.clone());
+                p
+            }
+        }
+    }
+
+    fn fresh(&mut self, lane: bool, lo: i128, hi: i128) -> Poly {
+        Poly::atom(self.atoms.fresh_opaque(lane, lo, hi))
+    }
+
+    fn range(&self, p: &Poly) -> (i128, i128) {
+        let (lo, hi) = p.eval_range(&self.atoms);
+        (lo.max(-BIG), hi.min(BIG))
+    }
+
+    fn under_opaque_guard(&self) -> bool {
+        self.guards.iter().any(|g| g.opaque)
+    }
+
+    /// A poly is *pair-uniform* if work-items `2k` and `2k+1` (adjacent in
+    /// `local_id.0`) always observe the same value: no raw `local_id.0`,
+    /// parity-bit, or unproven opaque lane dependence. `(lid0 + even) >> s`
+    /// for `s ≥ 1` is pair-uniform (both lanes land in one block); lid1 and
+    /// lid2 are too, because a pair never differs in those dims; opaque
+    /// atoms are pair-uniform when they were derived only from pair-uniform
+    /// values (tracked in `pair_atoms`).
+    fn pair_uniform(&self, p: &Poly) -> bool {
+        use super::expr::AtomKind;
+        p.terms.keys().flatten().all(|&a| {
+            let info = self.atoms.info(a);
+            if !info.lane {
+                return true;
+            }
+            match &info.kind {
+                AtomKind::LocalId(0) => false,
+                AtomKind::LocalId(_) => true,
+                AtomKind::Quot { arg, shift } => self.pair_uniform_quot(arg, *shift),
+                AtomKind::Rem { arg, .. } => self.pair_uniform(arg),
+                _ => self.pair_atoms.contains(&a),
+            }
+        })
+    }
+
+    /// `arg >> shift` pair-uniformity: true when `arg` itself is
+    /// pair-uniform, or when `arg = lid0 + even-valued pair-uniform rest`
+    /// and `shift ≥ 1` — lanes `2k`/`2k+1` then read consecutive values
+    /// starting on an even number, which share every `≥2`-sized block.
+    fn pair_uniform_quot(&self, arg: &Poly, shift: u8) -> bool {
+        use super::expr::AtomKind;
+        if self.pair_uniform(arg) {
+            return true;
+        }
+        if shift == 0 {
+            return false;
+        }
+        let mut rest = arg.clone();
+        let lid0_key = arg
+            .terms
+            .keys()
+            .find(|m| m.len() == 1 && matches!(self.atoms.info(m[0]).kind, AtomKind::LocalId(0)))
+            .cloned();
+        let c0 = match &lid0_key {
+            Some(k) => rest.terms.remove(k).unwrap_or(0),
+            None => 0,
+        };
+        let other_lid0 = rest
+            .terms
+            .keys()
+            .flatten()
+            .any(|&a| matches!(self.atoms.info(a).kind, AtomKind::LocalId(0)));
+        c0 == 1
+            && !other_lid0
+            && rest.k % 2 == 0
+            && rest.terms.values().all(|c| c % 2 == 0)
+            && self.pair_uniform(&rest)
+    }
+
+    /// Record that every opaque atom of `p` carries a pair-uniform value.
+    fn mark_pair(&mut self, p: &Poly) {
+        use super::expr::AtomKind;
+        for m in p.terms.keys() {
+            for &a in m {
+                if matches!(self.atoms.info(a).kind, AtomKind::Opaque { .. }) {
+                    self.pair_atoms.insert(a);
+                }
+            }
+        }
+    }
+
+    fn record_access(&mut self, space: MemSpace, kind: AccessKind, addr: Poly, what: &str) {
+        let seq = self.seq;
+        self.seq += 1;
+        let desc = format!("{what} {space}@{}", addr.render(&self.atoms));
+        if space == MemSpace::Local {
+            self.check_lds_bounds(&addr, &desc);
+        }
+        let mut constraints = self.constraints.clone();
+        if space == MemSpace::Local && self.k.lds_bytes > 0 {
+            // Race proofs may assume the access is in bounds (0 ≤ addr ≤
+            // lds − 4): out-of-bounds traffic is undefined behaviour and
+            // reported separately by the bounds pass. The assumption lets
+            // the fact deriver tighten loop-carried strides (a Blelloch
+            // `offset` cannot be 0 inside the sweep, or `offset·(2·lid+1)−1`
+            // would go negative).
+            constraints.push(Constraint {
+                poly: addr.neg(),
+                rel: Rel::LeZero,
+            });
+            constraints.push(Constraint {
+                poly: addr.sub(&Poly::constant(self.k.lds_bytes as i64 - 4)),
+                rel: Rel::LeZero,
+            });
+        }
+        let acc = Access {
+            space,
+            kind,
+            addr,
+            constraints,
+            opaque_guard: self.under_opaque_guard(),
+            seq,
+            desc,
+        };
+        for alt in &mut self.open {
+            alt.push(acc.clone());
+        }
+    }
+
+    /// Flags LDS accesses whose address is *provably* outside the declared
+    /// allocation (definite-only: an unknown address is not flagged).
+    fn check_lds_bounds(&mut self, addr: &Poly, desc: &str) {
+        let lds = self.k.lds_bytes as i128;
+        let (lo, hi) = super::races::refined_range(addr, &self.constraints, &self.atoms);
+        let definite_oob = lo >= lds || (lo == hi && lo + 3 >= lds) || hi < 0;
+        if definite_oob && lo < BIG {
+            self.bounds.push(Diagnostic {
+                kind: LintKind::LdsOutOfBounds,
+                message: format!(
+                    "{desc}: address range [{lo}, {hi}] exceeds the {lds}-byte LDS allocation"
+                ),
+            });
+        }
+    }
+
+    fn walk_block(&mut self, b: &Block) {
+        for inst in b.iter() {
+            self.walk_inst(inst);
+        }
+    }
+
+    fn walk_inst(&mut self, inst: &Inst) {
+        self.clock += 1;
+        if let Some(d) = inst.dst() {
+            self.def_clock.insert(d, self.clock);
+        }
+        match inst {
+            Inst::Const { dst, bits, .. } => {
+                self.env.insert(*dst, Poly::constant(*bits as i64));
+            }
+            Inst::Mov { dst, src } => {
+                let p = self.poly(*src);
+                self.env.insert(*dst, p);
+            }
+            Inst::ReadBuiltin { dst, builtin } => {
+                let p = builtin_poly(&mut self.atoms, *builtin, &self.asm);
+                self.env.insert(*dst, p);
+            }
+            Inst::ReadParam { dst, index } => {
+                use super::expr::AtomKind;
+                let a = self.atoms.intern(AtomKind::Param(*index), false, 0, BIG);
+                self.env.insert(*dst, Poly::atom(a));
+            }
+            Inst::Unary { dst, op, a } => {
+                let pu = {
+                    let pa = self.poly(*a);
+                    self.pair_uniform(&pa)
+                };
+                let p = self.eval_unary(*op, *a);
+                if pu {
+                    self.mark_pair(&p);
+                }
+                self.env.insert(*dst, p);
+            }
+            Inst::Binary { dst, op, ty, a, b } => {
+                let pu = {
+                    let pa = self.poly(*a);
+                    let pb = self.poly(*b);
+                    self.pair_uniform(&pa) && self.pair_uniform(&pb)
+                };
+                let p = self.eval_binary(*op, *ty, *a, *b);
+                if pu {
+                    self.mark_pair(&p);
+                }
+                self.env.insert(*dst, p);
+            }
+            Inst::Cmp { dst, op, ty, a, b } => {
+                let pa = self.poly(*a);
+                let pb = self.poly(*b);
+                let pu = self.pair_uniform(&pa) && self.pair_uniform(&pb);
+                let lane = pa.has_lane(&self.atoms) || pb.has_lane(&self.atoms);
+                self.cmps.insert(
+                    *dst,
+                    CmpDef {
+                        op: *op,
+                        ty: *ty,
+                        a: pa,
+                        b: pb,
+                    },
+                );
+                let p = self.fresh(lane, 0, 1);
+                if pu {
+                    self.mark_pair(&p);
+                }
+                self.env.insert(*dst, p);
+            }
+            Inst::Select {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => {
+                let pt = self.poly(*if_true);
+                let pf = self.poly(*if_false);
+                if pt == pf {
+                    self.env.insert(*dst, pt);
+                } else {
+                    let (tlo, thi) = self.range(&pt);
+                    let (flo, fhi) = self.range(&pf);
+                    let lane = true; // the selection itself is per-lane
+                    let p = self.fresh(lane, tlo.min(flo), thi.max(fhi));
+                    if self.pair_uniform(&pt) && self.pair_uniform(&pf) {
+                        // Both arms pair-shared: the pick may differ, but
+                        // the value observed by a pair cannot (a select's
+                        // condition register is per-lane yet derived from
+                        // the same operands; stay conservative only about
+                        // the numeric range).
+                        let pc = self.poly(*cond);
+                        if self.pair_uniform(&pc) {
+                            self.mark_pair(&p);
+                        }
+                    }
+                    self.env.insert(*dst, p);
+                }
+            }
+            Inst::Load { dst, space, addr } => {
+                let pa = self.poly(*addr);
+                self.record_access(*space, AccessKind::Read, pa.clone(), "load");
+                // A global load from a lane-free address is treated as
+                // group-uniform (the standard scalarization assumption);
+                // LDS has no scalar port, so local loads stay per-lane.
+                let lane = *space == MemSpace::Local || pa.has_lane(&self.atoms);
+                let p = self.fresh(lane, 0, BIG);
+                if self.pair_uniform(&pa) {
+                    // Both lanes of a pair load the same location, so they
+                    // observe the same value (within one barrier interval).
+                    self.mark_pair(&p);
+                }
+                self.env.insert(*dst, p);
+            }
+            Inst::Store { space, addr, value } => {
+                let _ = self.poly(*value);
+                let pa = self.poly(*addr);
+                self.record_access(*space, AccessKind::Write, pa, "store");
+            }
+            Inst::Atomic {
+                dst, space, addr, ..
+            } => {
+                let pa = self.poly(*addr);
+                self.record_access(*space, AccessKind::Atomic, pa, "atomic");
+                if let Some(d) = dst {
+                    let p = self.fresh(true, 0, BIG);
+                    self.env.insert(*d, p);
+                }
+            }
+            Inst::Barrier => {
+                if let Some(g) = self.guards.iter().find(|g| g.divergent) {
+                    let message = format!(
+                        "barrier under potentially divergent control flow (guard on {}): \
+                         work-items of one group may not all reach it",
+                        g.desc
+                    );
+                    self.divergence.push(Diagnostic {
+                        kind: LintKind::DivergentBarrier,
+                        message,
+                    });
+                }
+                let open = std::mem::take(&mut self.open);
+                self.intervals
+                    .extend(open.into_iter().filter(|i| !i.is_empty()));
+                self.open = vec![Vec::new()];
+            }
+            Inst::Swizzle { dst, src, .. } => {
+                // All swizzle modes exchange within an even/odd lane pair.
+                // The exchange reads the source lane's register regardless
+                // of its EXEC bit, so the hazard is *staleness*: a value
+                // defined inside a guard that can split the pair may never
+                // have been computed by the source lane. Values both lanes
+                // defined before the guard are safe to exchange under it.
+                let src_def = self.def_clock.get(src).copied().unwrap_or(0);
+                if let Some(g) = self
+                    .guards
+                    .iter()
+                    .find(|g| g.divergent && !g.pair_uniform && src_def > g.push_clock)
+                {
+                    let message = format!(
+                        "swizzle of a value defined under a guard (on {}) that is not \
+                         uniform across even/odd lane pairs: the source lane may never \
+                         have computed it",
+                        g.desc
+                    );
+                    self.divergence.push(Diagnostic {
+                        kind: LintKind::DivergentSwizzle,
+                        message,
+                    });
+                }
+                let ps = self.poly(*src);
+                let (lo, hi) = self.range(&ps);
+                let p = self.fresh(true, lo.min(0), hi);
+                if self.pair_uniform(&ps) {
+                    // Exchanging a pair-shared value yields the same value.
+                    self.mark_pair(&p);
+                }
+                self.env.insert(*dst, p);
+            }
+            Inst::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => self.walk_if(*cond, then_blk, else_blk),
+            Inst::While {
+                cond,
+                cond_reg,
+                body,
+            } => self.walk_while(cond, *cond_reg, body),
+        }
+    }
+
+    fn eval_unary(&mut self, op: UnOp, a: Reg) -> Poly {
+        let pa = self.poly(a);
+        let (lo, hi) = self.range(&pa);
+        let lane = pa.has_lane(&self.atoms);
+        match op {
+            UnOp::Neg => pa.neg(),
+            UnOp::Abs => {
+                if lo >= 0 {
+                    pa
+                } else {
+                    self.fresh(lane, 0, hi.saturating_abs().max(lo.saturating_abs()))
+                }
+            }
+            _ => self.fresh(lane, -BIG, BIG),
+        }
+    }
+
+    fn eval_binary(&mut self, op: BinOp, ty: Ty, a: Reg, b: Reg) -> Poly {
+        let pa = self.poly(a);
+        let pb = self.poly(b);
+        if ty == Ty::F32 {
+            let lane = pa.has_lane(&self.atoms) || pb.has_lane(&self.atoms);
+            return self.fresh(lane, -BIG, BIG);
+        }
+        let (alo, ahi) = self.range(&pa);
+        let (blo, bhi) = self.range(&pb);
+        let lane = pa.has_lane(&self.atoms) || pb.has_lane(&self.atoms);
+        match op {
+            BinOp::Add => pa.add(&pb),
+            BinOp::Sub => pa.sub(&pb),
+            BinOp::Mul => match pa.mul(&pb) {
+                Some(p) => p,
+                None => {
+                    let cands = [
+                        alo.saturating_mul(blo),
+                        alo.saturating_mul(bhi),
+                        ahi.saturating_mul(blo),
+                        ahi.saturating_mul(bhi),
+                    ];
+                    self.fresh(
+                        lane,
+                        *cands.iter().min().unwrap(),
+                        *cands.iter().max().unwrap(),
+                    )
+                }
+            },
+            BinOp::Shl => match pb.as_const() {
+                Some(s) if (0..32).contains(&s) => pa.scale(1i64 << s),
+                _ => self.fresh(lane, 0, BIG),
+            },
+            BinOp::Shr => match pb.as_const() {
+                Some(s) if (0..32).contains(&s) && alo >= 0 => {
+                    shr_poly(&mut self.atoms, &pa, s as u8)
+                }
+                _ => self.fresh(lane, 0, ahi.max(0)),
+            },
+            BinOp::And => {
+                let mask = |p: &Poly| {
+                    p.as_const()
+                        .filter(|&m| m >= 0 && ((m + 1) as u64).is_power_of_two())
+                };
+                if let Some(m) = mask(&pb) {
+                    if alo >= 0 {
+                        return rem_poly(&mut self.atoms, &pa, (m + 1).trailing_zeros() as u8);
+                    }
+                }
+                if let Some(m) = mask(&pa) {
+                    if blo >= 0 {
+                        return rem_poly(&mut self.atoms, &pb, (m + 1).trailing_zeros() as u8);
+                    }
+                }
+                if alo >= 0 && blo >= 0 {
+                    self.fresh(lane, 0, ahi.min(bhi))
+                } else {
+                    self.fresh(lane, -BIG, BIG)
+                }
+            }
+            BinOp::Or | BinOp::Xor => {
+                if alo >= 0 && blo >= 0 {
+                    self.fresh(lane, 0, ahi.saturating_add(bhi))
+                } else {
+                    self.fresh(lane, -BIG, BIG)
+                }
+            }
+            BinOp::Div => match pb.as_const() {
+                Some(d) if d > 0 && (d as u64).is_power_of_two() && alo >= 0 => {
+                    shr_poly(&mut self.atoms, &pa, d.trailing_zeros() as u8)
+                }
+                Some(d) if d > 0 && alo >= 0 => self.fresh(lane, alo / d as i128, ahi / d as i128),
+                _ => self.fresh(lane, 0, ahi.max(0)),
+            },
+            BinOp::Rem => match pb.as_const() {
+                Some(d) if d > 0 && (d as u64).is_power_of_two() && alo >= 0 => {
+                    rem_poly(&mut self.atoms, &pa, d.trailing_zeros() as u8)
+                }
+                Some(d) if d > 0 => self.fresh(lane, 0, d as i128 - 1),
+                _ => {
+                    if in_bounds_positive(blo, bhi) {
+                        self.fresh(lane, 0, bhi - 1)
+                    } else {
+                        self.fresh(lane, 0, ahi.max(0))
+                    }
+                }
+            },
+            BinOp::Min => self.fresh(lane, alo.min(blo), ahi.min(bhi)),
+            BinOp::Max => self.fresh(lane, alo.max(blo), ahi.max(bhi)),
+        }
+    }
+
+    /// Builds the guard fact for `cond` being true (or false).
+    fn guard_constraint(&mut self, cond: Reg, taken: bool) -> Option<Constraint> {
+        let def = self.cmps.get(&cond).cloned();
+        if let Some(CmpDef { op, ty, a, b }) = def {
+            if ty == Ty::F32 {
+                return None;
+            }
+            let d = a.sub(&b);
+            let one = Poly::constant(1);
+            let (rel, poly) = match (op, taken) {
+                (CmpOp::Eq, true) | (CmpOp::Ne, false) => (Rel::EqZero, d),
+                (CmpOp::Ne, true) | (CmpOp::Eq, false) => (Rel::NeZero, d),
+                (CmpOp::Lt, true) | (CmpOp::Ge, false) => (Rel::LeZero, d.add(&one)),
+                (CmpOp::Le, true) | (CmpOp::Gt, false) => (Rel::LeZero, d),
+                (CmpOp::Gt, true) | (CmpOp::Le, false) => (Rel::LeZero, d.neg().add(&one)),
+                (CmpOp::Ge, true) | (CmpOp::Lt, false) => (Rel::LeZero, d.neg()),
+            };
+            return Some(Constraint { poly, rel });
+        }
+        // Non-comparison condition: constrain its value directly.
+        let p = self.poly(cond);
+        Some(Constraint {
+            poly: p,
+            rel: if taken { Rel::NeZero } else { Rel::EqZero },
+        })
+    }
+
+    fn push_guard(&mut self, cond: Reg, taken: bool) {
+        let (div, pair_u, opaque) = self.guard_shape(cond);
+        let desc = self.guard_desc(cond);
+        let mut n = 0;
+        if let Some(c) = self.guard_constraint(cond, taken) {
+            self.constraints.push(c);
+            n = 1;
+        }
+        self.guards.push(Guard {
+            divergent: div,
+            pair_uniform: pair_u,
+            opaque,
+            n_constraints: n,
+            push_clock: self.clock,
+            desc,
+        });
+    }
+
+    /// Rendered condition operands, for diagnostics.
+    fn guard_desc(&mut self, cond: Reg) -> String {
+        match self.cmps.get(&cond) {
+            Some(c) => format!("{} vs {}", c.a.render(&self.atoms), c.b.render(&self.atoms)),
+            None => self.poly(cond).render(&self.atoms),
+        }
+    }
+
+    fn pop_guard(&mut self) {
+        if let Some(g) = self.guards.pop() {
+            for _ in 0..g.n_constraints {
+                self.constraints.pop();
+            }
+        }
+    }
+
+    /// (divergent, pair_uniform, opaque) for a condition register.
+    fn guard_shape(&mut self, cond: Reg) -> (bool, bool, bool) {
+        use super::expr::AtomKind;
+        let polys: Vec<Poly> = match self.cmps.get(&cond) {
+            Some(c) => vec![c.a.clone(), c.b.clone()],
+            None => vec![self.poly(cond)],
+        };
+        let mut div = false;
+        let mut pair_u = true;
+        let mut opaque = false;
+        for p in &polys {
+            if p.has_lane(&self.atoms) {
+                div = true;
+            }
+            if !self.pair_uniform(p) {
+                pair_u = false;
+            }
+            for m in p.terms.keys() {
+                for &a in m {
+                    let i = self.atoms.info(a);
+                    if i.lane && matches!(i.kind, AtomKind::Opaque { .. }) {
+                        opaque = true;
+                    }
+                }
+            }
+        }
+        (div, pair_u, opaque)
+    }
+
+    fn walk_if(&mut self, cond: Reg, then_blk: &Block, else_blk: &Block) {
+        let (div, pair_u, _) = self.guard_shape(cond);
+        let pre_env = self.env.clone();
+        let snapshot = self.open.clone();
+
+        self.push_guard(cond, true);
+        self.walk_block(then_blk);
+        self.pop_guard();
+        let open_t = std::mem::replace(&mut self.open, snapshot);
+        let env_t = std::mem::replace(&mut self.env, pre_env.clone());
+
+        self.push_guard(cond, false);
+        self.walk_block(else_blk);
+        self.pop_guard();
+        let open_e = std::mem::take(&mut self.open);
+        let env_e = std::mem::take(&mut self.env);
+
+        // Merge interval alternatives. A divergent branch interleaves both
+        // sides in one schedule; a uniform branch forks alternatives.
+        self.open = if div && open_t.len() == open_e.len() {
+            open_t
+                .into_iter()
+                .zip(open_e)
+                .map(|(mut t, e)| {
+                    let known: HashSet<usize> = t.iter().map(|a| a.seq).collect();
+                    t.extend(e.into_iter().filter(|a| !known.contains(&a.seq)));
+                    t
+                })
+                .collect()
+        } else {
+            let mut alts = open_t;
+            alts.extend(open_e);
+            while alts.len() > MAX_ALTS {
+                let extra = alts.pop().unwrap();
+                let last = alts.last_mut().unwrap();
+                let known: HashSet<usize> = last.iter().map(|a| a.seq).collect();
+                last.extend(extra.into_iter().filter(|a| !known.contains(&a.seq)));
+            }
+            alts
+        };
+
+        // Merge environments: registers that agree keep their value,
+        // anything else becomes a fresh range-hull atom.
+        self.env = self.merge_envs(&pre_env, env_t, env_e, pair_u);
+    }
+
+    fn merge_envs(
+        &mut self,
+        pre: &HashMap<Reg, Poly>,
+        t: HashMap<Reg, Poly>,
+        e: HashMap<Reg, Poly>,
+        pair_u: bool,
+    ) -> HashMap<Reg, Poly> {
+        let mut out = HashMap::new();
+        let regs: HashSet<Reg> = t.keys().chain(e.keys()).copied().collect();
+        for r in regs {
+            let vt = t.get(&r).or_else(|| pre.get(&r));
+            let ve = e.get(&r).or_else(|| pre.get(&r));
+            match (vt, ve) {
+                (Some(a), Some(b)) if a == b => {
+                    out.insert(r, a.clone());
+                }
+                (Some(a), Some(b)) => {
+                    let (a, b) = (a.clone(), b.clone());
+                    let (alo, ahi) = self.range(&a);
+                    let (blo, bhi) = self.range(&b);
+                    let lane = true; // value now depends on the branch taken
+                    let p = self.fresh(lane, alo.min(blo), ahi.max(bhi));
+                    if pair_u && self.pair_uniform(&a) && self.pair_uniform(&b) {
+                        // Both lanes of a pair took the same side and both
+                        // sides' values are pair-shared.
+                        self.mark_pair(&p);
+                    }
+                    out.insert(r, p);
+                }
+                (Some(a), None) | (None, Some(a)) => {
+                    let a = a.clone();
+                    let (lo, hi) = self.range(&a);
+                    let p = self.fresh(true, lo.min(0), hi);
+                    if pair_u && self.pair_uniform(&a) {
+                        self.mark_pair(&p);
+                    }
+                    out.insert(r, p);
+                }
+                (None, None) => {}
+            }
+        }
+        out
+    }
+
+    fn walk_while(&mut self, cond: &Block, cond_reg: Reg, body: &Block) {
+        // Concrete unrolling: a loop whose condition folds to a constant
+        // every time around (counted loops over literal bounds — scan
+        // sweeps, butterfly stages) is walked iteration by iteration, so
+        // loop-carried scalars stay exact. The interval hull below loses
+        // relational invariants (a Blelloch sweep keeps `offset · active`
+        // constant) and would manufacture collisions between iterations
+        // that can never coexist.
+        const MAX_UNROLL: usize = 64;
+        let mut unrolled = 0;
+        while unrolled < MAX_UNROLL {
+            match self.peek_cond_const(cond, cond_reg) {
+                Some(false) => {
+                    // Exit edge: run the condition block once for real
+                    // (its definitions stay visible after the loop).
+                    self.walk_block(cond);
+                    return;
+                }
+                Some(true) => {
+                    self.walk_block(cond);
+                    self.walk_block(body);
+                    unrolled += 1;
+                }
+                None => break,
+            }
+        }
+        // The condition stopped folding (or the cap was hit): analyse the
+        // remaining iterations with the hull/havoc scheme.
+
+        // Registers written anywhere in the loop.
+        let mut carried: Vec<Reg> = Vec::new();
+        let mut seen = HashSet::new();
+        collect_defs(cond, &mut |r| {
+            if seen.insert(r) {
+                carried.push(r);
+            }
+        });
+        collect_defs(body, &mut |r| {
+            if seen.insert(r) {
+                carried.push(r);
+            }
+        });
+
+        // Numeric pre-analysis: iterate the loop on interval ranges to a
+        // fixpoint (with widening), giving each carried register a hull.
+        let hulls = self.loop_hulls(cond, cond_reg, body, &carried);
+
+        // Constant-cycle detection: a carried register whose value cycles
+        // through constants with period ≤ 2 (ping-pong buffer offsets)
+        // keeps its exact constants per phase.
+        let c0: HashMap<Reg, i64> = self
+            .env
+            .iter()
+            .filter_map(|(r, p)| p.as_const().map(|k| (*r, k)))
+            .collect();
+        let c1 = const_prop(cond, body, &c0);
+        let c2 = const_prop(cond, body, &c1);
+        let cyclic: HashMap<Reg, (i64, i64)> = carried
+            .iter()
+            .filter_map(|r| match (c0.get(r), c1.get(r), c2.get(r)) {
+                (Some(&a), Some(&b), Some(&a2)) if a == a2 => Some((*r, (a, b))),
+                _ => None,
+            })
+            .collect();
+
+        let had_barrier = block_has_barrier(cond) || block_has_barrier(body);
+        let snapshot = if had_barrier {
+            Some(self.open.clone())
+        } else {
+            None
+        };
+
+        let (div, _, _) = self.guard_shape_for_loop(cond, cond_reg);
+        if div && had_barrier {
+            self.divergence.push(Diagnostic {
+                kind: LintKind::DivergentBarrier,
+                message: "barrier inside a loop with a potentially non-uniform trip \
+                          count: work-items may disagree on the iteration reaching it"
+                    .into(),
+            });
+        }
+
+        // Two phases: pairs tail-of-iteration-k against head-of-k+1.
+        for phase in 0..2u8 {
+            for r in &carried {
+                let p = match cyclic.get(r) {
+                    Some(&(a, b)) => Poly::constant(if phase == 0 { a } else { b }),
+                    None => {
+                        let (lo, hi, lane) = hulls.get(r).copied().unwrap_or((0, BIG, true));
+                        self.fresh(lane, lo, hi)
+                    }
+                };
+                self.env.insert(*r, p);
+            }
+            self.walk_block(cond);
+            let desc = self.guard_desc(cond_reg);
+            let div_guard = Guard {
+                divergent: div,
+                pair_uniform: !div,
+                opaque: false,
+                n_constraints: match self.guard_constraint(cond_reg, true) {
+                    Some(c) => {
+                        self.constraints.push(c);
+                        1
+                    }
+                    None => 0,
+                },
+                push_clock: self.clock,
+                desc: format!("loop condition {desc}"),
+            };
+            self.guards.push(div_guard);
+            self.walk_block(body);
+            self.pop_guard();
+        }
+
+        // Post-loop state: carried registers are unknown within their hull
+        // (except period-1 constants, which are genuinely stable).
+        for r in &carried {
+            let p = match cyclic.get(r) {
+                Some(&(a, b)) if a == b => Poly::constant(a),
+                _ => {
+                    let (lo, hi, lane) = hulls.get(r).copied().unwrap_or((0, BIG, true));
+                    self.fresh(lane, lo, hi)
+                }
+            };
+            self.env.insert(*r, p);
+        }
+
+        // The zero-iteration path is an alternative schedule.
+        if let Some(before) = snapshot {
+            let mut alts = before;
+            alts.extend(std::mem::take(&mut self.open));
+            while alts.len() > MAX_ALTS {
+                let extra = alts.pop().unwrap();
+                let last = alts.last_mut().unwrap();
+                let known: HashSet<usize> = last.iter().map(|a| a.seq).collect();
+                last.extend(extra.into_iter().filter(|a| !known.contains(&a.seq)));
+            }
+            self.open = alts;
+        }
+    }
+
+    /// Evaluates the loop condition on a scratch copy; `Some(taken)` when
+    /// it folds to a constant under the current environment.
+    fn peek_cond_const(&mut self, cond: &Block, cond_reg: Reg) -> Option<bool> {
+        let env_save = self.env.clone();
+        let cmps_save = self.cmps.clone();
+        let open_save = std::mem::replace(&mut self.open, vec![Vec::new()]);
+        let ivl_save = self.intervals.len();
+        let div_save = self.divergence.len();
+        let bnd_save = self.bounds.len();
+        let seq_save = self.seq;
+        self.walk_block(cond);
+        let v = self.cond_const_value(cond_reg);
+        self.env = env_save;
+        self.cmps = cmps_save;
+        self.open = open_save;
+        self.intervals.truncate(ivl_save);
+        self.divergence.truncate(div_save);
+        self.bounds.truncate(bnd_save);
+        self.seq = seq_save;
+        v
+    }
+
+    fn cond_const_value(&mut self, cond_reg: Reg) -> Option<bool> {
+        if let Some(c) = self.cmps.get(&cond_reg).cloned() {
+            let a = c.a.as_const()?;
+            let b = c.b.as_const()?;
+            let (a, b) = if c.ty == Ty::U32 {
+                (((a as u32) as i64), ((b as u32) as i64))
+            } else {
+                (a, b)
+            };
+            Some(match c.op {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+            })
+        } else {
+            self.poly(cond_reg).as_const().map(|v| v != 0)
+        }
+    }
+
+    fn guard_shape_for_loop(&mut self, cond: &Block, cond_reg: Reg) -> (bool, bool, bool) {
+        // Evaluate the condition block on a scratch copy to learn the
+        // shape of `cond_reg` without recording accesses twice.
+        let env_save = self.env.clone();
+        let cmps_save = self.cmps.clone();
+        let open_save = std::mem::replace(&mut self.open, vec![Vec::new()]);
+        let ivl_save = self.intervals.len();
+        let div_save = self.divergence.len();
+        let bnd_save = self.bounds.len();
+        let seq_save = self.seq;
+        self.walk_block(cond);
+        let shape = self.guard_shape(cond_reg);
+        self.env = env_save;
+        self.cmps = cmps_save;
+        self.open = open_save;
+        self.intervals.truncate(ivl_save);
+        self.divergence.truncate(div_save);
+        self.bounds.truncate(bnd_save);
+        self.seq = seq_save;
+        shape
+    }
+
+    /// Interval fixpoint over the loop: returns per-register numeric hulls
+    /// (and laneness) that hold on entry to every iteration.
+    fn loop_hulls(
+        &mut self,
+        cond: &Block,
+        cond_reg: Reg,
+        body: &Block,
+        carried: &[Reg],
+    ) -> HashMap<Reg, (i128, i128, bool)> {
+        let mut num: HashMap<Reg, (i128, i128, bool)> = HashMap::new();
+        for (r, p) in &self.env {
+            let (lo, hi) = p.eval_range(&self.atoms);
+            num.insert(*r, (lo, hi, p.has_lane(&self.atoms)));
+        }
+        let mut hull: HashMap<Reg, (i128, i128, bool)> = HashMap::new();
+        for r in carried {
+            if let Some(v) = num.get(r) {
+                hull.insert(*r, *v);
+            }
+        }
+        let mut cmp_defs: HashMap<Reg, (CmpOp, Reg, Reg)> = HashMap::new();
+        for pass in 0..257 {
+            let mut env = num.clone();
+            walk_num(cond, &mut env, &mut cmp_defs);
+            // Refine with the loop condition being true.
+            if let Some(&(op, a, b)) = cmp_defs.get(&cond_reg) {
+                refine_num(&mut env, op, a, b);
+            }
+            walk_num(body, &mut env, &mut cmp_defs);
+            let mut changed = false;
+            for r in carried {
+                let cur = env.get(r).copied().unwrap_or((0, BIG, true));
+                let h = hull.entry(*r).or_insert(cur);
+                let joined = (h.0.min(cur.0), h.1.max(cur.1), h.2 || cur.2);
+                if joined != *h {
+                    *h = joined;
+                    changed = true;
+                }
+                num.insert(*r, *h);
+            }
+            if !changed {
+                break;
+            }
+            if pass == 256 {
+                // Widen whatever is still moving.
+                for r in carried {
+                    let h = hull.entry(*r).or_insert((0, BIG, true));
+                    h.1 = BIG;
+                }
+            }
+        }
+        hull
+    }
+}
+
+fn in_bounds_positive(_blo: i128, bhi: i128) -> bool {
+    bhi > 0 && bhi < BIG
+}
+
+/// Collects registers defined anywhere inside a block (recursive).
+fn collect_defs(b: &Block, f: &mut impl FnMut(Reg)) {
+    for inst in b.iter() {
+        if let Some(d) = inst.dst() {
+            f(d);
+        }
+        match inst {
+            Inst::If {
+                then_blk, else_blk, ..
+            } => {
+                collect_defs(then_blk, f);
+                collect_defs(else_blk, f);
+            }
+            Inst::While { cond, body, .. } => {
+                collect_defs(cond, f);
+                collect_defs(body, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn block_has_barrier(b: &Block) -> bool {
+    let mut found = false;
+    for inst in b.iter() {
+        match inst {
+            Inst::Barrier => found = true,
+            Inst::If {
+                then_blk, else_blk, ..
+            } => found = found || block_has_barrier(then_blk) || block_has_barrier(else_blk),
+            Inst::While { cond, body, .. } => {
+                found = found || block_has_barrier(cond) || block_has_barrier(body)
+            }
+            _ => {}
+        }
+    }
+    found
+}
+
+/// Straight-line constant propagation through one loop iteration
+/// (cond then body). Anything assigned under control flow, from memory,
+/// or from non-constant arithmetic becomes unknown.
+fn const_prop(cond: &Block, body: &Block, init: &HashMap<Reg, i64>) -> HashMap<Reg, i64> {
+    let mut env = init.clone();
+    const_prop_block(cond, &mut env);
+    const_prop_block(body, &mut env);
+    env
+}
+
+fn const_prop_block(b: &Block, env: &mut HashMap<Reg, i64>) {
+    for inst in b.iter() {
+        match inst {
+            Inst::Const { dst, bits, .. } => {
+                env.insert(*dst, *bits as i64);
+            }
+            Inst::Mov { dst, src } => match env.get(src).copied() {
+                Some(v) => {
+                    env.insert(*dst, v);
+                }
+                None => {
+                    env.remove(dst);
+                }
+            },
+            Inst::Binary { dst, op, ty, a, b } if *ty != Ty::F32 => {
+                let v = match (env.get(a), env.get(b)) {
+                    (Some(&x), Some(&y)) => eval_const_binop(*op, x, y),
+                    _ => None,
+                };
+                match v {
+                    Some(v) => {
+                        env.insert(*dst, v);
+                    }
+                    None => {
+                        env.remove(dst);
+                    }
+                }
+            }
+            Inst::If {
+                then_blk, else_blk, ..
+            } => {
+                // Branch-dependent values are not loop-phase constants.
+                collect_defs(then_blk, &mut |r| {
+                    env.remove(&r);
+                });
+                collect_defs(else_blk, &mut |r| {
+                    env.remove(&r);
+                });
+            }
+            Inst::While { cond, body, .. } => {
+                collect_defs(cond, &mut |r| {
+                    env.remove(&r);
+                });
+                collect_defs(body, &mut |r| {
+                    env.remove(&r);
+                });
+            }
+            other => {
+                if let Some(d) = other.dst() {
+                    env.remove(&d);
+                }
+            }
+        }
+    }
+}
+
+fn eval_const_binop(op: BinOp, x: i64, y: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                0
+            } else {
+                x / y
+            }
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                0
+            } else {
+                x % y
+            }
+        }
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => ((x as u32) << ((y as u32) & 31)) as i64,
+        BinOp::Shr => ((x as u32) >> ((y as u32) & 31)) as i64,
+    })
+}
+
+/// Numeric interval transfer for one block (used by the loop pre-analysis).
+fn walk_num(
+    b: &Block,
+    env: &mut HashMap<Reg, (i128, i128, bool)>,
+    cmps: &mut HashMap<Reg, (CmpOp, Reg, Reg)>,
+) {
+    let get = |env: &HashMap<Reg, (i128, i128, bool)>, r: &Reg| {
+        env.get(r).copied().unwrap_or((0, BIG, true))
+    };
+    for inst in b.iter() {
+        match inst {
+            Inst::Const { dst, bits, .. } => {
+                env.insert(*dst, (*bits as i128, *bits as i128, false));
+            }
+            Inst::Mov { dst, src } => {
+                let v = get(env, src);
+                env.insert(*dst, v);
+            }
+            Inst::ReadBuiltin { dst, .. } => {
+                env.insert(*dst, (0, BIG, true));
+            }
+            Inst::ReadParam { dst, .. } => {
+                env.insert(*dst, (0, BIG, false));
+            }
+            Inst::Cmp { dst, op, a, b, .. } => {
+                let la = get(env, a).2;
+                let lb = get(env, b).2;
+                cmps.insert(*dst, (*op, *a, *b));
+                env.insert(*dst, (0, 1, la || lb));
+            }
+            Inst::Binary { dst, op, ty, a, b } => {
+                let (alo, ahi, la) = get(env, a);
+                let (blo, bhi, lb) = get(env, b);
+                let lane = la || lb;
+                let v = if *ty == Ty::F32 {
+                    (-BIG, BIG, lane)
+                } else {
+                    num_binop(*op, (alo, ahi), (blo, bhi), lane)
+                };
+                env.insert(*dst, v);
+            }
+            Inst::Unary { dst, op, a } => {
+                let (alo, ahi, lane) = get(env, a);
+                let v = match op {
+                    UnOp::Neg => (-ahi, -alo, lane),
+                    UnOp::Abs if alo >= 0 => (alo, ahi, lane),
+                    _ => (-BIG, BIG, lane),
+                };
+                env.insert(*dst, v);
+            }
+            Inst::Select {
+                dst,
+                if_true,
+                if_false,
+                ..
+            } => {
+                let t = get(env, if_true);
+                let f = get(env, if_false);
+                env.insert(*dst, (t.0.min(f.0), t.1.max(f.1), true));
+            }
+            Inst::Load { dst, space, addr } => {
+                let lane = *space == MemSpace::Local || get(env, addr).2;
+                env.insert(*dst, (0, BIG, lane));
+            }
+            Inst::Atomic { dst: Some(d), .. } => {
+                env.insert(*d, (0, BIG, true));
+            }
+            Inst::Swizzle { dst, src, .. } => {
+                let (lo, hi, _) = get(env, src);
+                env.insert(*dst, (lo.min(0), hi, true));
+            }
+            Inst::If {
+                then_blk, else_blk, ..
+            } => {
+                let mut et = env.clone();
+                let mut ee = env.clone();
+                walk_num(then_blk, &mut et, cmps);
+                walk_num(else_blk, &mut ee, cmps);
+                let regs: HashSet<Reg> = et.keys().chain(ee.keys()).copied().collect();
+                for r in regs {
+                    let t = get(&et, &r);
+                    let e = get(&ee, &r);
+                    env.insert(r, (t.0.min(e.0), t.1.max(e.1), t.2 || e.2));
+                }
+            }
+            Inst::While {
+                cond,
+                cond_reg,
+                body,
+            } => {
+                // Bounded inner fixpoint.
+                for _ in 0..64 {
+                    let before = env.clone();
+                    walk_num(cond, env, cmps);
+                    if let Some(&(op, a, b)) = cmps.get(cond_reg) {
+                        refine_num(env, op, a, b);
+                    }
+                    walk_num(body, env, cmps);
+                    let mut changed = false;
+                    for (r, v) in env.iter_mut() {
+                        if let Some(p) = before.get(r) {
+                            let j = (p.0.min(v.0), p.1.max(v.1), p.2 || v.2);
+                            if j != *v {
+                                *v = j;
+                                changed = true;
+                            }
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+            }
+            other => {
+                if let Some(d) = other.dst() {
+                    env.insert(d, (0, BIG, true));
+                }
+            }
+        }
+    }
+}
+
+fn num_binop(op: BinOp, a: (i128, i128), b: (i128, i128), lane: bool) -> (i128, i128, bool) {
+    let (alo, ahi) = a;
+    let (blo, bhi) = b;
+    match op {
+        BinOp::Add => (alo.saturating_add(blo), ahi.saturating_add(bhi), lane),
+        BinOp::Sub => (alo.saturating_sub(bhi), ahi.saturating_sub(blo), lane),
+        BinOp::Mul => {
+            let c = [
+                alo.saturating_mul(blo),
+                alo.saturating_mul(bhi),
+                ahi.saturating_mul(blo),
+                ahi.saturating_mul(bhi),
+            ];
+            (*c.iter().min().unwrap(), *c.iter().max().unwrap(), lane)
+        }
+        BinOp::Shr if blo == bhi && (0..32).contains(&blo) && alo >= 0 => {
+            (alo >> blo, ahi >> blo, lane)
+        }
+        BinOp::Shl if blo == bhi && (0..32).contains(&blo) && alo >= 0 => (
+            alo.saturating_mul(1 << blo),
+            ahi.saturating_mul(1 << blo),
+            lane,
+        ),
+        BinOp::And if alo >= 0 && blo >= 0 => (0, ahi.min(bhi), lane),
+        BinOp::Or | BinOp::Xor if alo >= 0 && blo >= 0 => (0, ahi.saturating_add(bhi), lane),
+        BinOp::Div if blo == bhi && blo > 0 && alo >= 0 => (alo / blo, ahi / blo, lane),
+        BinOp::Rem if blo > 0 && bhi < BIG => (0, bhi - 1, lane),
+        BinOp::Min => (alo.min(blo), ahi.min(bhi), lane),
+        BinOp::Max => (alo.max(blo), ahi.max(bhi), lane),
+        _ => (-BIG, BIG, lane),
+    }
+}
+
+/// Narrows `a` and `b`'s ranges assuming `a OP b` is true.
+fn refine_num(env: &mut HashMap<Reg, (i128, i128, bool)>, op: CmpOp, a: Reg, b: Reg) {
+    let ra = env.get(&a).copied();
+    let rb = env.get(&b).copied();
+    if let (Some((alo, ahi, la)), Some((blo, bhi, lb))) = (ra, rb) {
+        let (na, nb) = match op {
+            CmpOp::Lt => ((alo, ahi.min(bhi - 1)), (blo.max(alo + 1), bhi)),
+            CmpOp::Le => ((alo, ahi.min(bhi)), (blo.max(alo), bhi)),
+            CmpOp::Gt => ((alo.max(blo + 1), ahi), (blo, bhi.min(ahi - 1))),
+            CmpOp::Ge => ((alo.max(blo), ahi), (blo, bhi.min(ahi))),
+            CmpOp::Eq => ((alo.max(blo), ahi.min(bhi)), (blo.max(alo), bhi.min(ahi))),
+            CmpOp::Ne => ((alo, ahi), (blo, bhi)),
+        };
+        env.insert(a, (na.0, na.1, la));
+        env.insert(b, (nb.0, nb.1, lb));
+    }
+}

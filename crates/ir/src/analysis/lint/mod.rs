@@ -1,0 +1,147 @@
+//! Static analysis (lint) framework over the kernel IR.
+//!
+//! Three pass families, all driven by one symbolic walk of the kernel
+//! ([`engine`]):
+//!
+//! 1. **Race detection** ([`races`]) — partitions memory accesses into
+//!    barrier-delimited intervals and proves, per pair, that distinct
+//!    work-items of a work-group cannot touch overlapping bytes (or flags
+//!    the pair). LDS is held to a *verify* posture (unproven ⇒
+//!    diagnostic); global memory to a *bug-finder* posture (only definite
+//!    overlaps are reported), because data-dependent butterfly addressing
+//!    (FFT/bitonic-style) is statically unprovable yet correct.
+//! 2. **Divergence checking** ([`divergence`]) — barriers under
+//!    non-uniform control flow and swizzles under pair-splitting guards.
+//! 3. **LDS bounds** — accesses provably outside the declared
+//!    `lds_bytes` allocation (definite-only).
+//!
+//! The RMT *transform-invariant* verifier (store-coverage and ticket
+//! protocol shape) lives in `rmt-core::verify`, next to the transforms
+//! whose output it checks; it consumes the same kernel IR.
+//!
+//! ### Assumptions
+//!
+//! * Launch geometry may be supplied via [`LintAssumptions`]; unknown
+//!   work-group sizes weaken (never unsound-en) the proofs. Dimensions
+//!   with an assumed size of 1 are treated as degenerate (ids are 0).
+//! * Address arithmetic is ideal-integer: kernels relying on 32-bit
+//!   wraparound to alias addresses are outside the domain.
+//! * Race checking is scoped to work-items of **one work-group** (the
+//!   GPUVerify-style reduction). Cross-group global traffic — e.g. the
+//!   inter-group RMT full/empty communication protocol — is synchronized
+//!   by atomics the interval model does not interpret, and is therefore
+//!   out of scope by design.
+//! * Scalar parameters are assumed non-negative (buffer bases and sizes).
+
+pub mod divergence;
+pub mod engine;
+pub mod expr;
+pub mod races;
+
+pub use expr::LintAssumptions;
+
+use crate::kernel::Kernel;
+
+/// Which diagnostic a lint pass produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintKind {
+    /// Possible LDS data race within a barrier interval (verify posture).
+    LocalRace,
+    /// Definite global-memory data race within a work-group (bug-finder
+    /// posture: only proven overlaps are reported).
+    GlobalRace,
+    /// Barrier reachable under divergent control flow.
+    DivergentBarrier,
+    /// Swizzle under a guard that can split an even/odd lane pair.
+    DivergentSwizzle,
+    /// LDS access provably outside the declared allocation.
+    LdsOutOfBounds,
+}
+
+impl std::fmt::Display for LintKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LintKind::LocalRace => "local-race",
+            LintKind::GlobalRace => "global-race",
+            LintKind::DivergentBarrier => "divergent-barrier",
+            LintKind::DivergentSwizzle => "divergent-swizzle",
+            LintKind::LdsOutOfBounds => "lds-out-of-bounds",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Category.
+    pub kind: LintKind,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.message)
+    }
+}
+
+/// Pass selection for [`lint_kernel`].
+#[derive(Debug, Clone, Copy)]
+pub struct LintConfig {
+    /// Launch-shape assumptions.
+    pub assumptions: LintAssumptions,
+    /// Run the barrier-interval race detector.
+    pub races: bool,
+    /// Run the divergence checker.
+    pub divergence: bool,
+    /// Run the LDS bounds checker.
+    pub bounds: bool,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            assumptions: LintAssumptions::default(),
+            races: true,
+            divergence: true,
+            bounds: true,
+        }
+    }
+}
+
+impl LintConfig {
+    /// All passes, with the given launch assumptions.
+    pub fn with_assumptions(assumptions: LintAssumptions) -> Self {
+        LintConfig {
+            assumptions,
+            ..Default::default()
+        }
+    }
+}
+
+/// Runs the configured lint passes over `kernel` and returns every
+/// finding, deduplicated, in a deterministic order.
+pub fn lint_kernel(kernel: &Kernel, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let out = engine::Engine::new(kernel, cfg.assumptions).run();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    if cfg.divergence {
+        diags.extend(out.divergence.iter().cloned());
+    }
+    if cfg.bounds {
+        diags.extend(out.bounds.iter().cloned());
+    }
+    if cfg.races {
+        for interval in &out.intervals {
+            diags.extend(races::check_interval(
+                interval,
+                &out.atoms,
+                &cfg.assumptions,
+            ));
+        }
+    }
+    // Alternatives and loop phases can rediscover the same finding.
+    let mut seen = std::collections::HashSet::new();
+    diags.retain(|d| seen.insert(format!("{d}")));
+    diags
+}

@@ -9,12 +9,17 @@
 //!   compiler would place on the GCN scalar unit (the reason the SU/SRF sit
 //!   outside the Intra-Group sphere of replication, Section 6.1);
 //! * [`mix`] — static instruction-mix statistics used by experiment
-//!   reporting.
+//!   reporting;
+//! * [`lint`] — the static-analysis (lint) framework: barrier-interval
+//!   race detection, uniformity-aware divergence checking, and LDS
+//!   bounds checking.
 
+pub mod lint;
 pub mod mix;
 pub mod pressure;
 pub mod uniform;
 
+pub use lint::{lint_kernel, Diagnostic, LintConfig, LintKind};
 pub use mix::{instruction_mix, InstMix};
 pub use pressure::register_pressure;
 pub use uniform::uniform_regs;

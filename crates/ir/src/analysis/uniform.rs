@@ -32,12 +32,7 @@ pub fn uniform_regs(kernel: &Kernel) -> HashSet<Reg> {
         let mut changed = false;
         // Divergence context is threaded through the walk: a definition
         // under a non-uniform branch/loop condition is itself non-uniform.
-        fn walk(
-            insts: &[Inst],
-            divergent: bool,
-            uniform: &mut HashSet<Reg>,
-            changed: &mut bool,
-        ) {
+        fn walk(insts: &[Inst], divergent: bool, uniform: &mut HashSet<Reg>, changed: &mut bool) {
             let mut srcs = Vec::new();
             for inst in insts {
                 srcs.clear();
@@ -56,9 +51,7 @@ pub fn uniform_regs(kernel: &Kernel) -> HashSet<Reg> {
                     // Only globally-addressed loads with uniform addresses
                     // can be scalarized (the SU has no LDS port).
                     Inst::Load { space, .. } => {
-                        !divergent
-                            && inputs_uniform
-                            && *space == crate::inst::MemSpace::Global
+                        !divergent && inputs_uniform && *space == crate::inst::MemSpace::Global
                     }
                     // Atomics return per-lane old values; swizzles are
                     // per-lane by construction.

@@ -475,12 +475,7 @@ impl KernelBuilder {
 
     /// Counted loop `for i in start..end { body(i) }` with a u32 counter.
     /// `start` and `end` are registers; the body receives the counter.
-    pub fn for_range(
-        &mut self,
-        start: Reg,
-        end: Reg,
-        body: impl FnOnce(&mut Self, Reg),
-    ) {
+    pub fn for_range(&mut self, start: Reg, end: Reg, body: impl FnOnce(&mut Self, Reg)) {
         let i = self.fresh();
         self.mov_to(i, start);
         let one = self.const_u32(1);

@@ -548,7 +548,9 @@ impl Inst {
     /// (control-flow conditions included, nested block contents excluded).
     pub fn srcs(&self, out: &mut Vec<Reg>) {
         match self {
-            Inst::Const { .. } | Inst::ReadBuiltin { .. } | Inst::ReadParam { .. }
+            Inst::Const { .. }
+            | Inst::ReadBuiltin { .. }
+            | Inst::ReadParam { .. }
             | Inst::Barrier => {}
             Inst::Unary { a, .. } => out.push(*a),
             Inst::Binary { a, b, .. } | Inst::Cmp { a, b, .. } => {

@@ -8,8 +8,19 @@
 //!   linear program-order scan is the right discipline);
 //! * parameter indices are in range;
 //! * int-only binary operators are not applied at `f32`;
-//! * barriers do not appear inside divergent `if` bodies (OpenCL leaves
-//!   this undefined; the paper's kernels never need it).
+//! * barriers do not execute under *divergent* control flow — an `if` or
+//!   `while` whose condition may differ across the work-items of one
+//!   group (OpenCL leaves a non-uniformly-reached barrier undefined).
+//!
+//! The divergence rule is uniformity-aware: a barrier under `if` or
+//! inside a loop is fine as long as every enclosing condition is derived
+//! only from group-uniform values (constants, parameters, `group_id`,
+//! `local_size`, `num_groups`, and arithmetic over those). Conditions
+//! touching `local_id`/`global_id`, LDS loads, atomics, swizzles, or any
+//! value assigned under divergent control are rejected. This is a
+//! syntactic taint analysis: sound, with no value reasoning (`lid - lid`
+//! counts as divergent) — the lint passes in [`crate::analysis::lint`]
+//! carry the precise symbolic version of the same rule.
 
 use crate::inst::{BinOp, Block, Inst, Reg};
 use crate::kernel::Kernel;
@@ -39,8 +50,11 @@ pub enum ValidateError {
         /// The operator.
         op: BinOp,
     },
-    /// `barrier` inside an `if` (potentially divergent) region.
+    /// `barrier` inside an `if` whose condition is not group-uniform.
     BarrierInDivergentIf,
+    /// `barrier` inside a `while` whose condition is not group-uniform:
+    /// work-items may disagree on the iteration count reaching it.
+    BarrierInDivergentLoop,
 }
 
 impl fmt::Display for ValidateError {
@@ -56,7 +70,10 @@ impl fmt::Display for ValidateError {
                 write!(f, "integer-only operator `{op}` applied at f32")
             }
             ValidateError::BarrierInDivergentIf => {
-                write!(f, "barrier inside a divergent `if` region")
+                write!(f, "barrier inside an `if` with a non-uniform condition")
+            }
+            ValidateError::BarrierInDivergentLoop => {
+                write!(f, "barrier inside a `while` with a non-uniform trip count")
             }
         }
     }
@@ -64,10 +81,78 @@ impl fmt::Display for ValidateError {
 
 impl Error for ValidateError {}
 
+/// Monotone taint analysis: the set of registers whose value may differ
+/// across the work-items of one group. Grows until a fixpoint (loops feed
+/// iteration `k` values into iteration `k+1`, and a value assigned under
+/// divergent control is divergent even when its operands are uniform).
+fn non_uniform_regs(kernel: &Kernel) -> HashSet<Reg> {
+    let mut nu: HashSet<Reg> = HashSet::new();
+    loop {
+        let before = nu.len();
+        taint_block(&kernel.body, false, &mut nu);
+        if nu.len() == before {
+            return nu;
+        }
+    }
+}
+
+fn taint_block(b: &Block, ctl_divergent: bool, nu: &mut HashSet<Reg>) {
+    for inst in b.iter() {
+        let mut srcs = Vec::new();
+        inst.srcs(&mut srcs);
+        let src_nu = srcs.iter().any(|r| nu.contains(r));
+        let inherently_nu = match inst {
+            Inst::ReadBuiltin { builtin, .. } => !builtin.is_wavefront_uniform(),
+            // LDS holds per-lane data; global loads from one (uniform)
+            // address observe one value (the scalarization assumption).
+            Inst::Load { space, .. } => *space == crate::inst::MemSpace::Local,
+            // Each participating lane gets a distinct return value.
+            Inst::Atomic { .. } => true,
+            // Lane exchange is per-lane by construction.
+            Inst::Swizzle { .. } => true,
+            _ => false,
+        };
+        if let Some(d) = inst.dst() {
+            if src_nu || inherently_nu || ctl_divergent {
+                nu.insert(d);
+            }
+        }
+        match inst {
+            Inst::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let div = ctl_divergent || nu.contains(cond);
+                taint_block(then_blk, div, nu);
+                taint_block(else_blk, div, nu);
+            }
+            Inst::While {
+                cond,
+                cond_reg,
+                body,
+            } => {
+                // The loop condition is evaluated after the condition
+                // block; its divergence taints everything written in the
+                // loop (trip counts differ per lane). The outer fixpoint
+                // re-runs this until stable.
+                let div = ctl_divergent || nu.contains(cond_reg);
+                taint_block(cond, div, nu);
+                taint_block(body, div, nu);
+            }
+            _ => {}
+        }
+    }
+}
+
 struct Ctx<'k> {
     kernel: &'k Kernel,
     defined: HashSet<Reg>,
-    in_if: usize,
+    non_uniform: HashSet<Reg>,
+    /// Nesting depth of `if` regions with non-uniform conditions.
+    divergent_ifs: usize,
+    /// Nesting depth of `while` regions with non-uniform conditions.
+    divergent_loops: usize,
 }
 
 impl Ctx<'_> {
@@ -91,22 +176,21 @@ impl Ctx<'_> {
             }
         }
         match inst {
-            Inst::ReadParam { index, .. } => {
-                if *index >= self.kernel.params.len() {
-                    return Err(ValidateError::ParamOutOfRange {
-                        index: *index,
-                        count: self.kernel.params.len(),
-                    });
-                }
+            Inst::ReadParam { index, .. } if *index >= self.kernel.params.len() => {
+                return Err(ValidateError::ParamOutOfRange {
+                    index: *index,
+                    count: self.kernel.params.len(),
+                });
             }
-            Inst::Binary { op, ty, .. } => {
-                if op.int_only() && ty.is_float() {
-                    return Err(ValidateError::IntOnlyOpOnFloat { op: *op });
-                }
+            Inst::Binary { op, ty, .. } if op.int_only() && ty.is_float() => {
+                return Err(ValidateError::IntOnlyOpOnFloat { op: *op });
             }
             Inst::Barrier => {
-                if self.in_if > 0 {
+                if self.divergent_ifs > 0 {
                     return Err(ValidateError::BarrierInDivergentIf);
+                }
+                if self.divergent_loops > 0 {
+                    return Err(ValidateError::BarrierInDivergentLoop);
                 }
             }
             _ => {}
@@ -116,18 +200,28 @@ impl Ctx<'_> {
         }
         match inst {
             Inst::If {
-                then_blk, else_blk, ..
+                cond,
+                then_blk,
+                else_blk,
             } => {
-                self.in_if += 1;
+                let div = self.non_uniform.contains(cond);
+                self.divergent_ifs += div as usize;
                 self.check_block(then_blk)?;
                 self.check_block(else_blk)?;
-                self.in_if -= 1;
+                self.divergent_ifs -= div as usize;
             }
-            Inst::While { cond, body, .. } => {
+            Inst::While {
+                cond,
+                cond_reg,
+                body,
+            } => {
                 // Defs were pre-collected above; their *values* on iteration
                 // 0 are the zero-initialized register file (well-defined).
+                let div = self.non_uniform.contains(cond_reg);
+                self.divergent_loops += div as usize;
                 self.check_block(cond)?;
                 self.check_block(body)?;
+                self.divergent_loops -= div as usize;
             }
             _ => {}
         }
@@ -172,7 +266,9 @@ pub fn validate(kernel: &Kernel) -> Result<(), ValidateError> {
     let mut ctx = Ctx {
         kernel,
         defined: HashSet::new(),
-        in_if: 0,
+        non_uniform: non_uniform_regs(kernel),
+        divergent_ifs: 0,
+        divergent_loops: 0,
     };
     ctx.check_block(&kernel.body)
 }
@@ -233,11 +329,28 @@ mod tests {
     }
 
     #[test]
-    fn rejects_barrier_in_if() {
+    fn rejects_barrier_in_divergent_if() {
         let mut b = KernelBuilder::new("bad");
-        let c = b.const_u32(1);
+        let lid = b.local_id(0);
+        let n = b.const_u32(32);
+        let c = b.lt_u32(lid, n);
         b.if_(c, |b| b.barrier());
-        assert_eq!(validate(&b.finish()), Err(ValidateError::BarrierInDivergentIf));
+        assert_eq!(
+            validate(&b.finish()),
+            Err(ValidateError::BarrierInDivergentIf)
+        );
+    }
+
+    #[test]
+    fn allows_barrier_in_uniform_if() {
+        // All work-items of a group agree on a group_id comparison, so
+        // every item reaches the barrier (or none do).
+        let mut b = KernelBuilder::new("ok");
+        let grp = b.group_id(0);
+        let zero = b.const_u32(0);
+        let c = b.eq_u32(grp, zero);
+        b.if_(c, |b| b.barrier());
+        assert_eq!(validate(&b.finish()), Ok(()));
     }
 
     #[test]
@@ -248,6 +361,67 @@ mod tests {
         b.for_range(zero, four, |b, _i| {
             b.barrier();
         });
+        assert_eq!(validate(&b.finish()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_barrier_in_divergent_loop() {
+        // Trip count depends on local_id: items leave the loop on
+        // different iterations and stop reaching the barrier.
+        let mut b = KernelBuilder::new("bad");
+        let lid = b.local_id(0);
+        let i = b.fresh();
+        let zero = b.const_u32(0);
+        b.mov_to(i, zero);
+        b.while_(
+            |b| b.lt_u32(i, lid),
+            |b| {
+                b.barrier();
+                let one = b.const_u32(1);
+                let next = b.add_u32(i, one);
+                b.mov_to(i, next);
+            },
+        );
+        assert_eq!(
+            validate(&b.finish()),
+            Err(ValidateError::BarrierInDivergentLoop)
+        );
+    }
+
+    #[test]
+    fn divergent_assignment_taints_later_conditions() {
+        // `x` is written under a lane-dependent `if`; branching on it
+        // afterwards is divergent control even though both assignments
+        // are constants.
+        let mut b = KernelBuilder::new("bad");
+        let lid = b.local_id(0);
+        let n = b.const_u32(32);
+        let c = b.lt_u32(lid, n);
+        let x = b.fresh();
+        let zero = b.const_u32(0);
+        let one = b.const_u32(1);
+        b.mov_to(x, zero);
+        b.if_(c, |b| b.mov_to(x, one));
+        let c2 = b.eq_u32(x, zero);
+        b.if_(c2, |b| b.barrier());
+        assert_eq!(
+            validate(&b.finish()),
+            Err(ValidateError::BarrierInDivergentIf)
+        );
+    }
+
+    #[test]
+    fn uniform_arithmetic_keeps_barrier_legal() {
+        // Conditions over local_size/params stay uniform through
+        // arithmetic chains.
+        let mut b = KernelBuilder::new("ok");
+        let ls = b.local_size(0);
+        let two = b.const_u32(2);
+        let one = b.const_u32(1);
+        let half = b.shr_u32(ls, one);
+        let dbl = b.mul_u32(half, two);
+        let c = b.eq_u32(dbl, ls);
+        b.if_(c, |b| b.barrier());
         assert_eq!(validate(&b.finish()), Ok(()));
     }
 

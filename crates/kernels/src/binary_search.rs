@@ -153,8 +153,13 @@ mod tests {
             TransformOptions::intra_plus_lds(),
             TransformOptions::inter(),
         ] {
-            let r = run_rmt(&BinarySearch, Scale::Small, &DeviceConfig::small_test(), &opts)
-                .unwrap();
+            let r = run_rmt(
+                &BinarySearch,
+                Scale::Small,
+                &DeviceConfig::small_test(),
+                &opts,
+            )
+            .unwrap();
             assert_eq!(r.detections, 0);
         }
     }

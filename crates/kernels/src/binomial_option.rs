@@ -239,6 +239,6 @@ mod tests {
         // The option value is at least intrinsic value (S == K here, so 0)
         // and below the stock price.
         let p = cpu_price(0.5);
-        assert!(p >= 0.0 && p < 55.0, "price {p}");
+        assert!((0.0..55.0).contains(&p), "price {p}");
     }
 }

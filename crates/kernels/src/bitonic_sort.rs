@@ -131,8 +131,13 @@ mod tests {
             TransformOptions::intra_minus_lds(),
             TransformOptions::inter(),
         ] {
-            let r =
-                run_rmt(&BitonicSort, Scale::Small, &DeviceConfig::small_test(), &opts).unwrap();
+            let r = run_rmt(
+                &BitonicSort,
+                Scale::Small,
+                &DeviceConfig::small_test(),
+                &opts,
+            )
+            .unwrap();
             assert_eq!(r.detections, 0);
         }
     }

@@ -26,12 +26,12 @@ fn make_input(scale: Scale) -> Vec<f32> {
     (0..n_options(scale)).map(|_| rng.next_f32()).collect()
 }
 
-const A1: f32 = 0.319381530;
-const A2: f32 = -0.356563782;
-const A3: f32 = 1.781477937;
-const A4: f32 = -1.821255978;
-const A5: f32 = 1.330274429;
-const INV_SQRT_2PI: f32 = 0.39894228;
+const A1: f32 = 0.319_381_54;
+const A2: f32 = -0.356_563_78;
+const A3: f32 = 1.781_477_9;
+const A4: f32 = -1.821_255_9;
+const A5: f32 = 1.330_274_5;
+const INV_SQRT_2PI: f32 = 0.398_942_3;
 
 /// CPU reference mirroring the kernel's f32 operation order.
 fn cpu_price(r: f32) -> (f32, f32) {
@@ -220,8 +220,13 @@ mod tests {
             TransformOptions::intra_plus_lds().with_swizzle(),
             TransformOptions::inter(),
         ] {
-            let r = run_rmt(&BlackScholes, Scale::Small, &DeviceConfig::small_test(), &opts)
-                .unwrap();
+            let r = run_rmt(
+                &BlackScholes,
+                Scale::Small,
+                &DeviceConfig::small_test(),
+                &opts,
+            )
+            .unwrap();
             assert_eq!(r.detections, 0);
         }
     }

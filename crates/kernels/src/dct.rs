@@ -42,21 +42,21 @@ fn cpu_dct(input: &[f32], w: usize, h: usize) -> Vec<f32> {
         for bx in (0..w).step_by(B) {
             // temp = T · X
             let mut temp = [[0.0f32; B]; B];
-            for i in 0..B {
-                for j in 0..B {
+            for (i, row) in temp.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
                     let mut acc = 0.0f32;
                     for k in 0..B {
                         acc += t_entry(i, k) * input[(by + k) * w + bx + j];
                     }
-                    temp[i][j] = acc;
+                    *cell = acc;
                 }
             }
             // out = temp · Tᵀ
-            for i in 0..B {
+            for (i, row) in temp.iter().enumerate() {
                 for j in 0..B {
                     let mut acc = 0.0f32;
-                    for k in 0..B {
-                        acc += temp[i][k] * t_entry(j, k);
+                    for (k, &tv) in row.iter().enumerate() {
+                        acc += tv * t_entry(j, k);
                     }
                     out[(by + i) * w + bx + j] = acc;
                 }
@@ -204,7 +204,11 @@ mod tests {
         // A flat 8x8 block transforms to a single DC coefficient.
         let img = vec![8.0f32; 64];
         let out = cpu_dct(&img, 8, 8);
-        assert!((out[0] - 64.0).abs() < 1e-3, "DC = 8 * 8 = 64, got {}", out[0]);
+        assert!(
+            (out[0] - 64.0).abs() < 1e-3,
+            "DC = 8 * 8 = 64, got {}",
+            out[0]
+        );
         assert!(out[1..].iter().all(|&v| v.abs() < 1e-3));
     }
 }

@@ -28,7 +28,9 @@ fn n_samples(scale: Scale) -> usize {
 
 fn make_input(scale: Scale) -> Vec<f32> {
     let mut rng = Xorshift::new(0xD3_7AA2);
-    (0..n_samples(scale)).map(|_| rng.range_f32(-10.0, 10.0)).collect()
+    (0..n_samples(scale))
+        .map(|_| rng.range_f32(-10.0, 10.0))
+        .collect()
 }
 
 fn cpu_dwt_window(window: &[f32]) -> Vec<f32> {
@@ -162,7 +164,7 @@ impl Benchmark for DwtHaar1d {
         let input = make_input(scale);
         let want: Vec<f32> = input
             .chunks_exact(WINDOW)
-            .flat_map(|w| cpu_dwt_window(w))
+            .flat_map(cpu_dwt_window)
             .collect();
         check_f32s(&dev.read_f32s(plan.buffers[1]), &want, 1e-4)
     }
@@ -177,7 +179,13 @@ mod tests {
 
     #[test]
     fn original_decomposes() {
-        run_original(&DwtHaar1d, Scale::Small, &DeviceConfig::small_test(), &|c| c).unwrap();
+        run_original(
+            &DwtHaar1d,
+            Scale::Small,
+            &DeviceConfig::small_test(),
+            &|c| c,
+        )
+        .unwrap();
     }
 
     #[test]

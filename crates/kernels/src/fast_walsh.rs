@@ -23,7 +23,9 @@ fn n_elems(scale: Scale) -> usize {
 
 fn make_input(scale: Scale) -> Vec<f32> {
     let mut rng = Xorshift::new(0xFA57_3A15);
-    (0..n_elems(scale)).map(|_| rng.range_f32(-1.0, 1.0)).collect()
+    (0..n_elems(scale))
+        .map(|_| rng.range_f32(-1.0, 1.0))
+        .collect()
 }
 
 fn cpu_fwt(data: &mut [f32]) {

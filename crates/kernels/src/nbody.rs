@@ -235,7 +235,7 @@ mod tests {
         // Pairwise symmetric forces: total velocity change ≈ 0.
         let n = 32;
         let (pos, vel) = make_inputs(Scale::Small);
-        let (_, nvel) = cpu_step(&pos[..3 * n].to_vec(), &vel[..3 * n].to_vec(), n);
+        let (_, nvel) = cpu_step(&pos[..3 * n], &vel[..3 * n], n);
         let before: f32 = vel[..n].iter().sum();
         let after: f32 = nvel[..n].iter().sum();
         assert!((before - after).abs() < 1e-2, "{before} vs {after}");

@@ -120,7 +120,13 @@ mod tests {
 
     #[test]
     fn original_reduces() {
-        run_original(&Reduction, Scale::Small, &DeviceConfig::small_test(), &|c| c).unwrap();
+        run_original(
+            &Reduction,
+            Scale::Small,
+            &DeviceConfig::small_test(),
+            &|c| c,
+        )
+        .unwrap();
     }
 
     #[test]

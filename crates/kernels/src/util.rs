@@ -59,10 +59,8 @@ pub fn check_f32s(got: &[f32], want: &[f32], tol: f32) -> Result<(), String> {
     for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
         let denom = 1.0f32.max(w.abs());
         let err = (g - w).abs() / denom;
-        if err.is_nan() || err > tol {
-            if worst.map_or(true, |(_, _, _, e)| err > e || err.is_nan()) {
-                worst = Some((i, g, w, err));
-            }
+        if (err.is_nan() || err > tol) && worst.is_none_or(|(_, _, _, e)| err > e || err.is_nan()) {
+            worst = Some((i, g, w, err));
         }
     }
     match worst {

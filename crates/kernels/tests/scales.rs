@@ -133,12 +133,7 @@ fn workload_characters_match_the_paper() {
         let b = by_abbrev(abbrev).unwrap();
         let run = run_original(b.as_ref(), Scale::Paper, &cfg, &|c| c).unwrap();
         let groups = run.stats.counters.groups_executed as usize;
-        let capacity = cfg.num_cus
-            * run
-                .stats
-                .occupancy
-                .map(|o| o.groups_per_cu)
-                .unwrap_or(1);
+        let capacity = cfg.num_cus * run.stats.occupancy.map(|o| o.groups_per_cu).unwrap_or(1);
         assert!(
             groups < capacity.max(cfg.num_cus * 2),
             "{abbrev} must under-utilize: {groups} groups vs capacity {capacity}"

@@ -184,14 +184,20 @@ mod tests {
     #[test]
     fn float_ops_roundtrip_bits() {
         assert_eq!(eval_bin(BinOp::Add, Ty::F32, f(1.5), f(2.5)), f(4.0));
-        assert_eq!(eval_bin(BinOp::Div, Ty::F32, f(1.0), f(0.0)), f(f32::INFINITY));
+        assert_eq!(
+            eval_bin(BinOp::Div, Ty::F32, f(1.0), f(0.0)),
+            f(f32::INFINITY)
+        );
         assert_eq!(eval_bin(BinOp::Max, Ty::F32, f(-3.0), f(2.0)), f(2.0));
     }
 
     #[test]
     fn shift_masks_amount() {
         assert_eq!(eval_bin(BinOp::Shl, Ty::U32, 1, 33), 2);
-        assert_eq!(eval_bin(BinOp::Shr, Ty::I32, (-8i32) as u32, 1), (-4i32) as u32);
+        assert_eq!(
+            eval_bin(BinOp::Shr, Ty::I32, (-8i32) as u32, 1),
+            (-4i32) as u32
+        );
         assert_eq!(eval_bin(BinOp::Shr, Ty::U32, 0x8000_0000, 31), 1);
     }
 

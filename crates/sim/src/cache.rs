@@ -155,7 +155,14 @@ impl Cache {
     /// Installs line contents after a miss (data caches).
     pub fn fill(&mut self, line_addr: u32, data: Vec<u8>) {
         let line_addr = self.line_addr(line_addr);
-        debug_assert_eq!(data.len(), if self.with_data { self.line as usize } else { 0 });
+        debug_assert_eq!(
+            data.len(),
+            if self.with_data {
+                self.line as usize
+            } else {
+                0
+            }
+        );
         if self.find(line_addr).is_none() {
             self.insert(line_addr, data);
         }
@@ -277,7 +284,7 @@ mod tests {
         let mut c = Cache::new(128, 64, 2, true);
         c.fill(0x000, line_data(1));
         c.fill(0x040, line_data(2));
-        assert_eq!(c.load_word(0x000).is_some(), true); // refresh line 0
+        assert!(c.load_word(0x000).is_some()); // refresh line 0
         c.fill(0x080, line_data(3)); // evicts 0x040 (LRU)
         assert!(c.contains(0x000));
         assert!(!c.contains(0x040));

@@ -254,7 +254,10 @@ mod tests {
         // 64 B per dram_issue ticks should be ~96 GB/s at 1 GHz.
         let lat = Latencies::gcn_default();
         let bytes_per_cycle = 64.0 * TICKS_PER_CYCLE as f64 / lat.dram_issue as f64;
-        assert!((90.0..105.0).contains(&bytes_per_cycle), "{bytes_per_cycle}");
+        assert!(
+            (90.0..105.0).contains(&bytes_per_cycle),
+            "{bytes_per_cycle}"
+        );
     }
 
     #[test]

@@ -184,11 +184,7 @@ impl std::fmt::Display for PerfCounters {
             self.lds_insts,
             self.lds_conflicts
         )?;
-        writeln!(
-            f,
-            "scalar unit       {:>12}    insts",
-            self.salu_insts
-        )?;
+        writeln!(f, "scalar unit       {:>12}    insts", self.salu_insts)?;
         writeln!(
             f,
             "L1                {:>11.1}%   read hit ({} transactions)",
@@ -205,11 +201,7 @@ impl std::fmt::Display for PerfCounters {
             "traffic           {:>12} B  loaded, {} B stored",
             self.bytes_loaded, self.bytes_stored
         )?;
-        writeln!(
-            f,
-            "atomics           {:>12}    lane ops",
-            self.atomic_ops
-        )?;
+        writeln!(f, "atomics           {:>12}    lane ops", self.atomic_ops)?;
         writeln!(
             f,
             "work              {:>12}    groups, {} wavefronts, {} dyn insts",

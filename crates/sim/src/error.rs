@@ -55,19 +55,28 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::BadGlobalAccess { addr, kernel } => {
-                write!(f, "kernel `{kernel}`: global access at {addr:#x} outside any buffer")
+                write!(
+                    f,
+                    "kernel `{kernel}`: global access at {addr:#x} outside any buffer"
+                )
             }
             SimError::UnalignedAccess { addr } => {
                 write!(f, "unaligned 32-bit access at {addr:#x}")
             }
             SimError::BadLdsAccess { offset, lds_bytes } => {
-                write!(f, "LDS access at offset {offset} beyond allocation of {lds_bytes} bytes")
+                write!(
+                    f,
+                    "LDS access at offset {offset} beyond allocation of {lds_bytes} bytes"
+                )
             }
             SimError::BadGeometry(msg) => write!(f, "bad launch geometry: {msg}"),
             SimError::BadArgs(msg) => write!(f, "bad kernel arguments: {msg}"),
             SimError::Unschedulable(msg) => write!(f, "work-group unschedulable: {msg}"),
             SimError::Watchdog { executed } => {
-                write!(f, "watchdog fired after {executed} instructions (livelock?)")
+                write!(
+                    f,
+                    "watchdog fired after {executed} instructions (livelock?)"
+                )
             }
             SimError::BarrierDeadlock { group } => {
                 write!(f, "barrier deadlock in work-group {group}")
@@ -93,6 +102,8 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("0x1234"));
         assert!(s.contains("mm"));
-        assert!(SimError::Watchdog { executed: 42 }.to_string().contains("42"));
+        assert!(SimError::Watchdog { executed: 42 }
+            .to_string()
+            .contains("42"));
     }
 }

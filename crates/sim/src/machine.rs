@@ -128,11 +128,9 @@ pub(crate) fn occupancy(
         )));
     }
     let lds_total = kernel.lds_bytes as u64 + launch.extra_lds as u64;
-    let groups_by_lds = if lds_total == 0 {
-        usize::MAX
-    } else {
-        (cfg.lds_per_cu as u64 / lds_total) as usize
-    };
+    let groups_by_lds = (cfg.lds_per_cu as u64)
+        .checked_div(lds_total)
+        .map_or(usize::MAX, |g| g as usize);
     if groups_by_lds == 0 {
         return Err(SimError::Unschedulable(format!(
             "group needs {lds_total} LDS bytes, CU has {}",
@@ -177,7 +175,7 @@ impl<'a> Machine<'a> {
             if launch.global[d] == 0 || launch.local[d] == 0 {
                 return Err(SimError::BadGeometry("zero-sized dimension".into()));
             }
-            if launch.global[d] % launch.local[d] != 0 {
+            if !launch.global[d].is_multiple_of(launch.local[d]) {
                 return Err(SimError::BadGeometry(format!(
                     "global[{d}]={} not divisible by local[{d}]={}",
                     launch.global[d], launch.local[d]
@@ -405,7 +403,13 @@ impl<'a> Machine<'a> {
         }
         let power = self.power.finish(self.counters.wall_ticks);
         let trace = self.tracer.take().map(|t| t.trace).unwrap_or_default();
-        Ok((self.counters, power, self.occupancy, self.faults_applied, trace))
+        Ok((
+            self.counters,
+            power,
+            self.occupancy,
+            self.faults_applied,
+            trace,
+        ))
     }
 
     // ---- fault injection -------------------------------------------------
@@ -452,7 +456,12 @@ impl<'a> Machine<'a> {
                     None => false,
                 }
             }
-            FaultTarget::Sgpr { group, wave, reg, bit } => {
+            FaultTarget::Sgpr {
+                group,
+                wave,
+                reg,
+                bit,
+            } => {
                 if reg >= self.kernel.nregs {
                     return false;
                 }
@@ -534,7 +543,12 @@ impl<'a> Machine<'a> {
             self.waves[wid].ready_at = start + lat.salu_issue;
             self.power.deposit(start, self.cfg.power.salu_nj);
         } else {
-            let occ = lat.valu_issue + if transcendental { lat.valu_trans_extra } else { 0 };
+            let occ = lat.valu_issue
+                + if transcendental {
+                    lat.valu_trans_extra
+                } else {
+                    0
+                };
             let start = t.max(self.cus[cu].simd_free[simd]);
             self.cus[cu].simd_free[simd] = start + occ;
             self.counters.valu_busy_ticks += occ;
@@ -737,13 +751,7 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn exec_inst(
-        &mut self,
-        wid: usize,
-        t: u64,
-        inst: &Inst,
-        scalar: bool,
-    ) -> Result<(), SimError> {
+    fn exec_inst(&mut self, wid: usize, t: u64, inst: &Inst, scalar: bool) -> Result<(), SimError> {
         let mask = self.waves[wid].mask;
         match inst {
             Inst::Const { dst, bits, .. } => {
@@ -947,7 +955,13 @@ impl<'a> Machine<'a> {
         Ok(())
     }
 
-    fn exec_global_store(&mut self, wid: usize, t: u64, addr: Reg, value: Reg) -> Result<(), SimError> {
+    fn exec_global_store(
+        &mut self,
+        wid: usize,
+        t: u64,
+        addr: Reg,
+        value: Reg,
+    ) -> Result<(), SimError> {
         let mask = self.waves[wid].mask;
         let cu = self.waves[wid].cu;
         let lat = self.cfg.lat.clone();
@@ -1115,7 +1129,7 @@ impl<'a> Machine<'a> {
             let mut bank_addrs: Vec<Vec<u32>> = vec![Vec::new(); 32];
             for l in Self::lanes(mask).filter(|&l| l / 32 == phase) {
                 let a = self.reg(wid, addr, l);
-                if a % 4 != 0 {
+                if !a.is_multiple_of(4) {
                     return Err(SimError::UnalignedAccess { addr: a });
                 }
                 if a + 4 > lds_bytes {
@@ -1146,9 +1160,8 @@ impl<'a> Machine<'a> {
             let a = self.reg(wid, addr, l) as usize;
             match (dst, value) {
                 (Some(d), None) => {
-                    let bytes: [u8; 4] = self.groups[gidx].lds[a..a + 4]
-                        .try_into()
-                        .expect("4 bytes");
+                    let bytes: [u8; 4] =
+                        self.groups[gidx].lds[a..a + 4].try_into().expect("4 bytes");
                     self.set_reg(wid, d, l, u32::from_le_bytes(bytes));
                 }
                 (None, Some(v)) => {
@@ -1199,7 +1212,7 @@ impl<'a> Machine<'a> {
 
         for l in Self::lanes(mask) {
             let a = self.reg(wid, addr, l);
-            if a % 4 != 0 {
+            if !a.is_multiple_of(4) {
                 return Err(SimError::UnalignedAccess { addr: a });
             }
             if a + 4 > lds_bytes {
@@ -1209,9 +1222,8 @@ impl<'a> Machine<'a> {
                 });
             }
             let a = a as usize;
-            let old = u32::from_le_bytes(
-                self.groups[gidx].lds[a..a + 4].try_into().expect("4 bytes"),
-            );
+            let old =
+                u32::from_le_bytes(self.groups[gidx].lds[a..a + 4].try_into().expect("4 bytes"));
             let v = self.reg(wid, value, l);
             let new = match op {
                 AtomicOp::Add => old.wrapping_add(v),

@@ -55,7 +55,7 @@ impl GlobalMemory {
     }
 
     fn check(&self, addr: u32, kernel: &str) -> Result<usize, SimError> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(SimError::UnalignedAccess { addr });
         }
         // Find the buffer containing addr: ranges are sorted by base.

@@ -60,8 +60,7 @@ impl PowerModel {
         let avg = self.cfg.idle_watts + total_nj * 1e-9 / seconds;
 
         // Peak over one full bucket (buckets are the sliding window).
-        let bucket_seconds =
-            (self.bucket_ticks / TICKS_PER_CYCLE) as f64 / (self.clock_ghz * 1e9);
+        let bucket_seconds = (self.bucket_ticks / TICKS_PER_CYCLE) as f64 / (self.clock_ghz * 1e9);
         let peak_dynamic = self
             .buckets
             .iter()

@@ -104,6 +104,7 @@ impl Tracer {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // trace-point coordinates, not config
     pub(crate) fn record(
         &mut self,
         tick: u64,

@@ -83,6 +83,7 @@ fn nested_divergence() {
     dev.launch(&k, &LaunchConfig::new_1d(64, 64).arg(Arg::Buffer(buf)))
         .unwrap();
     let out = dev.read_u32s(buf);
+    #[allow(clippy::needless_range_loop)] // lane index is the subject under test
     for i in 0..64usize {
         let expect = if i < 16 {
             1
@@ -126,7 +127,11 @@ fn per_lane_loop_trip_counts() {
         .unwrap();
     let out = dev.read_u32s(buf);
     for i in 0..128u32 {
-        assert_eq!(out[i as usize], i * (i.wrapping_sub(1)) / 2 + if i > 0 { 0 } else { 0 }, "lane {i}: sum 0..{i}");
+        assert_eq!(
+            out[i as usize],
+            i * (i.wrapping_sub(1)) / 2,
+            "lane {i}: sum 0..{i}"
+        );
         assert_eq!(out[i as usize], (0..i).sum::<u32>());
     }
 }
@@ -204,8 +209,8 @@ fn barrier_across_multiple_waves() {
     dev.launch(&k, &LaunchConfig::new_1d(128, 128).arg(Arg::Buffer(ob)))
         .unwrap();
     let out = dev.read_u32s(ob);
-    for l in 0..128usize {
-        assert_eq!(out[l] as usize, 1000 + (127 - l), "lane {l}");
+    for (l, &v) in out.iter().enumerate().take(128) {
+        assert_eq!(v as usize, 1000 + (127 - l), "lane {l}");
     }
 }
 
@@ -271,8 +276,8 @@ fn swizzle_exchanges_pair_values() {
     dev.launch(&k, &LaunchConfig::new_1d(128, 64).arg(Arg::Buffer(ob)))
         .unwrap();
     let out = dev.read_u32s(ob);
-    for i in 0..128usize {
-        assert_eq!(out[i] as usize, i & !1, "lane {i} sees its even partner");
+    for (i, &v) in out.iter().enumerate().take(128) {
+        assert_eq!(v as usize, i & !1, "lane {i} sees its even partner");
     }
 }
 
@@ -486,8 +491,8 @@ fn select_blends_without_branching() {
     dev.launch(&k, &LaunchConfig::new_1d(64, 64).arg(Arg::Buffer(ob)))
         .unwrap();
     let out = dev.read_u32s(ob);
-    for i in 0..64usize {
-        assert_eq!(out[i], if i < 10 { 111 } else { 222 });
+    for (i, &v) in out.iter().enumerate().take(64) {
+        assert_eq!(v, if i < 10 { 111 } else { 222 });
     }
 }
 
@@ -512,9 +517,9 @@ fn float_pipeline_matches_cpu() {
     dev.launch(&k, &LaunchConfig::new_1d(64, 64).arg(Arg::Buffer(ob)))
         .unwrap();
     let out = dev.read_f32s(ob);
-    for i in 0..64usize {
+    for (i, &v) in out.iter().enumerate().take(64) {
         let expect = ((i as f32 + 1.0).ln().exp()).sqrt();
-        assert!((out[i] - expect).abs() < 1e-4, "{} vs {expect}", out[i]);
+        assert!((v - expect).abs() < 1e-4, "{v} vs {expect}");
     }
 }
 

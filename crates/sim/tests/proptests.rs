@@ -19,7 +19,7 @@ proptest! {
         prop_assert_eq!(eval_bin(BinOp::Max, Ty::U32, a, b), a.max(b));
         prop_assert_eq!(
             eval_bin(BinOp::Div, Ty::U32, a, b),
-            if b == 0 { 0 } else { a / b }
+            a.checked_div(b).unwrap_or(0)
         );
         prop_assert_eq!(
             eval_bin(BinOp::Shl, Ty::U32, a, b),

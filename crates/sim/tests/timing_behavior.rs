@@ -2,9 +2,7 @@
 //! must emerge from the resource model (latency hiding, occupancy loss,
 //! write stalls, bank conflicts, counter sanity) — plus fault injection.
 
-use gcn_sim::{
-    Arg, Device, DeviceConfig, FaultPlan, FaultTarget, LaunchConfig, SimError,
-};
+use gcn_sim::{Arg, Device, DeviceConfig, FaultPlan, FaultTarget, LaunchConfig, SimError};
 use rmt_ir::{Kernel, KernelBuilder};
 
 fn device() -> Device {
@@ -174,7 +172,10 @@ fn vgpr_inflation_reduces_occupancy_and_hurts_memory_bound_kernels() {
     };
     let (fast, occ_full) = run(0);
     let (slow, occ_low) = run(120); // ~2 waves per SIMD
-    assert!(occ_low < occ_full, "occupancy must drop: {occ_low} vs {occ_full}");
+    assert!(
+        occ_low < occ_full,
+        "occupancy must drop: {occ_low} vs {occ_full}"
+    );
     assert!(
         slow > fast,
         "fewer waves => less latency hiding => slower ({slow} vs {fast})"
@@ -212,7 +213,10 @@ fn lds_inflation_limits_resident_groups() {
     };
     let full = occ(0);
     let half = occ(31 * 1024); // 1k + 31k = 32k per group => 2 groups/CU
-    assert!(full > half, "LDS inflation must cut occupancy: {full} vs {half}");
+    assert!(
+        full > half,
+        "LDS inflation must cut occupancy: {full} vs {half}"
+    );
     assert_eq!(half, 2);
 }
 
@@ -351,7 +355,9 @@ fn vgpr_fault_flips_observable_output() {
     let stats = dev
         .launch(
             &k,
-            &LaunchConfig::new_1d(64, 64).arg(Arg::Buffer(ob)).faults(plan),
+            &LaunchConfig::new_1d(64, 64)
+                .arg(Arg::Buffer(ob))
+                .faults(plan),
         )
         .unwrap();
     assert_eq!(stats.faults_applied, 1);
@@ -390,7 +396,9 @@ fn sgpr_fault_corrupts_whole_wavefront() {
     let stats = dev
         .launch(
             &k,
-            &LaunchConfig::new_1d(64, 64).arg(Arg::Buffer(ob)).faults(plan),
+            &LaunchConfig::new_1d(64, 64)
+                .arg(Arg::Buffer(ob))
+                .faults(plan),
         )
         .unwrap();
     assert_eq!(stats.faults_applied, 1);
@@ -418,7 +426,9 @@ fn missed_fault_targets_are_reported() {
     let stats = dev
         .launch(
             &alu_kernel(4),
-            &LaunchConfig::new_1d(64, 64).arg(Arg::Buffer(ob)).faults(plan),
+            &LaunchConfig::new_1d(64, 64)
+                .arg(Arg::Buffer(ob))
+                .faults(plan),
         )
         .unwrap();
     assert_eq!(stats.faults_applied, 0);

@@ -102,7 +102,10 @@ fn tracing_does_not_perturb_results_or_timing() {
         let mut dev = Device::new(DeviceConfig::small_test());
         let ob = dev.create_buffer(256 * 4);
         let s = dev
-            .launch(&kernel(), &LaunchConfig::new_1d(256, 64).arg(Arg::Buffer(ob)))
+            .launch(
+                &kernel(),
+                &LaunchConfig::new_1d(256, 64).arg(Arg::Buffer(ob)),
+            )
             .unwrap();
         (s.cycles, dev.read_u32s(ob))
     };

@@ -8,8 +8,10 @@
 //! cargo run --release --example compiler_diagnostics
 //! ```
 
+use gpu_rmt::ir::analysis::lint::{lint_kernel, LintAssumptions, LintConfig};
+use gpu_rmt::ir::{Block, Inst, KernelBuilder, MemSpace};
 use gpu_rmt::kernels::{all, by_abbrev, run_original, Scale};
-use gpu_rmt::rmt::{transform, TransformOptions, TransformReport};
+use gpu_rmt::rmt::{transform, verify_rmt, TransformOptions, TransformReport};
 use gpu_rmt::sim::DeviceConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -57,5 +59,81 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &|c| c,
     )?;
     print!("{}", run.stats.counters);
+
+    // == static analysis: what the lint passes say about a buggy kernel ==
+    //
+    // A kernel in which every work-item writes its id to LDS byte 0, then
+    // a barrier under a lane-dependent `if` — the two classic LDS bugs.
+    println!("\n== lint diagnostics on a deliberately buggy kernel ==\n");
+    let mut bld = KernelBuilder::new("buggy");
+    bld.set_lds_bytes(64);
+    let out = bld.buffer_param("out");
+    let lid = bld.local_id(0);
+    let zero = bld.const_u32(0);
+    bld.store_local(zero, lid); // every work-item races on LDS byte 0
+    bld.barrier();
+    let v = bld.load_local(zero);
+    let gid = bld.global_id(0);
+    let sixteen = bld.const_u32(16);
+    let c = bld.lt_u32(lid, sixteen);
+    bld.if_(c, |b| b.barrier()); // divergent barrier
+    let a = bld.elem_addr(out, gid);
+    bld.store_global(a, v);
+    let buggy = bld.finish();
+
+    let cfg = LintConfig::with_assumptions(LintAssumptions {
+        local_size: [Some(64), Some(1), Some(1)],
+        wavefront: 64,
+    });
+    for d in lint_kernel(&buggy, &cfg) {
+        println!("  {d}");
+    }
+
+    // == transform-invariant verifier ==
+    //
+    // The same machinery that runs as a debug assertion inside
+    // `transform`: re-derive the RMT contract from the output IR. Strip
+    // the detect-counter bumps from a transformed kernel and the verifier
+    // reports exactly what was lost.
+    println!("\n== RMT invariant verifier ==\n");
+    let errs = verify_rmt(&kernel, &rk);
+    println!("  intact transform: {} violations", errs.len());
+
+    fn strip_atomics(b: &Block) -> Block {
+        let mut insts = Vec::new();
+        for inst in b.iter() {
+            match inst {
+                Inst::Atomic {
+                    space: MemSpace::Global,
+                    ..
+                } => {}
+                Inst::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => insts.push(Inst::If {
+                    cond: *cond,
+                    then_blk: strip_atomics(then_blk),
+                    else_blk: strip_atomics(else_blk),
+                }),
+                Inst::While {
+                    cond,
+                    cond_reg,
+                    body,
+                } => insts.push(Inst::While {
+                    cond: strip_atomics(cond),
+                    cond_reg: *cond_reg,
+                    body: strip_atomics(body),
+                }),
+                other => insts.push(other.clone()),
+            }
+        }
+        Block(insts)
+    }
+    let mut tampered = rk.clone();
+    tampered.kernel.body = strip_atomics(&tampered.kernel.body);
+    for e in verify_rmt(&kernel, &tampered) {
+        println!("  tampered (detect bumps removed): {e}");
+    }
     Ok(())
 }

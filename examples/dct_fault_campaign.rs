@@ -66,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- RMT flavors ------------------------------------------------------
     for (name, opts, protected) in [
-        ("Intra-Group-LDS", TransformOptions::intra_minus_lds(), false),
+        (
+            "Intra-Group-LDS",
+            TransformOptions::intra_minus_lds(),
+            false,
+        ),
         ("Intra-Group+LDS", TransformOptions::intra_plus_lds(), true),
     ] {
         let rmt = transform(&kernel, &opts)?;

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = b.finish();
 
     let n = 32 * 1024usize;
-    println!("decomposing RMT overhead for `{}` ({n} items)\n", kernel.name);
+    println!(
+        "decomposing RMT overhead for `{}` ({n} items)\n",
+        kernel.name
+    );
     println!(
         "{:<18} {:>9} {:>10} {:>12} {:>7} {:>7}",
         "flavor", "doubling", "redundant", "communication", "sum", "total"
@@ -63,7 +66,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         );
         let doubling = d.doubling_overhead();
-        let sum = 1.0 + doubling.unwrap_or(0.0) + d.redundant_overhead() + d.communication_overhead();
+        let sum =
+            1.0 + doubling.unwrap_or(0.0) + d.redundant_overhead() + d.communication_overhead();
         println!(
             "{:<18} {:>9} {:>9.1}% {:>11.1}% {:>6.2}x {:>6.2}x",
             label,

@@ -14,7 +14,6 @@ use gpu_rmt::ir::KernelBuilder;
 use gpu_rmt::rmt::{launch_rmt, transform, TransformOptions};
 use gpu_rmt::sim::{Arg, Device, DeviceConfig, FaultPlan, FaultTarget, LaunchConfig};
 
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // -- 1. A kernel: out[i] = 3 * in[i] + 1 ------------------------------
     let mut b = KernelBuilder::new("affine");

@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (stats, trace) = dev.launch_traced(&rmt.kernel, &cfg, TraceConfig::wavefront(0, 0, 64))?;
     println!("== first 64 records of work-group 0, wavefront 0 ==\n");
     print!("{}", trace.render());
-    println!("\nkernel ran in {} cycles; detections buffer = {}", stats.cycles, dev.read_u32s(detect)[0]);
+    println!(
+        "\nkernel ran in {} cycles; detections buffer = {}",
+        stats.cycles,
+        dev.read_u32s(detect)[0]
+    );
     println!(
         "\nNote the prologue (global_id masking and shifting), the LDS\n\
          communication stores under the producer mask, and the comparison +\n\

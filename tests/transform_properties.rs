@@ -114,7 +114,12 @@ fn run_kernel(kernel: &Kernel, rmt_opts: Option<TransformOptions>) -> Vec<u32> {
     let mut dev = Device::new(DeviceConfig::small_test());
     let ib = dev.create_buffer((N * 4) as u32);
     let ob = dev.create_buffer((N * 4) as u32);
-    dev.write_u32s(ib, &(0..N as u32).map(|i| i.wrapping_mul(2654435761)).collect::<Vec<_>>());
+    dev.write_u32s(
+        ib,
+        &(0..N as u32)
+            .map(|i| i.wrapping_mul(2654435761))
+            .collect::<Vec<_>>(),
+    );
     let cfg = LaunchConfig::new_1d(N, 64)
         .arg(Arg::Buffer(ib))
         .arg(Arg::Buffer(ob));
