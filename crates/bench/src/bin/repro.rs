@@ -15,7 +15,7 @@ use std::time::Instant;
 
 fn usage() -> String {
     format!(
-        "usage: repro <experiment>... [--scale small|paper|large]\n\
+        "usage: repro <experiment>... [--scale small|paper|large] [--json]\n\
          experiments: all, {}",
         ALL_IDS.join(", ")
     )
@@ -45,6 +45,7 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--json" => cfg.json = true,
             "list" => {
                 println!("{}", ALL_IDS.join("\n"));
                 return ExitCode::SUCCESS;
@@ -68,9 +69,14 @@ fn main() -> ExitCode {
         let t0 = Instant::now();
         match experiments::run(&id, &cfg) {
             Ok(report) => {
-                println!("==== {id} ====\n");
-                println!("{report}");
-                println!("[{id} completed in {:.1?}]\n", t0.elapsed());
+                if cfg.json {
+                    // Machine-readable mode: the report itself, no banners.
+                    print!("{report}");
+                } else {
+                    println!("==== {id} ====\n");
+                    println!("{report}");
+                    println!("[{id} completed in {:.1?}]\n", t0.elapsed());
+                }
             }
             Err(e) => {
                 eprintln!("==== {id} FAILED ====\n{e}\n");

@@ -1,0 +1,337 @@
+//! `repro coverage-static` — static protection-coverage matrix, cross-
+//! validated against fault injection.
+//!
+//! For every suite kernel under every full-stage RMT flavor, the static
+//! coverage analysis ([`rmt_core::coverage`]) classifies each residency
+//! window as Detected / Vulnerable / Masked. The experiment renders the
+//! 16×4 matrix of liveness-weighted vulnerability fractions, then checks
+//! the analysis against the simulator's fault injector on concrete sites
+//! the analysis itself attributed ([`FaultTarget::ir_reg`]):
+//!
+//! * **Soundness** — a fault injected at a site the analysis classified
+//!   *Detected* must never surface as silent data corruption. One SDC at a
+//!   Detected site falsifies the analysis and fails the experiment.
+//! * **Recall** — every observed SDC must land at a site the analysis
+//!   classified *Vulnerable* (detection-or-hang is acceptable anywhere;
+//!   silent corruption is only acceptable where predicted).
+
+use crate::table::Matrix;
+use crate::ExpConfig;
+use gcn_sim::{Device, DeviceConfig, FaultPlan, FaultTarget};
+use rmt_core::{coverage as cov, transform, RmtError, RmtKernel, RmtLauncher, TransformOptions};
+use rmt_ir::analysis::{Protection, Residency};
+use rmt_ir::Reg;
+use rmt_kernels::{Benchmark, Scale};
+
+/// The four full-stage flavor columns, in paper order.
+fn variants() -> [(&'static str, TransformOptions); 4] {
+    [
+        ("Intra+LDS", TransformOptions::intra_plus_lds()),
+        ("Intra-LDS", TransformOptions::intra_minus_lds()),
+        ("Inter", TransformOptions::inter()),
+        ("FAST", TransformOptions::intra_plus_lds().with_swizzle()),
+    ]
+}
+
+/// How one injected fault resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// The redundant comparison bumped the detect counter.
+    Detected,
+    /// Outputs differ from the golden run with no detection: SDC.
+    Sdc,
+    /// Outputs match the golden run with no detection.
+    Masked,
+    /// The launch errored (watchdog or deadlock): detectable-by-timeout.
+    Due,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct InjTally {
+    detected: usize,
+    sdc: usize,
+    masked: usize,
+    due: usize,
+}
+
+impl InjTally {
+    fn note(&mut self, o: Outcome) {
+        match o {
+            Outcome::Detected => self.detected += 1,
+            Outcome::Sdc => self.sdc += 1,
+            Outcome::Masked => self.masked += 1,
+            Outcome::Due => self.due += 1,
+        }
+    }
+
+    fn total(self) -> usize {
+        self.detected + self.sdc + self.masked + self.due
+    }
+}
+
+/// One full (multi-pass) run of a transformed benchmark, faults applied on
+/// the first pass only. Returns `(detections, faults_applied, dyn insts of
+/// the first pass, final buffer contents)`, or the simulator error.
+#[allow(clippy::type_complexity)]
+fn run_transformed(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    dev_cfg: &DeviceConfig,
+    rk: &RmtKernel,
+    faults: FaultPlan,
+) -> Result<(u32, usize, u64, Vec<Vec<u8>>), RmtError> {
+    let mut dev = Device::new(dev_cfg.clone());
+    let plan = bench.plan(scale, &mut dev);
+    let mut launcher = RmtLauncher::new();
+    let mut detections = 0u32;
+    let mut applied = 0usize;
+    let mut first_pass_insts = 0u64;
+    for (i, pass) in plan.passes.iter().enumerate() {
+        let cfg = if i == 0 {
+            pass.clone().faults(faults.clone())
+        } else {
+            pass.clone()
+        };
+        let run = launcher.launch(&mut dev, rk, &cfg)?;
+        detections += run.detections;
+        applied += run.stats.faults_applied;
+        if i == 0 {
+            first_pass_insts = run.stats.counters.dyn_insts;
+        }
+    }
+    let bufs = plan.buffers.iter().map(|b| dev.read_buffer(*b)).collect();
+    Ok((detections, applied, first_pass_insts, bufs))
+}
+
+/// Picks injection sites from the coverage report itself: a Detected-class
+/// and a Vulnerable-class user VGPR, a user SRF broadcast, and an LDS word.
+/// Each site carries the analysis verdict the campaign must uphold.
+fn pick_sites(rk: &RmtKernel, report: &rmt_ir::analysis::CoverageReport) -> Vec<SiteTargets> {
+    let mut sites = Vec::new();
+    let mut regs: Vec<Reg> = report
+        .windows
+        .iter()
+        .filter(|w| !w.machinery && w.residency == Residency::VgprLane)
+        .map(|w| w.reg)
+        .collect();
+    regs.sort_unstable();
+    regs.dedup();
+
+    let vgpr_target = |reg: Reg, lane: usize, bit: u8| FaultTarget::Vgpr {
+        group: 0,
+        wave: 0,
+        reg: reg.0,
+        lane,
+        bit,
+    };
+    if let Some(&r) = regs
+        .iter()
+        .find(|&&r| report.vgpr_fault_class(r) == Some(Protection::Detected))
+    {
+        sites.push(SiteTargets {
+            label: "VGPR/detected",
+            class: Protection::Detected,
+            targets: vec![vgpr_target(r, 1, 9), vgpr_target(r, 2, 20)],
+        });
+    }
+    if let Some(&r) = regs
+        .iter()
+        .find(|&&r| report.vgpr_fault_class(r) == Some(Protection::Vulnerable))
+    {
+        sites.push(SiteTargets {
+            label: "VGPR/vulnerable",
+            class: Protection::Vulnerable,
+            targets: vec![vgpr_target(r, 1, 9)],
+        });
+    }
+    let mut uniform: Vec<Reg> = report
+        .windows
+        .iter()
+        .filter(|w| !w.machinery && w.residency == Residency::SrfBroadcast)
+        .map(|w| w.reg)
+        .collect();
+    uniform.sort_unstable();
+    uniform.dedup();
+    if let Some(&r) = uniform.first() {
+        if let Some(class) = report.sgpr_fault_class(r) {
+            sites.push(SiteTargets {
+                label: "SRF",
+                class,
+                targets: vec![FaultTarget::Sgpr {
+                    group: 0,
+                    wave: 0,
+                    reg: r.0,
+                    bit: 3,
+                }],
+            });
+        }
+    }
+    if rk.kernel.lds_bytes > 0 {
+        sites.push(SiteTargets {
+            label: "LDS",
+            class: report.lds_fault_class(),
+            targets: vec![FaultTarget::Lds {
+                group: 0,
+                offset: (rk.kernel.lds_bytes / 2) & !3,
+                bit: 1,
+            }],
+        });
+    }
+    sites
+}
+
+struct SiteTargets {
+    label: &'static str,
+    class: Protection,
+    targets: Vec<FaultTarget>,
+}
+
+/// The `coverage-static` experiment.
+///
+/// # Errors
+///
+/// Returns the full report as an error string when any soundness or recall
+/// violation is found (so `repro coverage-static` exits nonzero), or when
+/// a transform / fault-free launch fails outright.
+pub fn coverage_static(cfg: &ExpConfig) -> Result<String, String> {
+    let vs = variants();
+    let columns: Vec<&str> = vs.iter().map(|(l, _)| *l).collect();
+    let mut static_matrix = Matrix::new("kernel", &columns);
+    let mut inj_matrix = Matrix::new("kernel", &columns);
+    let mut violations: Vec<String> = Vec::new();
+    let mut injections = 0usize;
+
+    for bench in rmt_kernels::all() {
+        let mut static_cells = Vec::new();
+        let mut inj_cells = Vec::new();
+        for (label, opts) in &vs {
+            let ctx = format!("{} {label}", bench.abbrev());
+            let rk = transform(&bench.kernel(), opts)
+                .map_err(|e| format!("{ctx}: transform failed: {e}"))?;
+            let report = cov::analyze(&rk);
+            let t = report.tallies(None, false);
+            static_cells.push(format!(
+                "{:.1}% {}D/{}V/{}M",
+                100.0 * t.vulnerability_fraction(),
+                t.detected,
+                t.vulnerable,
+                t.masked
+            ));
+
+            // Golden (fault-free) run establishes reference outputs and the
+            // dynamic instruction budget for triggers and the watchdog.
+            let (d0, _, first_insts, golden) = run_transformed(
+                bench.as_ref(),
+                cfg.scale,
+                &cfg.device,
+                &rk,
+                FaultPlan::none(),
+            )
+            .map_err(|e| format!("{ctx}: fault-free run failed: {e}"))?;
+            if d0 != 0 {
+                return Err(format!("{ctx}: fault-free run reported {d0} detections"));
+            }
+            // Injected runs that corrupt protocol state can spin forever;
+            // bound them by a watchdog a few times the fault-free length.
+            let mut inj_dev = cfg.device.clone();
+            inj_dev.watchdog_insts = first_insts.saturating_mul(8).max(200_000);
+
+            let mut tally = InjTally::default();
+            for site in pick_sites(&rk, &report) {
+                for target in &site.targets {
+                    for trigger in [first_insts / 4 + 1, first_insts / 2 + 1] {
+                        let outcome = match run_transformed(
+                            bench.as_ref(),
+                            cfg.scale,
+                            &inj_dev,
+                            &rk,
+                            FaultPlan::single(trigger, *target),
+                        ) {
+                            Err(_) => Outcome::Due,
+                            Ok((det, applied, _, bufs)) => {
+                                if applied == 0 {
+                                    continue; // target missed (e.g. group retired)
+                                }
+                                if det > 0 {
+                                    Outcome::Detected
+                                } else if bufs != golden {
+                                    Outcome::Sdc
+                                } else {
+                                    Outcome::Masked
+                                }
+                            }
+                        };
+                        injections += 1;
+                        tally.note(outcome);
+                        if outcome == Outcome::Sdc {
+                            if site.class == Protection::Detected {
+                                violations.push(format!(
+                                    "SOUNDNESS: {ctx}: SDC at Detected-class site {} ({target:?}, trigger {trigger})",
+                                    site.label
+                                ));
+                            } else if site.class != Protection::Vulnerable {
+                                violations.push(format!(
+                                    "RECALL: {ctx}: SDC at {}-class site {} ({target:?}, trigger {trigger})",
+                                    site.class.label(),
+                                    site.label
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            inj_cells.push(format!(
+                "{}d/{}s/{}m/{}h",
+                tally.detected, tally.sdc, tally.masked, tally.due
+            ));
+            let _ = tally.total();
+        }
+        static_matrix.row(bench.abbrev(), static_cells);
+        inj_matrix.row(bench.abbrev(), inj_cells);
+    }
+
+    let out = if cfg.json {
+        let mut v = String::from("[");
+        for (i, s) in violations.iter().enumerate() {
+            if i > 0 {
+                v.push(',');
+            }
+            v.push_str(&format!("{:?}", s));
+        }
+        v.push(']');
+        format!(
+            "{{\"experiment\":\"coverage-static\",\"injections\":{injections},\
+             \"violations\":{v},\"static\":{},\"injection\":{}}}\n",
+            static_matrix.to_json(),
+            inj_matrix.to_json()
+        )
+    } else {
+        format!(
+            "Static protection coverage (liveness-weighted vulnerable fraction,\n\
+             Detected/Vulnerable/Masked window counts per kernel and flavor):\n\n{}\n\
+             Fault-injection cross-validation (detected/sdc/masked/hang over\n\
+             sites chosen and classified by the static analysis):\n\n{}\n\
+             {injections} injections, {} violations\n",
+            static_matrix.render(),
+            inj_matrix.render(),
+            violations.len()
+        )
+    };
+    if violations.is_empty() {
+        Ok(out)
+    } else {
+        Err(format!("{out}\n{}", violations.join("\n")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_validation_holds_at_small_scale() {
+        let report = coverage_static(&ExpConfig::small()).expect("soundness/recall must hold");
+        assert!(report.contains("0 violations"), "{report}");
+        assert!(report.contains("injections"), "{report}");
+    }
+}

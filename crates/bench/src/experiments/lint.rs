@@ -9,7 +9,7 @@
 //! transforms introduce no races, divergent barriers, or out-of-bounds
 //! LDS traffic.
 
-use crate::{ExpConfig, Table};
+use crate::{ExpConfig, Matrix};
 use gcn_sim::Device;
 use rmt_core::{transform, RmtFlavor, TransformOptions};
 use rmt_ir::analysis::lint::{lint_kernel, LintAssumptions, LintConfig};
@@ -72,15 +72,14 @@ fn lint_at(kernel: &Kernel, local: [usize; 3]) -> Vec<String> {
 /// produced.
 pub fn lint(cfg: &ExpConfig) -> Result<String, String> {
     let vs = variants();
-    let mut header: Vec<&str> = vec!["kernel"];
-    header.extend(vs.iter().map(|(label, _)| *label));
-    let mut table = Table::new(&header);
+    let columns: Vec<&str> = vs.iter().map(|(label, _)| *label).collect();
+    let mut matrix = Matrix::new("kernel", &columns);
 
     let mut details: Vec<String> = Vec::new();
     let mut total = 0usize;
 
     for bench in all() {
-        let mut cells = vec![bench.abbrev().to_string()];
+        let mut cells = Vec::new();
         for (label, opts) in &vs {
             let kernel = match opts {
                 None => bench.kernel(),
@@ -109,15 +108,25 @@ pub fn lint(cfg: &ExpConfig) -> Result<String, String> {
                 count.to_string()
             });
         }
-        table.row(cells);
+        matrix.row(bench.abbrev(), cells);
     }
 
-    let mut out = table.render();
-    out.push_str(&format!("\n{total} diagnostics\n"));
+    let mut out = if cfg.json {
+        format!(
+            "{{\"experiment\":\"lint\",\"diagnostics\":{total},\"matrix\":{}}}\n",
+            matrix.to_json()
+        )
+    } else {
+        let mut s = matrix.render();
+        s.push_str(&format!("\n{total} diagnostics\n"));
+        s
+    };
     if total > 0 {
-        out.push('\n');
-        out.push_str(&details.join("\n"));
-        out.push('\n');
+        if !cfg.json {
+            out.push('\n');
+            out.push_str(&details.join("\n"));
+            out.push('\n');
+        }
         return Err(out);
     }
     Ok(out)

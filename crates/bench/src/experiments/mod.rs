@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod coverage;
+pub mod coverage_static;
 pub mod decomp;
 pub mod lint;
 pub mod perf;
@@ -26,6 +27,7 @@ pub const ALL_IDS: &[&str] = &[
     "fig8",
     "fig9",
     "coverage",
+    "coverage-static",
     "staleness",
     "baseline",
     "ablation",
@@ -51,6 +53,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Result<String, String> {
         "fig8" => Ok(swizzle::fig8()),
         "fig9" => perf::fig9(cfg),
         "coverage" => coverage::coverage(cfg),
+        "coverage-static" => coverage_static::coverage_static(cfg),
         "staleness" => coverage::staleness(cfg),
         "baseline" => ablation::baseline(cfg),
         "ablation" => ablation::ablation(cfg),

@@ -1,8 +1,7 @@
 //! Tables 1–3: static structure tables.
 
 use crate::table::Table;
-use rmt_core::sor;
-use rmt_core::RmtFlavor;
+use rmt_core::{coverage, sor, RmtFlavor};
 
 /// Table 1: estimated SEC-DED ECC overheads for the structures of a GCN
 /// compute unit, assuming register-granularity protection for register
@@ -51,19 +50,43 @@ pub fn table1() -> String {
     )
 }
 
-/// Table 2: structures protected by the Intra-Group spheres of replication.
+/// Renders an SoR table from the static coverage analysis, diffing it
+/// against the hand-coded [`sor`] statement of the same rows.
+///
+/// # Panics
+///
+/// Panics if the derived table deviates from the hand-coded one — either
+/// the analysis or the transform regressed, and a silently wrong Table 2/3
+/// would misstate fault coverage.
+fn derived_sor_table(flavors: &[RmtFlavor]) -> String {
+    let derived = coverage::render_derived_table(flavors);
+    let hand = sor::render_table(flavors);
+    assert_eq!(
+        derived,
+        hand,
+        "coverage-derived SoR table disagrees with the hand-coded one: {:?}",
+        coverage::sor_disagreements()
+    );
+    derived
+}
+
+/// Table 2: structures protected by the Intra-Group spheres of replication,
+/// derived from the static coverage analysis (and cross-checked against the
+/// hand-coded [`sor`] table).
 pub fn table2() -> String {
     format!(
         "Table 2: CU structures protected by Intra-Group RMT\n\n{}",
-        sor::render_table(&[RmtFlavor::IntraPlusLds, RmtFlavor::IntraMinusLds])
+        derived_sor_table(&[RmtFlavor::IntraPlusLds, RmtFlavor::IntraMinusLds])
     )
 }
 
-/// Table 3: structures protected by the Inter-Group sphere of replication.
+/// Table 3: structures protected by the Inter-Group sphere of replication,
+/// derived from the static coverage analysis (and cross-checked against the
+/// hand-coded [`sor`] table).
 pub fn table3() -> String {
     format!(
         "Table 3: CU structures protected by Inter-Group RMT\n\n{}",
-        sor::render_table(&[RmtFlavor::Inter])
+        derived_sor_table(&[RmtFlavor::Inter])
     )
 }
 

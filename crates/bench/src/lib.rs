@@ -23,7 +23,7 @@
 pub mod experiments;
 mod table;
 
-pub use table::Table;
+pub use table::{Matrix, Table};
 
 use gcn_sim::DeviceConfig;
 use rmt_kernels::Scale;
@@ -35,6 +35,9 @@ pub struct ExpConfig {
     pub scale: Scale,
     /// The simulated device.
     pub device: DeviceConfig,
+    /// Emit machine-readable JSON instead of text tables where an
+    /// experiment supports it (`repro --json`).
+    pub json: bool,
 }
 
 impl ExpConfig {
@@ -43,6 +46,7 @@ impl ExpConfig {
         ExpConfig {
             scale: Scale::Paper,
             device: DeviceConfig::radeon_hd_7790(),
+            json: false,
         }
     }
 
@@ -51,6 +55,7 @@ impl ExpConfig {
         ExpConfig {
             scale: Scale::Small,
             device: DeviceConfig::radeon_hd_7790(),
+            json: false,
         }
     }
 }

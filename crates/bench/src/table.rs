@@ -61,6 +61,99 @@ impl Table {
     }
 }
 
+/// Escapes a string for embedding inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A labelled-row matrix (e.g. kernel × flavor) shared by the suite-wide
+/// experiments: one renderer for the fixed-width text table and one for a
+/// machine-readable JSON form (`repro --json`).
+#[derive(Debug, Clone, Default)]
+pub struct Matrix {
+    corner: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<String>)>,
+}
+
+impl Matrix {
+    /// Creates a matrix with the corner (row-label header) and column names.
+    pub fn new(corner: &str, columns: &[&str]) -> Self {
+        Matrix {
+            corner: corner.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a labelled row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn row(&mut self, label: impl Into<String>, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "ragged matrix row");
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Renders as a fixed-width text table.
+    pub fn render(&self) -> String {
+        let mut header: Vec<&str> = vec![self.corner.as_str()];
+        header.extend(self.columns.iter().map(String::as_str));
+        let mut t = Table::new(&header);
+        for (label, cells) in &self.rows {
+            let mut row = vec![label.clone()];
+            row.extend(cells.iter().cloned());
+            t.row(row);
+        }
+        t.render()
+    }
+
+    /// Renders as a JSON object: `{"columns": [...], "rows": [{"label":
+    /// ..., "cells": [...]}, ...]}`. Hand-rolled — the workspace carries no
+    /// serialization dependency.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"columns\":[");
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", json_escape(c)));
+        }
+        out.push_str("],\"rows\":[");
+        for (i, (label, cells)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":\"{}\",\"cells\":[",
+                json_escape(label)
+            ));
+            for (j, c) in cells.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\"", json_escape(c)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 /// Formats a slowdown factor.
 pub fn x(v: f64) -> String {
     format!("{v:.2}x")
@@ -95,5 +188,31 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn matrix_renders_text_and_json() {
+        let mut m = Matrix::new("kernel", &["Intra+LDS", "Inter"]);
+        m.row("BinS", vec!["clean".into(), "clean".into()]);
+        m.row("MM", vec!["1".into(), "0".into()]);
+        let text = m.render();
+        assert!(text.starts_with("kernel"));
+        assert!(text.contains("BinS"));
+        let json = m.to_json();
+        assert_eq!(
+            json,
+            "{\"columns\":[\"Intra+LDS\",\"Inter\"],\"rows\":[\
+             {\"label\":\"BinS\",\"cells\":[\"clean\",\"clean\"]},\
+             {\"label\":\"MM\",\"cells\":[\"1\",\"0\"]}]}"
+        );
+    }
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        let mut m = Matrix::new("k", &["a"]);
+        m.row("quote\"back\\slash", vec!["line\nbreak\ttab".into()]);
+        let json = m.to_json();
+        assert!(json.contains("quote\\\"back\\\\slash"));
+        assert!(json.contains("line\\nbreak\\ttab"));
     }
 }

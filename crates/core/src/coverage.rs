@@ -1,0 +1,209 @@
+//! Bridges the transforms to the IR-level protection-coverage analysis.
+//!
+//! [`rmt_ir::analysis::coverage`] classifies every residency window of a
+//! kernel as Detected / Vulnerable / Masked, but it needs to be told what
+//! the transform did — which registers are comparisons, channels, remaps.
+//! This module builds that [`CoverageSpec`] from the transform's own
+//! [`Provenance`](crate::transform::Provenance) record, and uses the
+//! analysis to *derive* the spheres of replication of Tables 2 and 3 from
+//! the IR instead of restating the paper's reasoning by hand:
+//!
+//! * [`spec_for`] — the analyzer configuration for one transformed kernel;
+//! * [`analyze`] — transform-aware coverage of one transformed kernel;
+//! * [`derived_covers`] — the per-structure SoR verdict obtained by running
+//!   the analysis on a canonical probe kernel that exercises every
+//!   residency (VGPRs, the scalar broadcast, LDS, the L1, a global store);
+//! * [`render_derived_table`] — Tables 2/3 rendered from the derived
+//!   verdicts, byte-identical to [`crate::sor::render_table`] (pinned by a
+//!   test here and diffed again by the `repro coverage-static` experiment).
+
+use crate::options::{RmtFlavor, Stage, TransformOptions};
+use crate::sor::{render_table_with, SphereOfReplication, Structure};
+use crate::transform::{RmtKernel, RmtTag};
+use rmt_ir::analysis::{coverage, CoverageReport, CoverageSpec, Replication, Residency};
+use rmt_ir::{Kernel, KernelBuilder, Ty};
+
+/// Builds the analyzer spec for a transformed kernel from its provenance.
+pub fn spec_for(rk: &RmtKernel) -> CoverageSpec {
+    let opts = &rk.meta.options;
+    let replication = match opts.flavor {
+        RmtFlavor::IntraPlusLds => Replication::PairedLanes {
+            lds_duplicated: true,
+        },
+        RmtFlavor::IntraMinusLds => Replication::PairedLanes {
+            lds_duplicated: false,
+        },
+        RmtFlavor::Inter => Replication::PairedGroups,
+    };
+    let prov = &rk.provenance;
+    let mut spec = CoverageSpec::new(replication);
+    spec.full = opts.stage == Stage::Full;
+    spec.user_reg_limit = prov.user_reg_limit;
+    spec.compare_regs = prov.regs_with(RmtTag::DetectCompare);
+    spec.channel_regs = prov.regs_with(RmtTag::ChannelValue);
+    spec.role_guards = prov.regs_with(RmtTag::RoleGuard);
+    spec.id_remaps = prov.regs_with(RmtTag::IdRemap);
+    spec.comm_addr_regs = prov.regs_with(RmtTag::CommAddress);
+    spec.detect_param = Some(rk.meta.detect_param);
+    spec.protocol_params = [rk.meta.ticket_param, rk.meta.comm_param]
+        .into_iter()
+        .flatten()
+        .collect();
+    spec
+}
+
+/// Runs the coverage analysis on a transformed kernel with the spec its
+/// provenance dictates.
+pub fn analyze(rk: &RmtKernel) -> CoverageReport {
+    coverage(&rk.kernel, &spec_for(rk))
+}
+
+/// A kernel that exercises every residency the analysis classifies: a
+/// global load (L1 line), vector arithmetic (VGPRs), a wavefront-uniform
+/// scalar-parameter product (SRF broadcast), LDS staging (LDS words), and
+/// a global store (SoR exit with its in-flight window).
+pub fn probe_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("coverage_probe");
+    b.set_lds_bytes(256);
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let scale = b.scalar_param("scale", Ty::U32);
+    let gid = b.global_id(0);
+    let lid = b.local_id(0);
+    let ia = b.elem_addr(inp, gid);
+    let v = b.load_global(ia);
+    let scaled = b.mul_u32(v, scale);
+    let four = b.const_u32(4);
+    let lo = b.mul_u32(lid, four);
+    b.store_local(lo, scaled);
+    b.barrier();
+    let staged = b.load_local(lo);
+    let oa = b.elem_addr(out, gid);
+    b.store_global(oa, staged);
+    b.finish()
+}
+
+/// Derives the Tables 2/3 cell for `(flavor, structure)` by transforming
+/// the probe kernel (full stage, default communication) and asking the
+/// coverage analysis whether the residency backing the structure keeps any
+/// user window Vulnerable.
+///
+/// The residency → structure mapping: faults in the SIMD ALUs and the VRF
+/// both corrupt per-lane register values (`VgprLane`); the scalar unit and
+/// the SRF corrupt wavefront-uniform broadcasts (`SrfBroadcast`); fetch /
+/// decode / schedule corruptions hit every lane of a wavefront at once, so
+/// they are outside the SoR exactly when both replicas share a wavefront.
+///
+/// # Panics
+///
+/// Panics if the probe kernel fails to transform — it is a fixed in-crate
+/// kernel inside the supported subset, so that would be a transform bug.
+pub fn derived_covers(flavor: RmtFlavor, s: Structure) -> bool {
+    let opts = match flavor {
+        RmtFlavor::IntraPlusLds => TransformOptions::intra_plus_lds(),
+        RmtFlavor::IntraMinusLds => TransformOptions::intra_minus_lds(),
+        RmtFlavor::Inter => TransformOptions::inter(),
+    };
+    let rk = transform_probe(&opts);
+    let report = analyze(&rk);
+    let replication = spec_for(&rk).replication;
+    match s {
+        Structure::SimdAlu | Structure::Vrf => report.structure_covered(Residency::VgprLane),
+        Structure::Lds => report.structure_covered(Residency::LdsWord),
+        Structure::ScalarUnit | Structure::Srf => report.structure_covered(Residency::SrfBroadcast),
+        Structure::InstructionDecode | Structure::FetchSched => replication.frontend_replicated(),
+        Structure::L1Cache => report.structure_covered(Residency::L1Line),
+    }
+}
+
+fn transform_probe(opts: &TransformOptions) -> RmtKernel {
+    crate::transform::transform(&probe_kernel(), opts)
+        .expect("the coverage probe kernel is inside the supported subset")
+}
+
+/// Tables 2 and 3 rendered from [`derived_covers`] — byte-identical to the
+/// hand-coded [`crate::sor::render_table`] over the same flavors.
+pub fn render_derived_table(flavors: &[RmtFlavor]) -> String {
+    render_table_with(flavors, derived_covers)
+}
+
+/// Every `(flavor, structure)` cell where the derived SoR disagrees with
+/// the hand-coded [`SphereOfReplication`]. Empty means the static analysis
+/// reproduces Tables 2 and 3 exactly.
+pub fn sor_disagreements() -> Vec<(RmtFlavor, Structure, bool, bool)> {
+    let mut out = Vec::new();
+    for f in RmtFlavor::ALL {
+        let sor = SphereOfReplication::of(f);
+        for s in Structure::ALL {
+            let hand = sor.covers(s);
+            let derived = derived_covers(f, s);
+            if hand != derived {
+                out.push((f, s, hand, derived));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sor::render_table;
+    use rmt_ir::analysis::Protection;
+
+    #[test]
+    fn spec_reflects_provenance_and_meta() {
+        let rk = transform_probe(&TransformOptions::inter());
+        let spec = spec_for(&rk);
+        assert_eq!(spec.replication, Replication::PairedGroups);
+        assert!(spec.full);
+        assert!(!spec.compare_regs.is_empty());
+        assert!(!spec.channel_regs.is_empty());
+        assert!(!spec.id_remaps.is_empty());
+        assert_eq!(spec.detect_param, Some(rk.meta.detect_param));
+        assert_eq!(spec.protocol_params.len(), 2);
+
+        let nc = transform_probe(&TransformOptions::inter().without_comm());
+        let spec = spec_for(&nc);
+        assert!(!spec.full);
+        assert!(spec.protocol_params.is_empty());
+    }
+
+    #[test]
+    fn derived_tables_match_hand_coded_byte_for_byte() {
+        assert_eq!(
+            render_derived_table(&RmtFlavor::ALL),
+            render_table(&RmtFlavor::ALL)
+        );
+        assert_eq!(sor_disagreements(), Vec::new());
+    }
+
+    #[test]
+    fn fast_flavor_matches_intra_plus_lds_sor() {
+        // FAST changes the channel (VRF swizzles instead of LDS slots) but
+        // not the sphere of replication.
+        let rk = transform_probe(&TransformOptions::intra_plus_lds().with_swizzle());
+        let report = analyze(&rk);
+        let sor = SphereOfReplication::of(RmtFlavor::IntraPlusLds);
+        assert_eq!(
+            report.structure_covered(Residency::VgprLane),
+            sor.covers(Structure::Vrf)
+        );
+        assert_eq!(
+            report.structure_covered(Residency::LdsWord),
+            sor.covers(Structure::Lds)
+        );
+        assert_eq!(
+            report.structure_covered(Residency::SrfBroadcast),
+            sor.covers(Structure::Srf)
+        );
+    }
+
+    #[test]
+    fn redundant_no_comm_stage_is_all_vulnerable() {
+        let rk = transform_probe(&TransformOptions::intra_plus_lds().without_comm());
+        let report = analyze(&rk);
+        assert!(!report.structure_covered(Residency::VgprLane));
+        assert_eq!(report.lds_fault_class(), Protection::Vulnerable);
+    }
+}

@@ -71,6 +71,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coverage;
 pub mod decompose;
 mod error;
 mod launcher;
@@ -84,5 +85,5 @@ pub use error::RmtError;
 pub use launcher::{launch_rmt, RmtLauncher, RmtRunResult};
 pub use options::{CommMode, RmtFlavor, Stage, TransformOptions};
 pub use report::TransformReport;
-pub use transform::{transform, RmtKernel, RmtMeta};
+pub use transform::{transform, Provenance, RmtKernel, RmtMeta, RmtTag};
 pub use verify::{verify_rmt, VerifyError};

@@ -113,8 +113,14 @@ impl SphereOfReplication {
     }
 }
 
-/// Renders Tables 2 and 3 as fixed-width text (one row per flavor).
-pub fn render_table(flavors: &[RmtFlavor]) -> String {
+/// Renders Tables 2 and 3 as fixed-width text (one row per flavor), asking
+/// `covers` whether each (flavor, structure) cell is inside the SoR. Lets
+/// [`crate::coverage`] render the table from its *derived* coverage and
+/// diff it byte-for-byte against the hand-coded one.
+pub fn render_table_with(
+    flavors: &[RmtFlavor],
+    covers: impl Fn(RmtFlavor, Structure) -> bool,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("{:<18}", ""));
     for s in Structure::ALL {
@@ -123,13 +129,17 @@ pub fn render_table(flavors: &[RmtFlavor]) -> String {
     out.push('\n');
     for &f in flavors {
         out.push_str(&format!("{:<18}", f.to_string()));
-        let sor = SphereOfReplication::of(f);
         for s in Structure::ALL {
-            out.push_str(&format!("{:>10}", if sor.covers(s) { "Y" } else { "." }));
+            out.push_str(&format!("{:>10}", if covers(f, s) { "Y" } else { "." }));
         }
         out.push('\n');
     }
     out
+}
+
+/// Renders Tables 2 and 3 as fixed-width text (one row per flavor).
+pub fn render_table(flavors: &[RmtFlavor]) -> String {
+    render_table_with(flavors, |f, s| SphereOfReplication::of(f).covers(s))
 }
 
 #[cfg(test)]

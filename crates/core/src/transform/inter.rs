@@ -27,6 +27,7 @@
 //! then guarantees the subsequent plain data reads fetch fresh lines.
 
 use super::emit::Emitter;
+use super::provenance::{Provenance, RmtTag};
 use super::rewrite::{map_block, rewrite_builtin};
 use super::{RmtKernel, RmtMeta};
 use crate::error::RmtError;
@@ -47,6 +48,7 @@ struct Ctx {
     sa_state: Option<Reg>,
     sa_addr: Option<Reg>,
     sa_val: Option<Reg>,
+    prov: Provenance,
 }
 
 impl Ctx {
@@ -58,6 +60,8 @@ impl Ctx {
             .em
             .atomic(MemSpace::Global, AtomicOp::Add, state, self.zero, &mut cond);
         let not_yet = self.em.ne(s, want, &mut cond);
+        self.prov.tag(s, RmtTag::Protocol);
+        self.prov.tag(not_yet, RmtTag::Protocol);
         self.em.while_(cond, not_yet, Vec::new(), out);
     }
 
@@ -89,9 +93,14 @@ impl Ctx {
         self.wait_state(self.one, out);
         let pa = self.em.load(MemSpace::Global, sa, out);
         let pv = self.em.load(MemSpace::Global, sv, out);
+        self.prov.tag(pa, RmtTag::ChannelValue);
+        self.prov.tag(pv, RmtTag::ChannelValue);
         let da = self.em.ne(pa, addr, out);
         let dv = self.em.ne(pv, value, out);
         let d = self.em.or(da, dv, out);
+        self.prov.tag(da, RmtTag::DetectCompare);
+        self.prov.tag(dv, RmtTag::DetectCompare);
+        self.prov.tag(d, RmtTag::DetectCompare);
         let mut detect = Vec::new();
         self.em.atomic_noret(
             MemSpace::Global,
@@ -186,12 +195,14 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
     let new_lds = if full { orig_lds + 4 } else { orig_lds };
 
     let mut em = Emitter::new(kernel.next_reg);
+    let mut prov = Provenance::new(kernel.next_reg);
     let mut pro: Vec<Inst> = Vec::new();
 
     let zero = em.c_u32(0, &mut pro);
     let one = em.c_u32(1, &mut pro);
     let four = em.c_u32(4, &mut pro);
     let detect_base = em.read_param(detect_param, &mut pro);
+    prov.tag(detect_base, RmtTag::DetectBase);
 
     // Raw IDs.
     let lid0 = em.builtin(Builtin::LocalId(Dim(0)), &mut pro);
@@ -207,12 +218,18 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
         let ticket_base = em.read_param(ticket_param.expect("ticket"), &mut pro);
         let is0 = em.eq(lidlin, zero, &mut pro);
         let slot_off = em.c_u32(orig_lds, &mut pro);
+        prov.tag(ticket_base, RmtTag::Protocol);
+        prov.tag(is0, RmtTag::RoleGuard);
+        prov.tag(slot_off, RmtTag::CommAddress);
         let mut acq = Vec::new();
         let t0 = em.atomic(MemSpace::Global, AtomicOp::Add, ticket_base, one, &mut acq);
+        prov.tag(t0, RmtTag::Protocol);
         em.store(MemSpace::Local, slot_off, t0, &mut acq);
         em.if_(is0, acq, &mut pro);
         pro.push(Inst::Barrier);
-        em.load(MemSpace::Local, slot_off, &mut pro)
+        let t = em.load(MemSpace::Local, slot_off, &mut pro);
+        prov.tag(t, RmtTag::Protocol);
+        t
     } else {
         let g0 = em.builtin(Builtin::GroupId(Dim(0)), &mut pro);
         let g1 = em.builtin(Builtin::GroupId(Dim(1)), &mut pro);
@@ -223,13 +240,23 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
         let acc = em.add(g0, t1, &mut pro);
         let ng01 = em.mul(ng0, ng1, &mut pro);
         let t2 = em.mul(g2, ng01, &mut pro);
-        em.add(acc, t2, &mut pro)
+        let t = em.add(acc, t2, &mut pro);
+        // The raw group reads and their linearization are the deliberate
+        // replica-divergence points of the no-comm stage.
+        for r in [g0, g1, g2, ng0, ng1, t1, acc, ng01, t2, t] {
+            prov.tag(r, RmtTag::IdRemap);
+        }
+        t
     };
 
     let flag = em.and(t, one, &mut pro);
     let is_cons = em.ne(flag, zero, &mut pro);
     let is_prod = em.eq(flag, zero, &mut pro);
     let logical = em.shr(t, one, &mut pro);
+    prov.tag(flag, RmtTag::IdRemap);
+    prov.tag(is_cons, RmtTag::RoleGuard);
+    prov.tag(is_prod, RmtTag::RoleGuard);
+    prov.tag(logical, RmtTag::IdRemap);
 
     // Delinearize over the halved dimension-0 group count.
     let raw_ng0 = em.builtin(Builtin::NumGroups(Dim(0)), &mut pro);
@@ -239,6 +266,9 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
     let rest = em.div(logical, ng0, &mut pro);
     let lg1 = em.rem(rest, ng1, &mut pro);
     let lg2 = em.div(rest, ng1, &mut pro);
+    for r in [ng0, lg0, rest, lg1, lg2] {
+        prov.tag(r, RmtTag::IdRemap);
+    }
 
     let gid0 = {
         let b = em.mul(lg0, ls0, &mut pro);
@@ -254,6 +284,9 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
     };
     let raw_gs0 = em.builtin(Builtin::GlobalSize(Dim(0)), &mut pro);
     let gs0 = em.shr(raw_gs0, one, &mut pro);
+    for r in [gid0, gid1, gid2, gs0] {
+        prov.tag(r, RmtTag::IdRemap);
+    }
 
     let mut map = HashMap::new();
     map.insert(Builtin::GroupId(Dim(0)), lg0);
@@ -278,6 +311,9 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
         let sa = em.add(sb, four, &mut pro);
         let eight = em.c_u32(8, &mut pro);
         let sv = em.add(sb, eight, &mut pro);
+        for r in [ls01, gsz, gbase, idx, off, sb, sa, sv] {
+            prov.tag(r, RmtTag::CommAddress);
+        }
         (Some(sb), Some(sa), Some(sv))
     } else {
         (None, None, None)
@@ -295,6 +331,7 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
         sa_state,
         sa_addr,
         sa_val,
+        prov,
     };
 
     let mut err: Option<RmtError> = None;
@@ -360,5 +397,6 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
             orig_lds_bytes: orig_lds,
             comm_bytes_per_item: if full { 16 } else { 0 },
         },
+        provenance: ctx.prov,
     })
 }

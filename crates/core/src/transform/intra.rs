@@ -21,6 +21,7 @@
 //! within the wavefront orders the exchange without barriers.
 
 use super::emit::Emitter;
+use super::provenance::{Provenance, RmtTag};
 use super::rewrite::{map_block, rewrite_builtin};
 use super::{RmtKernel, RmtMeta, MAX_PAIRS};
 use crate::error::RmtError;
@@ -41,6 +42,7 @@ struct Ctx {
     lds_off: Option<Reg>, // +LDS: flag * orig_lds
     comm_slot: Option<Reg>,
     comm_slot4: Option<Reg>,
+    prov: Provenance,
 }
 
 impl Ctx {
@@ -57,6 +59,9 @@ impl Ctx {
         let da = self.em.ne(pa, addr, out);
         let dv = self.em.ne(pv, value, out);
         let d = self.em.or(da, dv, out);
+        self.prov.tag(da, RmtTag::DetectCompare);
+        self.prov.tag(dv, RmtTag::DetectCompare);
+        self.prov.tag(d, RmtTag::DetectCompare);
         let mut detect = Vec::new();
         self.em.atomic_noret(
             MemSpace::Global,
@@ -92,6 +97,8 @@ impl Ctx {
                     let mut cons = Vec::new();
                     let pa = self.em.load(MemSpace::Local, slot, &mut cons);
                     let pv = self.em.load(MemSpace::Local, slot4, &mut cons);
+                    self.prov.tag(pa, RmtTag::ChannelValue);
+                    self.prov.tag(pv, RmtTag::ChannelValue);
                     self.consumer_check_and_store(pa, pv, space, addr, value, &mut cons);
                     self.em.if_(self.is_cons, cons, &mut seq);
                 }
@@ -100,6 +107,8 @@ impl Ctx {
                     // lanes (odd) receive the producer's (even) registers.
                     let pa = self.em.swizzle(addr, SwizzleMode::DupEven, &mut seq);
                     let pv = self.em.swizzle(value, SwizzleMode::DupEven, &mut seq);
+                    self.prov.tag(pa, RmtTag::ChannelValue);
+                    self.prov.tag(pv, RmtTag::ChannelValue);
                     let mut cons = Vec::new();
                     self.consumer_check_and_store(pa, pv, space, addr, value, &mut cons);
                     self.em.if_(self.is_cons, cons, &mut seq);
@@ -124,6 +133,8 @@ impl Ctx {
                     let mut cons = Vec::new();
                     let pa = self.em.load(MemSpace::Local, slot, &mut cons);
                     let pv = self.em.load(MemSpace::Local, slot4, &mut cons);
+                    self.prov.tag(pa, RmtTag::ChannelValue);
+                    self.prov.tag(pv, RmtTag::ChannelValue);
                     self.compare_detect(pa, pv, addr, value, &mut cons);
                     self.em
                         .atomic_noret(MemSpace::Global, op, addr, value, &mut cons);
@@ -132,6 +143,8 @@ impl Ctx {
                 CommMode::Swizzle => {
                     let pa = self.em.swizzle(addr, SwizzleMode::DupEven, &mut seq);
                     let pv = self.em.swizzle(value, SwizzleMode::DupEven, &mut seq);
+                    self.prov.tag(pa, RmtTag::ChannelValue);
+                    self.prov.tag(pv, RmtTag::ChannelValue);
                     let mut cons = Vec::new();
                     self.compare_detect(pa, pv, addr, value, &mut cons);
                     self.em
@@ -152,6 +165,9 @@ impl Ctx {
         let da = self.em.ne(pa, addr, out);
         let dv = self.em.ne(pv, value, out);
         let d = self.em.or(da, dv, out);
+        self.prov.tag(da, RmtTag::DetectCompare);
+        self.prov.tag(dv, RmtTag::DetectCompare);
+        self.prov.tag(d, RmtTag::DetectCompare);
         let mut detect = Vec::new();
         self.em.atomic_noret(
             MemSpace::Global,
@@ -175,6 +191,7 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
     let detect_param = params.len() - 1;
 
     let mut em = Emitter::new(kernel.next_reg);
+    let mut prov = Provenance::new(kernel.next_reg);
     let mut pro: Vec<Inst> = Vec::new();
 
     // Constants and the detection counter base.
@@ -182,6 +199,7 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
     let one = em.c_u32(1, &mut pro);
     let four = em.c_u32(4, &mut pro);
     let detect_base = em.read_param(detect_param, &mut pro);
+    prov.tag(detect_base, RmtTag::DetectBase);
 
     // ID remapping (Section 6.2): pairs are adjacent dimension-0 lanes.
     let raw_gid0 = em.builtin(Builtin::GlobalId(Dim(0)), &mut pro);
@@ -195,6 +213,11 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
     let gs0 = em.shr(raw_gs0, one, &mut pro);
     let is_cons = em.ne(flag, zero, &mut pro);
     let is_prod = em.eq(flag, zero, &mut pro);
+    for r in [flag, gid0, lid0, ls0, gs0] {
+        prov.tag(r, RmtTag::IdRemap);
+    }
+    prov.tag(is_cons, RmtTag::RoleGuard);
+    prov.tag(is_prod, RmtTag::RoleGuard);
 
     let mut map = HashMap::new();
     map.insert(Builtin::GlobalId(Dim(0)), gid0);
@@ -206,7 +229,9 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
     let orig_lds = kernel.lds_bytes;
     let lds_off = if duplicate_lds && orig_lds > 0 {
         let c = em.c_u32(orig_lds, &mut pro);
-        Some(em.mul(flag, c, &mut pro))
+        let off = em.mul(flag, c, &mut pro);
+        prov.tag(off, RmtTag::IdRemap);
+        Some(off)
     } else {
         None
     };
@@ -229,6 +254,9 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
         let off = em.mul(lin, eight, &mut pro);
         let slot = em.add(cb, off, &mut pro);
         let slot4 = em.add(slot, four, &mut pro);
+        for r in [lin, off, slot, slot4] {
+            prov.tag(r, RmtTag::CommAddress);
+        }
         (Some(slot), Some(slot4))
     } else {
         (None, None)
@@ -247,6 +275,7 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
         lds_off,
         comm_slot,
         comm_slot4,
+        prov,
     };
 
     // Rewrite the body.
@@ -379,5 +408,6 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
             orig_lds_bytes: orig_lds,
             comm_bytes_per_item: 0,
         },
+        provenance: ctx.prov,
     })
 }

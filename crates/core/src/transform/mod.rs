@@ -3,11 +3,14 @@
 mod emit;
 mod inter;
 mod intra;
+mod provenance;
 mod rewrite;
 
 use crate::error::RmtError;
 use crate::options::{RmtFlavor, TransformOptions};
 use rmt_ir::Kernel;
+
+pub use provenance::{Provenance, RmtTag};
 
 /// Metadata the launcher needs to run a transformed kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +43,8 @@ pub struct RmtKernel {
     pub kernel: Kernel,
     /// Launch metadata.
     pub meta: RmtMeta,
+    /// Roles of the transform-inserted registers, recorded at emission.
+    pub provenance: Provenance,
 }
 
 /// Maximum redundant pairs per work-group the LDS communication region is

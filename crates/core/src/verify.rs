@@ -36,7 +36,7 @@
 //!    none of the original ones.
 
 use crate::options::{CommMode, RmtFlavor, Stage};
-use crate::transform::RmtKernel;
+use crate::transform::{RmtKernel, RmtTag};
 use rmt_ir::{AtomicOp, Block, CmpOp, Inst, Kernel, MemSpace, Reg};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -114,8 +114,10 @@ impl fmt::Display for VerifyError {
 struct Facts {
     /// Params each register transitively derives from through pure ops.
     params: HashMap<Reg, HashSet<usize>>,
-    /// Registers whose value crossed the communication channel (defined by
-    /// a load or swizzle, or computed from such a value).
+    /// Registers whose value crossed the communication channel (seeded
+    /// from the transform's [`RmtTag::ChannelValue`] provenance when
+    /// available, else from every load/swizzle/atomic result; closed over
+    /// pure ops either way).
     channel: HashSet<Reg>,
     /// Registers defined as `Const 0`.
     zeros: HashSet<Reg>,
@@ -129,7 +131,7 @@ impl Facts {
     }
 }
 
-fn compute_facts(kernel: &Kernel) -> Facts {
+fn compute_facts(kernel: &Kernel, channel_seed: Option<&HashSet<Reg>>) -> Facts {
     let mut f = Facts {
         params: HashMap::new(),
         channel: HashSet::new(),
@@ -142,7 +144,7 @@ fn compute_facts(kernel: &Kernel) -> Facts {
             f.params.values().map(HashSet::len).sum::<usize>(),
             f.channel.len(),
         );
-        facts_block(&kernel.body, &mut f);
+        facts_block(&kernel.body, &mut f, channel_seed);
         let after = (
             f.params.values().map(HashSet::len).sum::<usize>(),
             f.channel.len(),
@@ -153,7 +155,7 @@ fn compute_facts(kernel: &Kernel) -> Facts {
     }
 }
 
-fn facts_block(b: &Block, f: &mut Facts) {
+fn facts_block(b: &Block, f: &mut Facts, channel_seed: Option<&HashSet<Reg>>) {
     for inst in b.iter() {
         match inst {
             Inst::ReadParam { dst, index } => {
@@ -162,10 +164,14 @@ fn facts_block(b: &Block, f: &mut Facts) {
             Inst::Const { dst, bits: 0, .. } => {
                 f.zeros.insert(*dst);
             }
-            Inst::Load { dst, .. } | Inst::Swizzle { dst, .. } => {
+            // With a provenance seed, only the transform's recorded
+            // channel values taint; structurally any load/swizzle does.
+            Inst::Load { dst, .. } | Inst::Swizzle { dst, .. }
+                if channel_seed.is_none_or(|s| s.contains(dst)) =>
+            {
                 f.channel.insert(*dst);
             }
-            Inst::Atomic { dst: Some(d), .. } => {
+            Inst::Atomic { dst: Some(d), .. } if channel_seed.is_none_or(|s| s.contains(d)) => {
                 f.channel.insert(*d);
             }
             Inst::Cmp {
@@ -176,12 +182,12 @@ fn facts_block(b: &Block, f: &mut Facts) {
             Inst::If {
                 then_blk, else_blk, ..
             } => {
-                facts_block(then_blk, f);
-                facts_block(else_blk, f);
+                facts_block(then_blk, f, channel_seed);
+                facts_block(else_blk, f, channel_seed);
             }
             Inst::While { cond, body, .. } => {
-                facts_block(cond, f);
-                facts_block(body, f);
+                facts_block(cond, f, channel_seed);
+                facts_block(body, f, channel_seed);
             }
             _ => {}
         }
@@ -515,7 +521,11 @@ fn original_has_sor_exit(original: &Kernel, flavor: RmtFlavor) -> bool {
 /// contract). `original` is the pre-transform kernel, used for the
 /// barrier-preservation and SoR-exit-existence checks.
 pub fn verify_rmt(original: &Kernel, rk: &RmtKernel) -> Vec<VerifyError> {
-    let facts = compute_facts(&rk.kernel);
+    // Seed channel taint from the transform's own record of which
+    // registers crossed the channel; fall back to the structural
+    // over-approximation for kernels without provenance.
+    let tagged = rk.provenance.regs_with(RmtTag::ChannelValue);
+    let facts = compute_facts(&rk.kernel, (!tagged.is_empty()).then_some(&tagged));
     let mut checker = Checker {
         rk,
         facts,

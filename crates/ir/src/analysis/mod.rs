@@ -12,14 +12,21 @@
 //!   reporting;
 //! * [`lint`] — the static-analysis (lint) framework: barrier-interval
 //!   race detection, uniformity-aware divergence checking, and LDS
-//!   bounds checking.
+//!   bounds checking;
+//! * [`coverage`] — protection-coverage classification of RMT-transformed
+//!   kernels (Detected / Vulnerable / Masked residency windows), the
+//!   static half of the injection cross-validation loop.
 
+pub mod coverage;
 pub mod lint;
 pub mod mix;
 pub mod pressure;
 pub mod uniform;
 
+pub use coverage::{
+    coverage, CoverageReport, CoverageSpec, Protection, Replication, Residency, Tallies, Window,
+};
 pub use lint::{lint_kernel, Diagnostic, LintConfig, LintKind};
 pub use mix::{instruction_mix, InstMix};
-pub use pressure::register_pressure;
+pub use pressure::{live_spans, register_pressure};
 pub use uniform::uniform_regs;

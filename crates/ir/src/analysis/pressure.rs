@@ -63,6 +63,32 @@ impl Linearizer {
     }
 }
 
+/// Per-register live spans in linear program order.
+///
+/// Instructions are numbered depth-first (the same linearization
+/// [`register_pressure`] sweeps over); each register maps to the inclusive
+/// `(first access, last access)` index range, already extended across any
+/// loop region the range straddles or inhabits (the value must survive the
+/// back-edge). The span length is the liveness weight the coverage analysis
+/// ([`crate::analysis::coverage`]) uses for vulnerability fractions.
+pub fn live_spans(kernel: &Kernel) -> HashMap<Reg, (usize, usize)> {
+    let mut lin = Linearizer::default();
+    lin.walk_block(&kernel.body);
+    let mut spans = lin.spans;
+    for span in spans.values_mut() {
+        for &(ls, le) in &lin.loops {
+            let overlaps = span.0 <= le && span.1 >= ls;
+            if overlaps {
+                // Live into, out of, or within the loop: conservatively live
+                // for the entire loop body.
+                span.0 = span.0.min(ls);
+                span.1 = span.1.max(le);
+            }
+        }
+    }
+    spans
+}
+
 /// Estimates the peak number of simultaneously-live virtual registers.
 ///
 /// Registers accessed both inside and outside a loop are treated as live
@@ -71,30 +97,14 @@ impl Linearizer {
 /// distinguished cheaply, and GCN register allocation is similarly
 /// conservative across back-edges).
 pub fn register_pressure(kernel: &Kernel) -> u32 {
-    let mut lin = Linearizer::default();
-    lin.walk_block(&kernel.body);
-    if lin.spans.is_empty() {
+    let spans = live_spans(kernel);
+    if spans.is_empty() {
         return 0;
-    }
-
-    // Extend live ranges across loop regions they straddle or inhabit.
-    let mut spans: Vec<(usize, usize)> = lin.spans.values().copied().collect();
-    for span in &mut spans {
-        for &(ls, le) in &lin.loops {
-            let overlaps = span.0 <= le && span.1 >= ls;
-            if overlaps {
-                // Live into, out of, or within the loop: conservatively live
-                // for the entire loop body (the value must survive the
-                // back-edge).
-                span.0 = span.0.min(ls);
-                span.1 = span.1.max(le);
-            }
-        }
     }
 
     // Sweep for max overlap.
     let mut events: Vec<(usize, i32)> = Vec::with_capacity(spans.len() * 2);
-    for (s, e) in spans {
+    for (s, e) in spans.into_values() {
         events.push((s, 1));
         events.push((e + 1, -1));
     }

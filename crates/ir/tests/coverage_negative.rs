@@ -1,0 +1,173 @@
+//! Negative tests pinning the coverage analyzer's *recall*: each test
+//! hand-builds a correctly-protected RMT-shaped kernel, verifies the
+//! analyzer calls the protected values Detected, then breaks the
+//! protection in exactly one way a buggy transform could — dropping the
+//! comparison, sinking the store before its comparison, skipping an ID
+//! remap — and asserts the analyzer reports a *newly Vulnerable* window.
+//! If any of these regress, the fault-injection cross-validation in
+//! `rmt-bench` loses its static counterpart and the derived SoR tables
+//! can overclaim.
+//!
+//! These kernels are built by hand (no `rmt-core` dependency): the spec is
+//! filled the way the transform's provenance tags would fill it.
+
+use rmt_ir::analysis::{coverage, CoverageSpec, Protection, Replication, Residency};
+use rmt_ir::{Kernel, KernelBuilder, Reg, SwizzleMode};
+
+fn paired_lanes_spec() -> CoverageSpec {
+    CoverageSpec::new(Replication::PairedLanes {
+        lds_duplicated: true,
+    })
+}
+
+/// Verdict of the VGPR-lane window of `reg` (deliberately *not*
+/// [`rmt_ir::analysis::CoverageReport::vgpr_fault_class`], which also folds
+/// in the residual in-flight store window — always Vulnerable by design).
+fn lane_class(kernel: &Kernel, spec: &CoverageSpec, reg: Reg) -> Protection {
+    coverage(kernel, spec)
+        .windows_for(reg)
+        .filter(|w| w.residency == Residency::VgprLane)
+        .map(|w| w.protection)
+        .reduce(Protection::worst)
+        .expect("register must have a VGPR window")
+}
+
+/// An intra-pair protected store shaped like the real transform: remap the
+/// ID, compute, exchange address *and* value with the partner lane,
+/// compare both, then store.
+struct Shape {
+    kernel: Kernel,
+    /// The computed value whose protection is under test.
+    value: Reg,
+    /// The store address (carries the replica-ID dataflow).
+    addr: Reg,
+    /// The remapped logical ID.
+    remap: Reg,
+    /// The swizzle (channel) results.
+    channels: [Reg; 2],
+    /// The comparison chain (`ne`, `ne`, `or`) if one was emitted.
+    compares: Vec<Reg>,
+}
+
+fn build(compare: bool, store_before_compare: bool, use_raw_id: bool) -> Shape {
+    let mut b = KernelBuilder::new("rmt_shape");
+    let input = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let gid = b.global_id(0);
+    let one = b.const_u32(1);
+    // Logical ID: both replica lanes of a pair map to the same element.
+    let remap = b.shr_u32(gid, one);
+    let idx = if use_raw_id { gid } else { remap };
+    let a = b.elem_addr(input, idx);
+    let v = b.load_global(a);
+    let value = b.add_u32(v, one);
+    let addr = b.elem_addr(out, idx);
+    // Partner exchange (the intra-pair communication channel).
+    let ch_a = b.swizzle(addr, SwizzleMode::SwapPairs);
+    let ch_v = b.swizzle(value, SwizzleMode::SwapPairs);
+    let mut compares = Vec::new();
+    if store_before_compare {
+        b.store_global(addr, value);
+    }
+    if compare {
+        let da = b.ne_u32(addr, ch_a);
+        let dv = b.ne_u32(value, ch_v);
+        let d = b.or_u32(da, dv);
+        compares.extend([da, dv, d]);
+    }
+    if !store_before_compare {
+        b.store_global(addr, value);
+    }
+    Shape {
+        kernel: b.finish(),
+        value,
+        addr,
+        remap,
+        channels: [ch_a, ch_v],
+        compares,
+    }
+}
+
+fn spec_for(shape: &Shape) -> CoverageSpec {
+    let mut spec = paired_lanes_spec();
+    spec.id_remaps.insert(shape.remap);
+    spec.channel_regs.extend(shape.channels);
+    spec.compare_regs.extend(shape.compares.iter().copied());
+    spec
+}
+
+#[test]
+fn protected_shape_is_detected() {
+    let shape = build(true, false, false);
+    let spec = spec_for(&shape);
+    for (what, reg) in [("value", shape.value), ("address", shape.addr)] {
+        assert_eq!(
+            lane_class(&shape.kernel, &spec, reg),
+            Protection::Detected,
+            "compare-before-store shape must leave the {what} Detected"
+        );
+    }
+}
+
+#[test]
+fn dropped_comparison_turns_value_vulnerable() {
+    let shape = build(false, false, false);
+    let spec = spec_for(&shape);
+    assert_eq!(
+        lane_class(&shape.kernel, &spec, shape.value),
+        Protection::Vulnerable,
+        "a transform that forgets the comparison must be flagged"
+    );
+    let report = coverage(&shape.kernel, &spec);
+    assert!(
+        report
+            .windows_for(shape.value)
+            .any(|w| w.residency == Residency::VgprLane
+                && w.protection == Protection::Vulnerable
+                && w.reason.contains("without a preceding comparison")),
+        "the new window must carry the no-comparison reason"
+    );
+}
+
+#[test]
+fn store_hoisted_before_its_comparison_turns_value_vulnerable() {
+    // The comparison still exists, but the store now precedes it: the
+    // in-flight value escapes the sphere before being checked.
+    let shape = build(true, true, false);
+    let spec = spec_for(&shape);
+    for (what, reg) in [("value", shape.value), ("address", shape.addr)] {
+        assert_eq!(
+            lane_class(&shape.kernel, &spec, reg),
+            Protection::Vulnerable,
+            "a store scheduled before its comparison must flag the {what}"
+        );
+    }
+}
+
+#[test]
+fn skipped_id_remap_turns_address_vulnerable() {
+    // The raw global ID differs between replica lanes; using it without
+    // the remap makes the replicas address different elements, so the
+    // store-address dataflow is no longer replica-consistent.
+    let shape = build(true, false, true);
+    let spec = spec_for(&shape);
+    assert_eq!(
+        lane_class(&shape.kernel, &spec, shape.addr),
+        Protection::Vulnerable,
+        "dataflow derived from an unremapped replica ID must be flagged"
+    );
+    let report = coverage(&shape.kernel, &spec);
+    assert!(
+        report
+            .windows_for(shape.addr)
+            .any(|w| w.reason.contains("unremapped replica ID")),
+        "the verdict must carry the taint reason"
+    );
+    // The remapped variant of the same kernel keeps the address Detected.
+    let good = build(true, false, false);
+    let good_spec = spec_for(&good);
+    assert_eq!(
+        lane_class(&good.kernel, &good_spec, good.addr),
+        Protection::Detected
+    );
+}

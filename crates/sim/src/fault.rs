@@ -65,6 +65,38 @@ pub enum FaultTarget {
     },
 }
 
+impl FaultTarget {
+    /// The IR virtual register whose storage this fault corrupts —
+    /// register-file faults carry the attribution that lets the static
+    /// coverage analysis look up the corresponding residency windows.
+    pub fn ir_reg(self) -> Option<rmt_ir::Reg> {
+        match self {
+            FaultTarget::Vgpr { reg, .. } | FaultTarget::Sgpr { reg, .. } => Some(rmt_ir::Reg(reg)),
+            _ => None,
+        }
+    }
+
+    /// The LDS byte offset this fault corrupts, for LDS faults.
+    pub fn lds_offset(self) -> Option<u32> {
+        match self {
+            FaultTarget::Lds { offset, .. } => Some(offset),
+            _ => None,
+        }
+    }
+
+    /// Label of the hardware structure the fault lands in, matching the
+    /// column labels of the paper's Tables 2/3 where one exists.
+    pub fn structure_label(self) -> &'static str {
+        match self {
+            FaultTarget::Vgpr { .. } => "VRF",
+            FaultTarget::Sgpr { .. } => "SRF",
+            FaultTarget::Lds { .. } => "LDS",
+            FaultTarget::L1Data { .. } => "R/W L1$",
+            FaultTarget::GlobalMem { .. } => "DRAM",
+        }
+    }
+}
+
 /// One planned injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Injection {
@@ -123,5 +155,48 @@ mod tests {
         assert!(!p.is_empty());
         assert_eq!(p.injections.len(), 1);
         assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn targets_attribute_to_ir_sites() {
+        let v = FaultTarget::Vgpr {
+            group: 0,
+            wave: 0,
+            reg: 3,
+            lane: 7,
+            bit: 31,
+        };
+        assert_eq!(v.ir_reg(), Some(rmt_ir::Reg(3)));
+        assert_eq!(v.lds_offset(), None);
+        assert_eq!(v.structure_label(), "VRF");
+
+        let s = FaultTarget::Sgpr {
+            group: 0,
+            wave: 0,
+            reg: 9,
+            bit: 0,
+        };
+        assert_eq!(s.ir_reg(), Some(rmt_ir::Reg(9)));
+        assert_eq!(s.structure_label(), "SRF");
+
+        let l = FaultTarget::Lds {
+            group: 1,
+            offset: 40,
+            bit: 2,
+        };
+        assert_eq!(l.ir_reg(), None);
+        assert_eq!(l.lds_offset(), Some(40));
+        assert_eq!(l.structure_label(), "LDS");
+
+        let c = FaultTarget::L1Data {
+            cu: 0,
+            addr: 64,
+            bit: 1,
+        };
+        assert_eq!(c.structure_label(), "R/W L1$");
+        assert_eq!(
+            FaultTarget::GlobalMem { addr: 0, bit: 0 }.structure_label(),
+            "DRAM"
+        );
     }
 }

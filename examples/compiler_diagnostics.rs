@@ -9,9 +9,10 @@
 //! ```
 
 use gpu_rmt::ir::analysis::lint::{lint_kernel, LintAssumptions, LintConfig};
+use gpu_rmt::ir::analysis::{Protection, Residency};
 use gpu_rmt::ir::{Block, Inst, KernelBuilder, MemSpace};
 use gpu_rmt::kernels::{all, by_abbrev, run_original, Scale};
-use gpu_rmt::rmt::{transform, verify_rmt, TransformOptions, TransformReport};
+use gpu_rmt::rmt::{coverage, transform, verify_rmt, TransformOptions, TransformReport};
 use gpu_rmt::sim::DeviceConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -59,6 +60,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &|c| c,
     )?;
     print!("{}", run.stats.counters);
+
+    // == static protection coverage ==
+    //
+    // The per-kernel report a compiler would print next to its transform
+    // diagnostics: for each flavor, how every residency class of the
+    // transformed kernel is protected, derived from the IR by the
+    // coverage analysis (the same pass that regenerates Tables 2/3 and is
+    // cross-validated by `repro coverage-static`).
+    println!("\n== protection coverage of Reduction, per flavor ==\n");
+    println!(
+        "{:<18} {:>9} {:>4} {:>4} {:>4} {:>7}",
+        "flavor", "residency", "D", "V", "M", "vuln%"
+    );
+    for opts in [
+        TransformOptions::intra_plus_lds(),
+        TransformOptions::intra_minus_lds(),
+        TransformOptions::inter(),
+        TransformOptions::intra_plus_lds().with_swizzle(),
+    ] {
+        let rk = transform(&kernel, &opts)?;
+        let report = coverage::analyze(&rk);
+        for res in Residency::ALL {
+            let t = report.tallies(Some(res), false);
+            if t.total() == 0 {
+                continue;
+            }
+            println!(
+                "{:<18} {:>9} {:>4} {:>4} {:>4} {:>6.1}%",
+                opts.flavor.to_string(),
+                res.label(),
+                t.detected,
+                t.vulnerable,
+                t.masked,
+                100.0 * t.vulnerability_fraction()
+            );
+        }
+        // The heaviest vulnerable windows, with the analyzer's reasons —
+        // where a compiler would point the user first.
+        let mut vulns: Vec<_> = report
+            .windows
+            .iter()
+            .filter(|w| !w.machinery && w.protection == Protection::Vulnerable)
+            .collect();
+        vulns.sort_by_key(|w| std::cmp::Reverse(w.weight));
+        for w in vulns.iter().take(2) {
+            println!(
+                "    worst: r{} ({}, weight {}): {}",
+                w.reg.0,
+                w.residency.label(),
+                w.weight,
+                w.reason
+            );
+        }
+    }
 
     // == static analysis: what the lint passes say about a buggy kernel ==
     //
