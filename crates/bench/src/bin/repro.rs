@@ -15,8 +15,11 @@ use std::time::Instant;
 
 fn usage() -> String {
     format!(
-        "usage: repro <experiment>... [--scale small|paper|large] [--json]\n\
-         experiments: all, {}",
+        "usage: repro <experiment>... [--scale small|paper|large] [--json] [--jobs N]\n\
+         --jobs N  worker threads for independent simulation cells\n\
+         \x20         (default: available parallelism; output is identical for any N)\n\
+         experiments: all, {}\n\
+         extra: bench (wall-clock simulator benchmark, writes BENCH_sim.json)",
         ALL_IDS.join(", ")
     )
 }
@@ -29,7 +32,7 @@ fn main() -> ExitCode {
     }
 
     let mut ids: Vec<String> = Vec::new();
-    let mut cfg = ExpConfig::paper();
+    let mut cfg = ExpConfig::paper().with_jobs(gcn_sim::pool::default_jobs());
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -41,6 +44,16 @@ fn main() -> ExitCode {
                     Some("large") => Scale::Large,
                     other => {
                         eprintln!("bad --scale {other:?}\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--jobs" => {
+                i += 1;
+                cfg.jobs = match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("bad --jobs {:?}\n{}", args.get(i), usage());
                         return ExitCode::FAILURE;
                     }
                 };
@@ -75,7 +88,9 @@ fn main() -> ExitCode {
                 } else {
                     println!("==== {id} ====\n");
                     println!("{report}");
-                    println!("[{id} completed in {:.1?}]\n", t0.elapsed());
+                    // Timing goes to stderr: stdout stays byte-identical
+                    // across hosts and `--jobs` values.
+                    eprintln!("[{id} completed in {:.1?}]\n", t0.elapsed());
                 }
             }
             Err(e) => {

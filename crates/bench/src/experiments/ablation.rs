@@ -15,41 +15,54 @@ use crate::ExpConfig;
 use rmt_core::TransformOptions;
 use rmt_kernels::{all, by_abbrev, run_duplicated, run_original, run_rmt};
 
+/// One baseline-experiment run kind (four cells per kernel).
+#[derive(Clone, Copy)]
+enum BaselineRun {
+    Orig,
+    Naive,
+    Intra,
+    Inter,
+}
+
 /// The `baseline` experiment: naive duplication vs the RMT flavors.
 pub fn baseline(cfg: &ExpConfig) -> Result<String, String> {
-    let mut t = Table::new(&["kernel", "naive 2x launch", "Intra+LDS", "Inter"]);
-    for b in all() {
+    use BaselineRun::*;
+    let suite = all();
+    let cells: Vec<(&dyn rmt_kernels::Benchmark, BaselineRun)> = suite
+        .iter()
+        .flat_map(|b| [Orig, Naive, Intra, Inter].map(|k| (b.as_ref(), k)))
+        .collect();
+    let runs = gcn_sim::pool::map(cfg.jobs, cells, |(b, kind)| {
         let fail = |e| format!("{}: {e}", b.abbrev());
-        let base = run_original(b.as_ref(), cfg.scale, &cfg.device, &|c| c)
-            .map_err(fail)?
-            .stats
-            .cycles as f64;
-        let naive = run_duplicated(b.as_ref(), cfg.scale, &cfg.device).map_err(fail)?;
+        match kind {
+            Orig => run_original(b, cfg.scale, &cfg.device, &|c| c),
+            Naive => run_duplicated(b, cfg.scale, &cfg.device),
+            Intra => run_rmt(
+                b,
+                cfg.scale,
+                &cfg.device,
+                &TransformOptions::intra_plus_lds(),
+            ),
+            Inter => run_rmt(b, cfg.scale, &cfg.device, &TransformOptions::inter()),
+        }
+        .map_err(fail)
+    });
+    let mut t = Table::new(&["kernel", "naive 2x launch", "Intra+LDS", "Inter"]);
+    for (b, chunk) in suite.iter().zip(runs.chunks_exact(4)) {
+        let cell = |i: usize| chunk[i].as_ref().map_err(String::clone);
+        let base = cell(0)?.stats.cycles as f64;
+        let naive = cell(1)?;
         if naive.detections != 0 {
             return Err(format!(
                 "{}: naive duplication disagreed without faults",
                 b.abbrev()
             ));
         }
-        let intra = run_rmt(
-            b.as_ref(),
-            cfg.scale,
-            &cfg.device,
-            &TransformOptions::intra_plus_lds(),
-        )
-        .map_err(fail)?;
-        let inter = run_rmt(
-            b.as_ref(),
-            cfg.scale,
-            &cfg.device,
-            &TransformOptions::inter(),
-        )
-        .map_err(fail)?;
         t.row(vec![
             b.abbrev().into(),
             x(naive.stats.cycles as f64 / base),
-            x(intra.stats.cycles as f64 / base),
-            x(inter.stats.cycles as f64 / base),
+            x(cell(2)?.stats.cycles as f64 / base),
+            x(cell(3)?.stats.cycles as f64 / base),
         ]);
     }
     Ok(format!(
@@ -68,8 +81,7 @@ pub fn ablation(cfg: &ExpConfig) -> Result<String, String> {
     // -- L2 atomic banking vs Inter-Group communication cost. -------------
     {
         let b = by_abbrev("BlkSch").expect("BlkSch exists");
-        let mut t = Table::new(&["L2 banks", "orig cycles", "Inter", "slowdown"]);
-        for banks in [1usize, 2, 4, 8, 16] {
+        let rows = gcn_sim::pool::map(cfg.jobs, vec![1usize, 2, 4, 8, 16], |banks| {
             let mut device = cfg.device.clone();
             device.l2_banks = banks;
             let fail = |e| format!("BlkSch banks={banks}: {e}");
@@ -81,12 +93,16 @@ pub fn ablation(cfg: &ExpConfig) -> Result<String, String> {
                 .map_err(fail)?
                 .stats
                 .cycles;
-            t.row(vec![
+            Ok::<_, String>(vec![
                 banks.to_string(),
                 base.to_string(),
                 inter.to_string(),
                 x(inter as f64 / base as f64),
-            ]);
+            ])
+        });
+        let mut t = Table::new(&["L2 banks", "orig cycles", "Inter", "slowdown"]);
+        for row in rows {
+            t.row(row?);
         }
         out.push_str(&format!(
             "Ablation A: L2 atomic banking vs Inter-Group cost (BlkSch)\n\
@@ -100,17 +116,20 @@ pub fn ablation(cfg: &ExpConfig) -> Result<String, String> {
     // -- Write-buffer depth vs a write-heavy kernel. -----------------------
     {
         let b = by_abbrev("FWT").expect("FWT exists");
-        let mut t = Table::new(&["write buffer lines", "orig cycles", "WriteUnitStalled"]);
-        for lines in [2u64, 8, 16, 64] {
+        let rows = gcn_sim::pool::map(cfg.jobs, vec![2u64, 8, 16, 64], |lines| {
             let mut device = cfg.device.clone();
             device.lat.write_buffer_lines = lines;
             let fail = |e| format!("FWT wb={lines}: {e}");
             let run = run_original(b.as_ref(), cfg.scale, &device, &|c| c).map_err(fail)?;
-            t.row(vec![
+            Ok::<_, String>(vec![
                 lines.to_string(),
                 run.stats.cycles.to_string(),
                 format!("{:.1}%", run.stats.counters.write_unit_stalled_pct()),
-            ]);
+            ])
+        });
+        let mut t = Table::new(&["write buffer lines", "orig cycles", "WriteUnitStalled"]);
+        for row in rows {
+            t.row(row?);
         }
         out.push_str(&format!(
             "Ablation B: CU write-buffer depth vs the write-heavy FWT\n\n{}\n",
@@ -121,8 +140,7 @@ pub fn ablation(cfg: &ExpConfig) -> Result<String, String> {
     // -- Occupancy sensitivity: Intra-Group on a memory-bound kernel. ------
     {
         let b = by_abbrev("BinS").expect("BinS exists");
-        let mut t = Table::new(&["groups/CU cap", "orig", "Intra+LDS", "slowdown"]);
-        for cap in [16usize, 8, 4, 2] {
+        let rows = gcn_sim::pool::map(cfg.jobs, vec![16usize, 8, 4, 2], |cap| {
             let fail = |e| format!("BinS cap={cap}: {e}");
             let base = run_original(b.as_ref(), cfg.scale, &cfg.device, &|c| {
                 c.groups_per_cu_cap(cap)
@@ -144,12 +162,16 @@ pub fn ablation(cfg: &ExpConfig) -> Result<String, String> {
                 .stats
                 .cycles
             };
-            t.row(vec![
+            Ok::<_, String>(vec![
                 cap.to_string(),
                 base.to_string(),
                 rk_run.to_string(),
                 x(rk_run as f64 / base as f64),
-            ]);
+            ])
+        });
+        let mut t = Table::new(&["groups/CU cap", "orig", "Intra+LDS", "slowdown"]);
+        for row in rows {
+            t.row(row?);
         }
         out.push_str(&format!(
             "Ablation C: occupancy pressure vs Intra-Group RMT (BinS)\n\
@@ -163,10 +185,9 @@ pub fn ablation(cfg: &ExpConfig) -> Result<String, String> {
 
     // -- Device scaling: CU count vs the under-utilization findings. -------
     {
-        let mut t = Table::new(&["CUs", "NB Intra+LDS", "NB Inter", "QRS Inter"]);
         let nb = by_abbrev("NB").expect("NB exists");
         let qrs = by_abbrev("QRS").expect("QRS exists");
-        for cus in [4usize, 8, 12, 24] {
+        let rows = gcn_sim::pool::map(cfg.jobs, vec![4usize, 8, 12, 24], |cus| {
             let mut device = cfg.device.clone();
             device.num_cus = cus;
             let fail = |e| format!("scaling cus={cus}: {e}");
@@ -195,12 +216,16 @@ pub fn ablation(cfg: &ExpConfig) -> Result<String, String> {
                 .map_err(fail)?
                 .stats
                 .cycles as f64;
-            t.row(vec![
+            Ok::<_, String>(vec![
                 cus.to_string(),
                 x(nb_intra / nb_base),
                 x(nb_inter / nb_base),
                 x(qrs_inter / qrs_base),
-            ]);
+            ])
+        });
+        let mut t = Table::new(&["CUs", "NB Intra+LDS", "NB Inter", "QRS Inter"]);
+        for row in rows {
+            t.row(row?);
         }
         out.push_str(&format!(
             "

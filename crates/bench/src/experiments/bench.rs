@@ -1,0 +1,216 @@
+//! `repro bench` — wall-clock benchmark of the simulator core, with a
+//! tracked baseline.
+//!
+//! Times warm iterations of a fixed kernel set covering the interpreter's
+//! hot paths (ALU, LDS/barrier, and memory-bound kernels, original and
+//! transformed), then writes `BENCH_sim.json` to the working directory.
+//! When a previous `BENCH_sim.json` is already present (the committed
+//! baseline), the report prints the delta and the experiment **fails** on
+//! a regression worse than 25% — CI runs this at small scale on every
+//! push.
+//!
+//! Raw throughput (million simulated instructions per second) depends on
+//! the host, so the tracked figure is a normalized *score*:
+//!
+//! ```text
+//! score = Minst/s × calib_ms
+//! ```
+//!
+//! where `calib_ms` times a fixed scalar xorshift loop on the same host
+//! immediately before the measurement. A machine that runs the calibration
+//! loop twice as fast is expected to run the simulator twice as fast, so
+//! the product cancels most machine-to-machine variation while preserving
+//! simulator-relative changes.
+//!
+//! Cells run serially (never through the pool) regardless of `--jobs`:
+//! wall-clock timing wants an unloaded machine and no cross-thread cache
+//! interference.
+
+use crate::baseline::{self, Json};
+use crate::table::Table;
+use crate::ExpConfig;
+use rmt_core::TransformOptions;
+use rmt_kernels::{by_abbrev, run_original, run_rmt, RunOutcome};
+use std::time::Instant;
+
+/// Timed iterations per cell (after one untimed warm-up).
+const ITERS: usize = 3;
+
+/// Baseline file name, in the working directory (the repo root in CI).
+const BASELINE_FILE: &str = "BENCH_sim.json";
+
+/// Fail when the normalized score drops below this fraction of baseline.
+const FAIL_BELOW: f64 = 0.75;
+
+/// Iterations of the calibration loop.
+const CALIB_ROUNDS: u64 = 50_000_000;
+
+/// Times a fixed scalar xorshift loop: a stand-in for the host's
+/// single-thread integer speed, used to normalize the simulator score.
+fn calibrate_ms() -> f64 {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let t0 = Instant::now();
+    for _ in 0..CALIB_ROUNDS {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(x);
+    ms
+}
+
+struct CellResult {
+    kernel: &'static str,
+    flavor: &'static str,
+    insts: u64,
+    best_s: f64,
+}
+
+/// The `bench` experiment. Not part of `repro all`: its output is
+/// wall-clock timing, which is intentionally not byte-stable.
+///
+/// # Errors
+///
+/// On simulation failure, on an unwritable `BENCH_sim.json`, or when the
+/// score regresses more than 25% against the committed baseline.
+pub fn bench(cfg: &ExpConfig) -> Result<String, String> {
+    let kernels: [&'static str; 5] = ["R", "MM", "PS", "BlkSch", "FWT"];
+    let flavors: [(&'static str, Option<TransformOptions>); 2] = [
+        ("Original", None),
+        ("Intra+LDS", Some(TransformOptions::intra_plus_lds())),
+    ];
+
+    let mut cells: Vec<CellResult> = Vec::new();
+    for abbrev in kernels {
+        let b = by_abbrev(abbrev).expect("known benchmark");
+        for (fname, opts) in &flavors {
+            let run_once = || -> Result<RunOutcome, String> {
+                match opts {
+                    None => run_original(b.as_ref(), cfg.scale, &cfg.device, &|c| c),
+                    Some(o) => run_rmt(b.as_ref(), cfg.scale, &cfg.device, o),
+                }
+                .map_err(|e| format!("{abbrev} {fname}: {e}"))
+            };
+            let warm = run_once()?;
+            let insts = warm.stats.counters.dyn_insts;
+            let mut best_s = f64::INFINITY;
+            for _ in 0..ITERS {
+                let t0 = Instant::now();
+                let r = run_once()?;
+                let dt = t0.elapsed().as_secs_f64();
+                if r.stats.counters.dyn_insts != insts {
+                    return Err(format!(
+                        "{abbrev} {fname}: nondeterministic instruction count"
+                    ));
+                }
+                best_s = best_s.min(dt);
+            }
+            cells.push(CellResult {
+                kernel: abbrev,
+                flavor: fname,
+                insts,
+                best_s,
+            });
+        }
+    }
+
+    let total_insts: u64 = cells.iter().map(|c| c.insts).sum();
+    let total_best_s: f64 = cells.iter().map(|c| c.best_s).sum();
+    let calib_ms = calibrate_ms();
+    let minsts_per_s = total_insts as f64 / 1e6 / total_best_s;
+    let score = minsts_per_s * calib_ms;
+
+    // Compare against the committed baseline before overwriting it.
+    let baseline_note;
+    let mut regression = None;
+    match std::fs::read_to_string(BASELINE_FILE) {
+        Ok(txt) => match baseline::parse(&txt) {
+            Ok(old) => match old.get("score").and_then(Json::as_f64) {
+                Some(old_score) if old_score > 0.0 => {
+                    let ratio = score / old_score;
+                    baseline_note = format!(
+                        "baseline score {old_score:.1}, new score {score:.1} ({:+.1}%)",
+                        (ratio - 1.0) * 100.0
+                    );
+                    if ratio < FAIL_BELOW {
+                        regression = Some(format!(
+                            "perf regression: score {score:.1} is below {:.0}% of the \
+                             baseline {old_score:.1}",
+                            FAIL_BELOW * 100.0
+                        ));
+                    }
+                }
+                _ => baseline_note = format!("baseline {BASELINE_FILE} has no score; replacing"),
+            },
+            Err(e) => {
+                baseline_note = format!("baseline {BASELINE_FILE} unreadable ({e}); replacing")
+            }
+        },
+        Err(_) => baseline_note = format!("no {BASELINE_FILE} baseline; writing a fresh one"),
+    }
+
+    let mut json = format!(
+        "{{\"experiment\":\"bench\",\"scale\":\"{:?}\",\"iters\":{ITERS},\
+         \"calib_ms\":{calib_ms:.3},\"total_minsts\":{:.3},\
+         \"minsts_per_s\":{minsts_per_s:.3},\"score\":{score:.3},\"cells\":[",
+        cfg.scale,
+        total_insts as f64 / 1e6,
+    );
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"kernel\":\"{}\",\"flavor\":\"{}\",\"minsts\":{:.3},\"best_ms\":{:.3}}}",
+            c.kernel,
+            c.flavor,
+            c.insts as f64 / 1e6,
+            c.best_s * 1e3
+        ));
+    }
+    json.push_str("]}\n");
+    std::fs::write(BASELINE_FILE, &json).map_err(|e| format!("writing {BASELINE_FILE}: {e}"))?;
+    // The delta always lands on stderr, so CI logs show it even in
+    // `--json` mode (where stdout must stay pure JSON).
+    eprintln!("bench: {baseline_note}");
+
+    let report = if cfg.json {
+        json
+    } else {
+        let mut t = Table::new(&["kernel", "flavor", "Minst", "best ms", "Minst/s"]);
+        for c in &cells {
+            t.row(vec![
+                c.kernel.into(),
+                c.flavor.into(),
+                format!("{:.2}", c.insts as f64 / 1e6),
+                format!("{:.1}", c.best_s * 1e3),
+                format!("{:.2}", c.insts as f64 / 1e6 / c.best_s),
+            ]);
+        }
+        format!(
+            "Simulator benchmark (best of {ITERS} warm iterations per cell)\n\n{}\n\
+             total: {:.2} Minst in {:.1} ms -> {minsts_per_s:.2} Minst/s\n\
+             calibration: {calib_ms:.1} ms -> normalized score {score:.1}\n\
+             {baseline_note}\n\
+             wrote {BASELINE_FILE}\n",
+            t.render(),
+            total_insts as f64 / 1e6,
+            total_best_s * 1e3,
+        )
+    };
+    match regression {
+        Some(r) => Err(format!("{report}\n{r}")),
+        None => Ok(report),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_is_positive() {
+        assert!(calibrate_ms() > 0.0);
+    }
+}

@@ -209,18 +209,29 @@ pub fn coverage(cfg: &ExpConfig) -> Result<String, String> {
         "masked",
         "applied",
     ]);
-    for (sname, targets, kernel) in structures {
-        for (fname, opts) in &flavors {
-            let tally = run_campaign(&cfg.device, opts, targets, kernel)?;
-            t.row(vec![
-                sname.into(),
-                (*fname).into(),
-                tally.detected.to_string(),
-                tally.sdc.to_string(),
-                tally.masked.to_string(),
-                tally.applied.to_string(),
-            ]);
-        }
+    // 15 independent (structure, flavor) campaigns, fanned across the
+    // pool and merged in submission order.
+    let cells: Vec<(&str, &str, &[FaultTarget], TransformOptions, &Kernel)> = structures
+        .iter()
+        .flat_map(|&(sname, targets, kernel)| {
+            flavors
+                .iter()
+                .map(move |&(fname, opts)| (sname, fname, targets, opts, kernel))
+        })
+        .collect();
+    let tallies = gcn_sim::pool::map(cfg.jobs, cells, |(sname, fname, targets, opts, kernel)| {
+        run_campaign(&cfg.device, &opts, targets, kernel).map(|tally| (sname, fname, tally))
+    });
+    for tally in tallies {
+        let (sname, fname, tally) = tally?;
+        t.row(vec![
+            sname.into(),
+            fname.into(),
+            tally.detected.to_string(),
+            tally.sdc.to_string(),
+            tally.masked.to_string(),
+            tally.applied.to_string(),
+        ]);
     }
     Ok(format!(
         "Coverage: fault-injection validation of the spheres of replication\n\

@@ -186,6 +186,108 @@ struct SiteTargets {
     targets: Vec<FaultTarget>,
 }
 
+/// Everything one (kernel, flavor) cell contributes to the report.
+struct CellOut {
+    static_cell: String,
+    inj_cell: String,
+    violations: Vec<String>,
+    injections: usize,
+}
+
+/// Runs one (kernel, flavor) cell: static analysis, golden run, and the
+/// injection campaign over analysis-chosen sites. Pure in (benchmark,
+/// flavor, config), so cells fan out across the pool.
+fn run_cell(
+    cfg: &ExpConfig,
+    bench: &dyn Benchmark,
+    label: &str,
+    opts: &TransformOptions,
+) -> Result<CellOut, String> {
+    let ctx = format!("{} {label}", bench.abbrev());
+    let rk =
+        transform(&bench.kernel(), opts).map_err(|e| format!("{ctx}: transform failed: {e}"))?;
+    let report = cov::analyze(&rk);
+    let t = report.tallies(None, false);
+    let static_cell = format!(
+        "{:.1}% {}D/{}V/{}M",
+        100.0 * t.vulnerability_fraction(),
+        t.detected,
+        t.vulnerable,
+        t.masked
+    );
+
+    // Golden (fault-free) run establishes reference outputs and the
+    // dynamic instruction budget for triggers and the watchdog.
+    let (d0, _, first_insts, golden) =
+        run_transformed(bench, cfg.scale, &cfg.device, &rk, FaultPlan::none())
+            .map_err(|e| format!("{ctx}: fault-free run failed: {e}"))?;
+    if d0 != 0 {
+        return Err(format!("{ctx}: fault-free run reported {d0} detections"));
+    }
+    // Injected runs that corrupt protocol state can spin forever;
+    // bound them by a watchdog a few times the fault-free length.
+    let mut inj_dev = cfg.device.clone();
+    inj_dev.watchdog_insts = first_insts.saturating_mul(8).max(200_000);
+
+    let mut violations = Vec::new();
+    let mut injections = 0usize;
+    let mut tally = InjTally::default();
+    for site in pick_sites(&rk, &report) {
+        for target in &site.targets {
+            for trigger in [first_insts / 4 + 1, first_insts / 2 + 1] {
+                let outcome = match run_transformed(
+                    bench,
+                    cfg.scale,
+                    &inj_dev,
+                    &rk,
+                    FaultPlan::single(trigger, *target),
+                ) {
+                    Err(_) => Outcome::Due,
+                    Ok((det, applied, _, bufs)) => {
+                        if applied == 0 {
+                            continue; // target missed (e.g. group retired)
+                        }
+                        if det > 0 {
+                            Outcome::Detected
+                        } else if bufs != golden {
+                            Outcome::Sdc
+                        } else {
+                            Outcome::Masked
+                        }
+                    }
+                };
+                injections += 1;
+                tally.note(outcome);
+                if outcome == Outcome::Sdc {
+                    if site.class == Protection::Detected {
+                        violations.push(format!(
+                            "SOUNDNESS: {ctx}: SDC at Detected-class site {} ({target:?}, trigger {trigger})",
+                            site.label
+                        ));
+                    } else if site.class != Protection::Vulnerable {
+                        violations.push(format!(
+                            "RECALL: {ctx}: SDC at {}-class site {} ({target:?}, trigger {trigger})",
+                            site.class.label(),
+                            site.label
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let inj_cell = format!(
+        "{}d/{}s/{}m/{}h",
+        tally.detected, tally.sdc, tally.masked, tally.due
+    );
+    let _ = tally.total();
+    Ok(CellOut {
+        static_cell,
+        inj_cell,
+        violations,
+        injections,
+    })
+}
+
 /// The `coverage-static` experiment.
 ///
 /// # Errors
@@ -201,94 +303,38 @@ pub fn coverage_static(cfg: &ExpConfig) -> Result<String, String> {
     let mut violations: Vec<String> = Vec::new();
     let mut injections = 0usize;
 
-    for bench in rmt_kernels::all() {
+    // 16 kernels × 4 flavors = 64 independent cells. Fan them across the
+    // pool; the merge below walks results in submission order, so the
+    // matrices (and any violation report) are byte-identical for any job
+    // count.
+    let suite = rmt_kernels::all();
+    let cells: Vec<(&dyn Benchmark, &str, TransformOptions)> = suite
+        .iter()
+        .flat_map(|b| {
+            vs.iter()
+                .map(move |(label, opts)| (b.as_ref(), *label, *opts))
+        })
+        .collect();
+    let outs = gcn_sim::pool::map(cfg.jobs, cells, |(bench, label, opts)| {
+        run_cell(cfg, bench, label, &opts)
+    });
+    let mut outs = outs.into_iter();
+    for bench in &suite {
         let mut static_cells = Vec::new();
         let mut inj_cells = Vec::new();
-        for (label, opts) in &vs {
-            let ctx = format!("{} {label}", bench.abbrev());
-            let rk = transform(&bench.kernel(), opts)
-                .map_err(|e| format!("{ctx}: transform failed: {e}"))?;
-            let report = cov::analyze(&rk);
-            let t = report.tallies(None, false);
-            static_cells.push(format!(
-                "{:.1}% {}D/{}V/{}M",
-                100.0 * t.vulnerability_fraction(),
-                t.detected,
-                t.vulnerable,
-                t.masked
-            ));
-
-            // Golden (fault-free) run establishes reference outputs and the
-            // dynamic instruction budget for triggers and the watchdog.
-            let (d0, _, first_insts, golden) = run_transformed(
-                bench.as_ref(),
-                cfg.scale,
-                &cfg.device,
-                &rk,
-                FaultPlan::none(),
-            )
-            .map_err(|e| format!("{ctx}: fault-free run failed: {e}"))?;
-            if d0 != 0 {
-                return Err(format!("{ctx}: fault-free run reported {d0} detections"));
-            }
-            // Injected runs that corrupt protocol state can spin forever;
-            // bound them by a watchdog a few times the fault-free length.
-            let mut inj_dev = cfg.device.clone();
-            inj_dev.watchdog_insts = first_insts.saturating_mul(8).max(200_000);
-
-            let mut tally = InjTally::default();
-            for site in pick_sites(&rk, &report) {
-                for target in &site.targets {
-                    for trigger in [first_insts / 4 + 1, first_insts / 2 + 1] {
-                        let outcome = match run_transformed(
-                            bench.as_ref(),
-                            cfg.scale,
-                            &inj_dev,
-                            &rk,
-                            FaultPlan::single(trigger, *target),
-                        ) {
-                            Err(_) => Outcome::Due,
-                            Ok((det, applied, _, bufs)) => {
-                                if applied == 0 {
-                                    continue; // target missed (e.g. group retired)
-                                }
-                                if det > 0 {
-                                    Outcome::Detected
-                                } else if bufs != golden {
-                                    Outcome::Sdc
-                                } else {
-                                    Outcome::Masked
-                                }
-                            }
-                        };
-                        injections += 1;
-                        tally.note(outcome);
-                        if outcome == Outcome::Sdc {
-                            if site.class == Protection::Detected {
-                                violations.push(format!(
-                                    "SOUNDNESS: {ctx}: SDC at Detected-class site {} ({target:?}, trigger {trigger})",
-                                    site.label
-                                ));
-                            } else if site.class != Protection::Vulnerable {
-                                violations.push(format!(
-                                    "RECALL: {ctx}: SDC at {}-class site {} ({target:?}, trigger {trigger})",
-                                    site.class.label(),
-                                    site.label
-                                ));
-                            }
-                        }
-                    }
-                }
-            }
-            inj_cells.push(format!(
-                "{}d/{}s/{}m/{}h",
-                tally.detected, tally.sdc, tally.masked, tally.due
-            ));
-            let _ = tally.total();
+        for _ in &vs {
+            let out = outs.next().expect("one result per cell")?;
+            static_cells.push(out.static_cell);
+            inj_cells.push(out.inj_cell);
+            violations.extend(out.violations);
+            injections += out.injections;
         }
         static_matrix.row(bench.abbrev(), static_cells);
         inj_matrix.row(bench.abbrev(), inj_cells);
     }
+    let order: Vec<&str> = suite.iter().map(|b| b.abbrev()).collect();
+    static_matrix.sort_rows_by_label_order(&order);
+    inj_matrix.sort_rows_by_label_order(&order);
 
     let out = if cfg.json {
         let mut v = String::from("[");

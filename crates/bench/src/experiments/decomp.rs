@@ -63,19 +63,27 @@ fn render(
     title: &str,
     flavors: &[(&str, TransformOptions)],
 ) -> Result<String, String> {
+    // Each (kernel, flavor) decomposition is independent: fan the cells
+    // across the pool and merge in submission order.
+    let suite = all();
+    let cells: Vec<(&dyn Benchmark, &str, &TransformOptions)> = suite
+        .iter()
+        .flat_map(|b| flavors.iter().map(|(name, opts)| (b.as_ref(), *name, opts)))
+        .collect();
+    let rows = gcn_sim::pool::map(cfg.jobs, cells, |(b, name, opts)| {
+        decompose_suite(cfg, b, opts).map(|bars| (b.abbrev(), name, bars))
+    });
     let mut t = Table::new(&["kernel", "flavor", "doubling", "redundant", "comm", "total"]);
-    for b in all() {
-        for (name, opts) in flavors {
-            let bars = decompose_suite(cfg, b.as_ref(), opts)?;
-            t.row(vec![
-                b.abbrev().into(),
-                (*name).into(),
-                bars.doubling.map_or("n/a".into(), |d| pct(100.0 * d)),
-                pct(100.0 * bars.redundant),
-                pct(100.0 * bars.comm),
-                format!("{:.2}x", bars.total),
-            ]);
-        }
+    for row in rows {
+        let (abbrev, name, bars) = row?;
+        t.row(vec![
+            abbrev.into(),
+            name.into(),
+            bars.doubling.map_or("n/a".into(), |d| pct(100.0 * d)),
+            pct(100.0 * bars.redundant),
+            pct(100.0 * bars.comm),
+            format!("{:.2}x", bars.total),
+        ]);
     }
     Ok(format!(
         "{title}\n(bars are additional slowdown added to the original kernel;\n\

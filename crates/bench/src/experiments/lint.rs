@@ -78,38 +78,55 @@ pub fn lint(cfg: &ExpConfig) -> Result<String, String> {
     let mut details: Vec<String> = Vec::new();
     let mut total = 0usize;
 
-    for bench in all() {
-        let mut cells = Vec::new();
-        for (label, opts) in &vs {
-            let kernel = match opts {
-                None => bench.kernel(),
-                Some(o) => match transform(&bench.kernel(), o) {
-                    Ok(rk) => rk.kernel,
-                    Err(e) => {
-                        details.push(format!("{} {label}: transform failed: {e}", bench.abbrev()));
-                        total += 1;
-                        cells.push("ERR".into());
-                        continue;
-                    }
-                },
-            };
-            let doubles = matches!(opts, Some(o) if o.flavor != RmtFlavor::Inter);
-            let mut count = 0usize;
-            for local in shapes(bench.as_ref(), cfg, doubles) {
-                for d in lint_at(&kernel, local) {
-                    details.push(format!("{} {label} {d}", bench.abbrev()));
-                    count += 1;
+    // One cell per (kernel, posture), fanned across the pool; the merge
+    // below and the explicit row sort keep the table stable for any job
+    // count.
+    let suite = all();
+    let cells_in: Vec<(&dyn Benchmark, &str, Option<TransformOptions>)> = suite
+        .iter()
+        .flat_map(|b| {
+            vs.iter()
+                .map(move |(label, opts)| (b.as_ref(), *label, *opts))
+        })
+        .collect();
+    let outs = gcn_sim::pool::map(cfg.jobs, cells_in, |(bench, label, opts)| {
+        let kernel = match &opts {
+            None => bench.kernel(),
+            Some(o) => match transform(&bench.kernel(), o) {
+                Ok(rk) => rk.kernel,
+                Err(e) => {
+                    let detail = format!("{} {label}: transform failed: {e}", bench.abbrev());
+                    return (String::from("ERR"), vec![detail]);
                 }
+            },
+        };
+        let doubles = matches!(&opts, Some(o) if o.flavor != RmtFlavor::Inter);
+        let mut cell_details = Vec::new();
+        for local in shapes(bench, cfg, doubles) {
+            for d in lint_at(&kernel, local) {
+                cell_details.push(format!("{} {label} {d}", bench.abbrev()));
             }
-            total += count;
-            cells.push(if count == 0 {
-                "clean".into()
-            } else {
-                count.to_string()
-            });
+        }
+        let cell = if cell_details.is_empty() {
+            "clean".into()
+        } else {
+            cell_details.len().to_string()
+        };
+        (cell, cell_details)
+    });
+    let mut outs = outs.into_iter();
+    for bench in &suite {
+        let mut cells = Vec::new();
+        for _ in &vs {
+            let (cell, cell_details) = outs.next().expect("one result per cell");
+            total += cell_details.len();
+            details.extend(cell_details);
+            cells.push(cell);
         }
         matrix.row(bench.abbrev(), cells);
     }
+    let order: Vec<&str> = suite.iter().map(|b| b.abbrev()).collect();
+    matrix.sort_rows_by_label_order(&order);
 
     let mut out = if cfg.json {
         format!(

@@ -2,6 +2,7 @@
 //! report; the `repro` binary dispatches on experiment id.
 
 pub mod ablation;
+pub mod bench;
 pub mod coverage;
 pub mod coverage_static;
 pub mod decomp;
@@ -14,6 +15,9 @@ pub mod tables;
 use crate::ExpConfig;
 
 /// Every experiment id, in paper order.
+///
+/// `bench` is deliberately absent: its report is wall-clock timing, so
+/// including it would break the byte-stability of `repro all` output.
 pub const ALL_IDS: &[&str] = &[
     "table1",
     "table2",
@@ -58,6 +62,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Result<String, String> {
         "baseline" => ablation::baseline(cfg),
         "ablation" => ablation::ablation(cfg),
         "lint" => lint::lint(cfg),
+        "bench" => bench::bench(cfg),
         other => Err(format!(
             "unknown experiment `{other}`; known: {}",
             ALL_IDS.join(", ")

@@ -17,17 +17,45 @@ fn rmt(
     run_rmt(b, cfg.scale, &cfg.device, opts).map_err(|e| format!("{}: {e}", b.abbrev()))
 }
 
+/// One simulation cell: a benchmark run either unmodified (`None`) or
+/// under an RMT transform. Cells are independent, so the sweep fans out
+/// across `cfg.jobs` workers; `pool::map` returns results in submission
+/// order, keeping the rendered tables byte-identical for any job count.
+type Cell<'a> = (&'a dyn rmt_kernels::Benchmark, Option<TransformOptions>);
+
+fn run_cells(cfg: &ExpConfig, cells: Vec<Cell<'_>>) -> Vec<Result<RunOutcome, String>> {
+    gcn_sim::pool::map(cfg.jobs, cells, |(b, opts)| match opts {
+        None => orig(cfg, b),
+        Some(o) => rmt(cfg, b, &o),
+    })
+}
+
+/// Unwraps a borrowed cell result.
+fn cell(r: &Result<RunOutcome, String>) -> Result<&RunOutcome, String> {
+    r.as_ref().map_err(String::clone)
+}
+
 /// Figure 2: Intra-Group ±LDS slowdowns across the 16-kernel suite.
 pub fn fig2(cfg: &ExpConfig) -> Result<String, String> {
+    let suite = all();
+    let cells = suite
+        .iter()
+        .flat_map(|b| {
+            [
+                (b.as_ref(), None),
+                (b.as_ref(), Some(TransformOptions::intra_plus_lds())),
+                (b.as_ref(), Some(TransformOptions::intra_minus_lds())),
+            ]
+        })
+        .collect();
+    let runs = run_cells(cfg, cells);
     let mut t = Table::new(&["kernel", "Intra+LDS", "Intra-LDS"]);
-    for b in all() {
-        let base = orig(cfg, b.as_ref())?.stats.cycles as f64;
-        let plus = rmt(cfg, b.as_ref(), &TransformOptions::intra_plus_lds())?;
-        let minus = rmt(cfg, b.as_ref(), &TransformOptions::intra_minus_lds())?;
+    for (b, chunk) in suite.iter().zip(runs.chunks_exact(3)) {
+        let base = cell(&chunk[0])?.stats.cycles as f64;
         t.row(vec![
             b.abbrev().into(),
-            x(plus.stats.cycles as f64 / base),
-            x(minus.stats.cycles as f64 / base),
+            x(cell(&chunk[1])?.stats.cycles as f64 / base),
+            x(cell(&chunk[2])?.stats.cycles as f64 / base),
         ]);
     }
     Ok(format!(
@@ -47,23 +75,25 @@ pub fn fig3(cfg: &ExpConfig) -> Result<String, String> {
         "WriteUnitStalled",
         "LDSBusy",
     ]);
-    for b in all() {
-        let variants: [(&str, RunOutcome); 3] = [
-            ("Original", orig(cfg, b.as_ref())?),
-            (
-                "LDS+",
-                rmt(cfg, b.as_ref(), &TransformOptions::intra_plus_lds())?,
-            ),
-            (
-                "LDS-",
-                rmt(cfg, b.as_ref(), &TransformOptions::intra_minus_lds())?,
-            ),
-        ];
-        for (name, run) in variants {
+    let suite = all();
+    let cells = suite
+        .iter()
+        .flat_map(|b| {
+            [
+                (b.as_ref(), None),
+                (b.as_ref(), Some(TransformOptions::intra_plus_lds())),
+                (b.as_ref(), Some(TransformOptions::intra_minus_lds())),
+            ]
+        })
+        .collect();
+    let runs = run_cells(cfg, cells);
+    for (b, chunk) in suite.iter().zip(runs.chunks_exact(3)) {
+        for (name, run) in ["Original", "LDS+", "LDS-"].iter().zip(chunk) {
+            let run = cell(run)?;
             let c = &run.stats.counters;
             t.row(vec![
                 b.abbrev().into(),
-                name.into(),
+                (*name).into(),
                 pct(c.valu_busy_pct()),
                 pct(c.mem_unit_busy_pct()),
                 pct(c.write_unit_stalled_pct()),
@@ -79,10 +109,21 @@ pub fn fig3(cfg: &ExpConfig) -> Result<String, String> {
 
 /// Figure 6: Inter-Group slowdowns across the suite.
 pub fn fig6(cfg: &ExpConfig) -> Result<String, String> {
+    let suite = all();
+    let cells = suite
+        .iter()
+        .flat_map(|b| {
+            [
+                (b.as_ref(), None),
+                (b.as_ref(), Some(TransformOptions::inter())),
+            ]
+        })
+        .collect();
+    let runs = run_cells(cfg, cells);
     let mut t = Table::new(&["kernel", "Inter-Group", "detections"]);
-    for b in all() {
-        let base = orig(cfg, b.as_ref())?.stats.cycles as f64;
-        let inter = rmt(cfg, b.as_ref(), &TransformOptions::inter())?;
+    for (b, chunk) in suite.iter().zip(runs.chunks_exact(2)) {
+        let base = cell(&chunk[0])?.stats.cycles as f64;
+        let inter = cell(&chunk[1])?;
         t.row(vec![
             b.abbrev().into(),
             x(inter.stats.cycles as f64 / base),
@@ -105,17 +146,37 @@ pub fn fig9(cfg: &ExpConfig) -> Result<String, String> {
         "Intra-LDS",
         "Intra-LDS FAST",
     ]);
-    for b in all() {
-        let base = orig(cfg, b.as_ref())?.stats.cycles as f64;
-        let cell = |opts: TransformOptions| -> Result<String, String> {
-            Ok(x(rmt(cfg, b.as_ref(), &opts)?.stats.cycles as f64 / base))
+    let suite = all();
+    let cells = suite
+        .iter()
+        .flat_map(|b| {
+            [
+                (b.as_ref(), None),
+                (b.as_ref(), Some(TransformOptions::intra_plus_lds())),
+                (
+                    b.as_ref(),
+                    Some(TransformOptions::intra_plus_lds().with_swizzle()),
+                ),
+                (b.as_ref(), Some(TransformOptions::intra_minus_lds())),
+                (
+                    b.as_ref(),
+                    Some(TransformOptions::intra_minus_lds().with_swizzle()),
+                ),
+            ]
+        })
+        .collect();
+    let runs = run_cells(cfg, cells);
+    for (b, chunk) in suite.iter().zip(runs.chunks_exact(5)) {
+        let base = cell(&chunk[0])?.stats.cycles as f64;
+        let ratio = |r: &Result<RunOutcome, String>| -> Result<String, String> {
+            Ok(x(cell(r)?.stats.cycles as f64 / base))
         };
         t.row(vec![
             b.abbrev().into(),
-            cell(TransformOptions::intra_plus_lds())?,
-            cell(TransformOptions::intra_plus_lds().with_swizzle())?,
-            cell(TransformOptions::intra_minus_lds())?,
-            cell(TransformOptions::intra_minus_lds().with_swizzle())?,
+            ratio(&chunk[1])?,
+            ratio(&chunk[2])?,
+            ratio(&chunk[3])?,
+            ratio(&chunk[4])?,
         ]);
     }
     Ok(format!(

@@ -9,29 +9,37 @@ use rmt_kernels::{by_abbrev, run_original, run_rmt};
 /// under Original / Intra+LDS / Intra−LDS — the three workloads whose
 /// kernels run long enough for meaningful sampling (Section 6.5).
 pub fn fig5(cfg: &ExpConfig) -> Result<String, String> {
-    let mut t = Table::new(&["kernel", "variant", "avg W", "peak W", "runtime ms"]);
-    for abbrev in ["BO", "BlkSch", "FW"] {
+    // 9 independent (kernel, variant) cells, fanned across the pool and
+    // merged in submission order.
+    let variants: [(&str, Option<TransformOptions>); 3] = [
+        ("Original", None),
+        ("Intra+LDS", Some(TransformOptions::intra_plus_lds())),
+        ("Intra-LDS", Some(TransformOptions::intra_minus_lds())),
+    ];
+    let cells: Vec<(&str, &str, Option<TransformOptions>)> = ["BO", "BlkSch", "FW"]
+        .iter()
+        .flat_map(|abbrev| variants.iter().map(|(name, opts)| (*abbrev, *name, *opts)))
+        .collect();
+    let rows = gcn_sim::pool::map(cfg.jobs, cells, |(abbrev, name, opts)| {
         let b = by_abbrev(abbrev).expect("known benchmark");
-        let variants: [(&str, Option<TransformOptions>); 3] = [
-            ("Original", None),
-            ("Intra+LDS", Some(TransformOptions::intra_plus_lds())),
-            ("Intra-LDS", Some(TransformOptions::intra_minus_lds())),
-        ];
-        for (name, opts) in variants {
-            let run = match opts {
-                None => run_original(b.as_ref(), cfg.scale, &cfg.device, &|c| c),
-                Some(o) => run_rmt(b.as_ref(), cfg.scale, &cfg.device, &o),
-            }
-            .map_err(|e| format!("{abbrev}: {e}"))?;
-            let p = run.stats.power.ok_or("power stats missing")?;
-            t.row(vec![
-                abbrev.into(),
-                name.into(),
-                format!("{:.1}", p.avg_watts),
-                format!("{:.1}", p.peak_watts),
-                format!("{:.3}", p.runtime_ms),
-            ]);
+        let run = match opts {
+            None => run_original(b.as_ref(), cfg.scale, &cfg.device, &|c| c),
+            Some(o) => run_rmt(b.as_ref(), cfg.scale, &cfg.device, &o),
         }
+        .map_err(|e| format!("{abbrev}: {e}"))?;
+        let p = run.stats.power.ok_or("power stats missing")?;
+        Ok::<_, String>((abbrev, name, p))
+    });
+    let mut t = Table::new(&["kernel", "variant", "avg W", "peak W", "runtime ms"]);
+    for row in rows {
+        let (abbrev, name, p) = row?;
+        t.row(vec![
+            abbrev.into(),
+            name.into(),
+            format!("{:.1}", p.avg_watts),
+            format!("{:.1}", p.peak_watts),
+            format!("{:.3}", p.runtime_ms),
+        ]);
     }
     Ok(format!(
         "Figure 5: average and peak estimated chip power\n(expectation: RMT moves runtime, not average power — Section 6.5)\n\n{}",

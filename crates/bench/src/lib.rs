@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 mod table;
 
@@ -38,6 +39,11 @@ pub struct ExpConfig {
     /// Emit machine-readable JSON instead of text tables where an
     /// experiment supports it (`repro --json`).
     pub json: bool,
+    /// Worker threads for fanning independent simulation cells through
+    /// `gcn_sim::pool` (`repro --jobs`). Results are merged in submission
+    /// order, so any value produces byte-identical reports; `1` runs
+    /// everything serially on the calling thread.
+    pub jobs: usize,
 }
 
 impl ExpConfig {
@@ -47,6 +53,7 @@ impl ExpConfig {
             scale: Scale::Paper,
             device: DeviceConfig::radeon_hd_7790(),
             json: false,
+            jobs: 1,
         }
     }
 
@@ -56,7 +63,14 @@ impl ExpConfig {
             scale: Scale::Small,
             device: DeviceConfig::radeon_hd_7790(),
             json: false,
+            jobs: 1,
         }
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 }
 

@@ -108,6 +108,21 @@ impl Matrix {
         self.rows.push((label.into(), cells));
     }
 
+    /// Stably reorders rows to follow `order` (e.g. the benchmark suite's
+    /// abbreviation order): rows whose label appears in `order` take that
+    /// position; unknown labels keep their insertion order after them.
+    /// Experiments that assemble rows from pool-fanned cells call this so
+    /// row order is an explicit property of the report rather than an
+    /// artifact of merge order.
+    pub fn sort_rows_by_label_order(&mut self, order: &[&str]) {
+        self.rows.sort_by_key(|(label, _)| {
+            order
+                .iter()
+                .position(|o| *o == label.as_str())
+                .unwrap_or(order.len())
+        });
+    }
+
     /// Renders as a fixed-width text table.
     pub fn render(&self) -> String {
         let mut header: Vec<&str> = vec![self.corner.as_str()];
@@ -205,6 +220,18 @@ mod tests {
              {\"label\":\"BinS\",\"cells\":[\"clean\",\"clean\"]},\
              {\"label\":\"MM\",\"cells\":[\"1\",\"0\"]}]}"
         );
+    }
+
+    #[test]
+    fn matrix_rows_sort_to_explicit_label_order() {
+        let mut m = Matrix::new("kernel", &["col"]);
+        m.row("MM", vec!["1".into()]);
+        m.row("Zed", vec!["4".into()]); // not in the order: sinks, stably
+        m.row("BinS", vec!["2".into()]);
+        m.row("Alpha", vec!["3".into()]);
+        m.sort_rows_by_label_order(&["BinS", "MM", "R"]);
+        let labels: Vec<&str> = m.rows.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, vec!["BinS", "MM", "Zed", "Alpha"]);
     }
 
     #[test]

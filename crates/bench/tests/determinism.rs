@@ -1,0 +1,28 @@
+//! Jobs-invariance: the experiment harness must produce byte-identical
+//! reports for any `--jobs` value. Workers claim cells in nondeterministic
+//! order, but every result lands back in its submission slot before
+//! rendering — these tests pin that property end-to-end, including the
+//! machine-readable `--json` form CI diffs.
+
+use rmt_bench::{experiments, ExpConfig};
+
+#[test]
+fn coverage_static_json_is_identical_across_jobs() {
+    let mut cfg = ExpConfig::small();
+    cfg.json = true;
+    let serial = experiments::run("coverage-static", &cfg).expect("serial run");
+    let parallel =
+        experiments::run("coverage-static", &cfg.clone().with_jobs(8)).expect("parallel run");
+    assert_eq!(
+        serial, parallel,
+        "coverage-static --json must be byte-identical at --jobs 1 and --jobs 8"
+    );
+}
+
+#[test]
+fn fig2_report_is_identical_across_jobs() {
+    let cfg = ExpConfig::small();
+    let serial = experiments::run("fig2", &cfg).expect("serial run");
+    let parallel = experiments::run("fig2", &cfg.clone().with_jobs(4)).expect("parallel run");
+    assert_eq!(serial, parallel);
+}

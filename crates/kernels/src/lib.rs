@@ -81,7 +81,11 @@ pub struct Plan {
 }
 
 /// One benchmark from the AMD SDK sample suite.
-pub trait Benchmark {
+///
+/// `Send + Sync` so boxed registry entries can be shared with the worker
+/// threads of `gcn_sim::pool` (every implementation is a stateless unit
+/// struct; all run state lives in the per-run [`Device`]).
+pub trait Benchmark: Send + Sync {
     /// Full benchmark name (e.g. `"BinarySearch"`).
     fn name(&self) -> &'static str;
     /// The paper's abbreviation (e.g. `"BinS"`).

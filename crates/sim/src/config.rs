@@ -9,7 +9,11 @@ pub const TICKS_PER_CYCLE: u64 = 16;
 
 /// Latency and throughput parameters, all in *ticks*
 /// ([`TICKS_PER_CYCLE`] ticks = 1 core cycle).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy` on purpose: the interpreter snapshots the whole table once per
+/// memory operation, which must not allocate or deep-clone on the hot
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Latencies {
     /// SIMD occupancy per vector ALU instruction (64 lanes over 16-wide
     /// unit = 4 cycles on GCN).

@@ -57,6 +57,51 @@ impl FlatOp {
     }
 }
 
+/// Pre-decoded per-op metadata for the interpreter's issue loop.
+///
+/// The hot path needs, for every dynamic instruction, the set of source
+/// registers (to gate issue on in-flight loads, GCN s_waitcnt style) and
+/// whether the op runs at transcendental rate. Re-deriving these by
+/// matching [`FlatOp`]/[`Inst`] per wavefront issue — and collecting
+/// sources into a fresh `Vec` — dominated the interpreter profile, so
+/// [`compile`] decodes them once into this flat, copyable record.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OpMeta {
+    /// Source registers read by the op (only the first `nsrcs` entries
+    /// are meaningful). No instruction reads more than three registers
+    /// (`Select` and `CmpXchg` atomics are the widest).
+    pub srcs: [Reg; 3],
+    /// Number of valid entries in `srcs`.
+    pub nsrcs: u8,
+    /// Quarter-rate transcendental unary op (extra SIMD occupancy).
+    pub transcendental: bool,
+}
+
+impl OpMeta {
+    fn of(op: &FlatOp) -> OpMeta {
+        let mut srcs = Vec::new();
+        let mut transcendental = false;
+        match op {
+            FlatOp::Op(inst) => {
+                inst.srcs(&mut srcs);
+                if let Inst::Unary { op, .. } = inst {
+                    transcendental = op.is_transcendental();
+                }
+            }
+            FlatOp::IfBegin { cond, .. } | FlatOp::LoopTest { cond, .. } => srcs.push(*cond),
+            _ => {}
+        }
+        assert!(srcs.len() <= 3, "instruction reads more than 3 registers");
+        let mut arr = [Reg(0); 3];
+        arr[..srcs.len()].copy_from_slice(&srcs);
+        OpMeta {
+            srcs: arr,
+            nsrcs: srcs.len() as u8,
+            transcendental,
+        }
+    }
+}
+
 /// A kernel lowered for execution, with precomputed analyses.
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
@@ -76,6 +121,8 @@ pub struct CompiledKernel {
     pub nregs: u32,
     /// Static instruction mix of the source kernel.
     pub mix: InstMix,
+    /// Per-op pre-decoded issue metadata (parallel to `ops`).
+    pub(crate) meta: Vec<OpMeta>,
 }
 
 fn lower_block(block: &Block, ops: &mut Vec<FlatOp>) {
@@ -151,6 +198,7 @@ pub fn compile(kernel: &Kernel) -> Result<CompiledKernel, SimError> {
         })
         .collect();
 
+    let meta = ops.iter().map(OpMeta::of).collect();
     Ok(CompiledKernel {
         name: kernel.name.clone(),
         params: kernel.params.clone(),
@@ -160,6 +208,7 @@ pub fn compile(kernel: &Kernel) -> Result<CompiledKernel, SimError> {
         pressure: register_pressure(kernel),
         nregs: kernel.next_reg.max(1),
         mix: instruction_mix(kernel),
+        meta,
     })
 }
 
@@ -218,6 +267,35 @@ mod tests {
             FlatOp::LoopEnd { begin_pc } => assert_eq!(begin_pc, begin),
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn meta_predecodes_sources_per_op() {
+        let mut b = KernelBuilder::new("k");
+        let gid = b.global_id(0);
+        let two = b.const_u32(2);
+        let sum = b.add_u32(gid, two);
+        b.if_(sum, |b| {
+            let _ = b.const_u32(1);
+        });
+        let ck = compile(&b.finish()).unwrap();
+        assert_eq!(ck.meta.len(), ck.ops.len());
+        for (op, meta) in ck.ops.iter().zip(&ck.meta) {
+            let mut want = Vec::new();
+            match op {
+                FlatOp::Op(inst) => inst.srcs(&mut want),
+                FlatOp::IfBegin { cond, .. } | FlatOp::LoopTest { cond, .. } => want.push(*cond),
+                _ => {}
+            }
+            assert_eq!(&meta.srcs[..meta.nsrcs as usize], want.as_slice());
+        }
+        // The add reads both operands; the IfBegin reads the condition.
+        let add = ck
+            .meta
+            .iter()
+            .find(|m| m.nsrcs == 2)
+            .expect("binary op meta");
+        assert_eq!(add.srcs[..2], [gid, two]);
     }
 
     #[test]

@@ -77,6 +77,7 @@ mod flat;
 mod launch;
 mod machine;
 mod memory;
+pub mod pool;
 mod power;
 mod trace;
 

@@ -11,7 +11,7 @@ use crate::config::DeviceConfig;
 use crate::counters::PerfCounters;
 use crate::error::SimError;
 use crate::fault::FaultTarget;
-use crate::flat::{CompiledKernel, FlatOp};
+use crate::flat::{CompiledKernel, FlatOp, OpMeta};
 use crate::launch::{LaunchConfig, Occupancy, OccupancyLimiter};
 use crate::memory::GlobalMemory;
 use crate::power::PowerModel;
@@ -20,6 +20,26 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 const LANES: usize = 64;
+
+/// Ascending-order iterator over the set bits of an EXEC mask: a bit-scan
+/// per active lane instead of a 64-iteration filter, so sparse masks
+/// (divergent regions, partial tail waves) cost only their population.
+struct Lanes(u64);
+
+impl Iterator for Lanes {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let l = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(l)
+        }
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 enum Frame {
@@ -97,6 +117,10 @@ pub(crate) struct Machine<'a> {
     faults: Vec<crate::fault::Injection>,
     next_fault: usize,
     faults_applied: usize,
+
+    /// Reused coalescing buffer for global load/store line gathering
+    /// (avoids a heap allocation per memory instruction).
+    line_scratch: Vec<u32>,
 
     tracer: Option<crate::trace::Tracer>,
 }
@@ -272,6 +296,7 @@ impl<'a> Machine<'a> {
             faults,
             next_fault: 0,
             faults_applied: 0,
+            line_scratch: Vec::with_capacity(LANES),
             tracer: None,
         };
 
@@ -502,8 +527,8 @@ impl<'a> Machine<'a> {
         self.waves[wid].regs[r.0 as usize * LANES + lane] = v;
     }
 
-    fn lanes(mask: u64) -> impl Iterator<Item = usize> {
-        (0..LANES).filter(move |&l| mask >> l & 1 == 1)
+    fn lanes(mask: u64) -> Lanes {
+        Lanes(mask)
     }
 
     fn builtin_value(&self, wid: usize, b: Builtin, lane: usize) -> u32 {
@@ -575,29 +600,25 @@ impl<'a> Machine<'a> {
         ((line / self.cfg.line_bytes) as usize) % self.l2_free.len()
     }
 
-    /// Latest completion tick among in-flight loads feeding `regs`.
-    fn deps_ready(&self, wid: usize, regs: &[Reg]) -> u64 {
-        let rr = &self.waves[wid].reg_ready;
-        regs.iter().map(|r| rr[r.0 as usize]).max().unwrap_or(0)
-    }
-
     /// Executes one wavefront instruction at time `t`.
     fn step(&mut self, wid: usize, t: u64) -> Result<(), SimError> {
         self.counters.dyn_insts += 1;
+        // Copy the `&'a` kernel reference out of `self` so the op and its
+        // pre-decoded metadata can be borrowed without pinning `&mut self`.
+        let kernel = self.kernel;
         let pc = self.waves[wid].pc;
-        debug_assert!(pc < self.kernel.ops.len());
-        let scalar = self.kernel.scalar[pc];
-        // Clone of the op is cheap for non-control ops with no blocks.
-        let op = self.kernel.ops[pc].clone();
+        debug_assert!(pc < kernel.ops.len());
+        let scalar = kernel.scalar[pc];
+        let op = &kernel.ops[pc];
+        let meta: OpMeta = kernel.meta[pc];
         // Stall until in-flight loads feeding this instruction land.
         let t = {
-            let mut srcs = Vec::new();
-            match &op {
-                FlatOp::Op(inst) => inst.srcs(&mut srcs),
-                FlatOp::IfBegin { cond, .. } | FlatOp::LoopTest { cond, .. } => srcs.push(*cond),
-                _ => {}
+            let rr = &self.waves[wid].reg_ready;
+            let mut ready = t;
+            for r in &meta.srcs[..meta.nsrcs as usize] {
+                ready = ready.max(rr[r.0 as usize]);
             }
-            t.max(self.deps_ready(wid, &srcs))
+            ready
         };
         if let Some(tracer) = &mut self.tracer {
             let w = &self.waves[wid];
@@ -608,8 +629,7 @@ impl<'a> Machine<'a> {
                 w.simd,
                 w.mask,
             );
-            let op_ref = &op;
-            tracer.record(t, group, wave, cu, simd, pc, mask, || match op_ref {
+            tracer.record(t, group, wave, cu, simd, pc, mask, || match op {
                 FlatOp::Op(inst) => rmt_ir::inst_to_string(inst),
                 FlatOp::IfBegin { cond, .. } => format!("if.begin {cond}"),
                 FlatOp::Else { .. } => "if.else".into(),
@@ -619,16 +639,18 @@ impl<'a> Machine<'a> {
                 FlatOp::LoopEnd { .. } => "loop.end".into(),
             });
         }
-        match op {
+        match *op {
             FlatOp::IfBegin {
                 cond,
                 else_pc,
                 end_pc: _,
             } => {
                 let mask = self.waves[wid].mask;
+                let cbase = cond.0 as usize * LANES;
+                let regs = &self.waves[wid].regs;
                 let mut tmask = 0u64;
                 for l in Self::lanes(mask) {
-                    if self.reg(wid, cond, l) != 0 {
+                    if regs[cbase + l] != 0 {
                         tmask |= 1 << l;
                     }
                 }
@@ -676,9 +698,11 @@ impl<'a> Machine<'a> {
             }
             FlatOp::LoopTest { cond, end_pc } => {
                 let mask = self.waves[wid].mask;
+                let cbase = cond.0 as usize * LANES;
+                let regs = &self.waves[wid].regs;
                 let mut active = 0u64;
                 for l in Self::lanes(mask) {
-                    if self.reg(wid, cond, l) != 0 {
+                    if regs[cbase + l] != 0 {
                         active |= 1 << l;
                     }
                 }
@@ -699,8 +723,8 @@ impl<'a> Machine<'a> {
                 self.waves[wid].pc = begin_pc + 1;
                 self.charge_alu(wid, t, true, false);
             }
-            FlatOp::Op(inst) => {
-                self.exec_inst(wid, t, &inst, scalar)?;
+            FlatOp::Op(ref inst) => {
+                self.exec_inst(wid, t, inst, scalar, meta.transcendental)?;
             }
         }
 
@@ -751,19 +775,41 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn exec_inst(&mut self, wid: usize, t: u64, inst: &Inst, scalar: bool) -> Result<(), SimError> {
+    fn exec_inst(
+        &mut self,
+        wid: usize,
+        t: u64,
+        inst: &Inst,
+        scalar: bool,
+        transcendental: bool,
+    ) -> Result<(), SimError> {
         let mask = self.waves[wid].mask;
+        // ALU arms hoist the register-file borrow and per-register base
+        // indices out of the lane loop, with a full-mask (non-divergent)
+        // fast path that iterates 0..64 directly instead of bit-scanning.
         match inst {
             Inst::Const { dst, bits, .. } => {
-                for l in Self::lanes(mask) {
-                    self.set_reg(wid, *dst, l, *bits);
+                let di = dst.0 as usize * LANES;
+                let regs = &mut self.waves[wid].regs;
+                if mask == u64::MAX {
+                    regs[di..di + LANES].fill(*bits);
+                } else {
+                    for l in Self::lanes(mask) {
+                        regs[di + l] = *bits;
+                    }
                 }
                 self.advance(wid, t, scalar, false);
             }
             Inst::ReadParam { dst, index } => {
                 let v = self.param_values[*index];
-                for l in Self::lanes(mask) {
-                    self.set_reg(wid, *dst, l, v);
+                let di = dst.0 as usize * LANES;
+                let regs = &mut self.waves[wid].regs;
+                if mask == u64::MAX {
+                    regs[di..di + LANES].fill(v);
+                } else {
+                    for l in Self::lanes(mask) {
+                        regs[di + l] = v;
+                    }
                 }
                 self.advance(wid, t, scalar, false);
             }
@@ -775,30 +821,64 @@ impl<'a> Machine<'a> {
                 self.advance(wid, t, scalar, false);
             }
             Inst::Mov { dst, src } => {
-                for l in Self::lanes(mask) {
-                    let v = self.reg(wid, *src, l);
-                    self.set_reg(wid, *dst, l, v);
+                let di = dst.0 as usize * LANES;
+                let si = src.0 as usize * LANES;
+                let regs = &mut self.waves[wid].regs;
+                if mask == u64::MAX {
+                    for l in 0..LANES {
+                        regs[di + l] = regs[si + l];
+                    }
+                } else {
+                    for l in Self::lanes(mask) {
+                        regs[di + l] = regs[si + l];
+                    }
                 }
                 self.advance(wid, t, scalar, false);
             }
             Inst::Unary { dst, op, a } => {
-                for l in Self::lanes(mask) {
-                    let v = alu::eval_un(*op, self.reg(wid, *a, l));
-                    self.set_reg(wid, *dst, l, v);
+                let di = dst.0 as usize * LANES;
+                let ai = a.0 as usize * LANES;
+                let regs = &mut self.waves[wid].regs;
+                if mask == u64::MAX {
+                    for l in 0..LANES {
+                        regs[di + l] = alu::eval_un(*op, regs[ai + l]);
+                    }
+                } else {
+                    for l in Self::lanes(mask) {
+                        regs[di + l] = alu::eval_un(*op, regs[ai + l]);
+                    }
                 }
-                self.advance(wid, t, scalar, op.is_transcendental());
+                self.advance(wid, t, scalar, transcendental);
             }
             Inst::Binary { dst, op, ty, a, b } => {
-                for l in Self::lanes(mask) {
-                    let v = alu::eval_bin(*op, *ty, self.reg(wid, *a, l), self.reg(wid, *b, l));
-                    self.set_reg(wid, *dst, l, v);
+                let di = dst.0 as usize * LANES;
+                let ai = a.0 as usize * LANES;
+                let bi = b.0 as usize * LANES;
+                let regs = &mut self.waves[wid].regs;
+                if mask == u64::MAX {
+                    for l in 0..LANES {
+                        regs[di + l] = alu::eval_bin(*op, *ty, regs[ai + l], regs[bi + l]);
+                    }
+                } else {
+                    for l in Self::lanes(mask) {
+                        regs[di + l] = alu::eval_bin(*op, *ty, regs[ai + l], regs[bi + l]);
+                    }
                 }
                 self.advance(wid, t, scalar, false);
             }
             Inst::Cmp { dst, op, ty, a, b } => {
-                for l in Self::lanes(mask) {
-                    let v = alu::eval_cmp(*op, *ty, self.reg(wid, *a, l), self.reg(wid, *b, l));
-                    self.set_reg(wid, *dst, l, v);
+                let di = dst.0 as usize * LANES;
+                let ai = a.0 as usize * LANES;
+                let bi = b.0 as usize * LANES;
+                let regs = &mut self.waves[wid].regs;
+                if mask == u64::MAX {
+                    for l in 0..LANES {
+                        regs[di + l] = alu::eval_cmp(*op, *ty, regs[ai + l], regs[bi + l]);
+                    }
+                } else {
+                    for l in Self::lanes(mask) {
+                        regs[di + l] = alu::eval_cmp(*op, *ty, regs[ai + l], regs[bi + l]);
+                    }
                 }
                 self.advance(wid, t, scalar, false);
             }
@@ -808,22 +888,33 @@ impl<'a> Machine<'a> {
                 if_true,
                 if_false,
             } => {
-                for l in Self::lanes(mask) {
-                    let c = self.reg(wid, *cond, l);
-                    let v = if c != 0 {
-                        self.reg(wid, *if_true, l)
-                    } else {
-                        self.reg(wid, *if_false, l)
-                    };
-                    self.set_reg(wid, *dst, l, v);
+                let di = dst.0 as usize * LANES;
+                let ci = cond.0 as usize * LANES;
+                let ti = if_true.0 as usize * LANES;
+                let fi = if_false.0 as usize * LANES;
+                let regs = &mut self.waves[wid].regs;
+                if mask == u64::MAX {
+                    for l in 0..LANES {
+                        let src = if regs[ci + l] != 0 { ti } else { fi };
+                        regs[di + l] = regs[src + l];
+                    }
+                } else {
+                    for l in Self::lanes(mask) {
+                        let src = if regs[ci + l] != 0 { ti } else { fi };
+                        regs[di + l] = regs[src + l];
+                    }
                 }
                 self.advance(wid, t, scalar, false);
             }
             Inst::Swizzle { dst, src, mode } => {
                 // Read all lanes first (true lane exchange).
-                let snapshot: Vec<u32> = (0..LANES).map(|l| self.reg(wid, *src, l)).collect();
+                let di = dst.0 as usize * LANES;
+                let si = src.0 as usize * LANES;
+                let regs = &mut self.waves[wid].regs;
+                let mut snapshot = [0u32; LANES];
+                snapshot.copy_from_slice(&regs[si..si + LANES]);
                 for l in Self::lanes(mask) {
-                    self.set_reg(wid, *dst, l, snapshot[mode.source_lane(l)]);
+                    regs[di + l] = snapshot[mode.source_lane(l)];
                 }
                 self.advance(wid, t, false, false); // always a vector op
             }
@@ -882,15 +973,23 @@ impl<'a> Machine<'a> {
     ) -> Result<(), SimError> {
         let mask = self.waves[wid].mask;
         let cu = self.waves[wid].cu;
-        let lat = self.cfg.lat.clone();
+        let lat = self.cfg.lat;
         let line_mask = !(self.cfg.line_bytes - 1);
+        let abase = addr.0 as usize * LANES;
 
         // Gather distinct lines (coalescing), preserving first-touch order.
-        let mut lines: Vec<u32> = Vec::new();
-        for l in Self::lanes(mask) {
-            let a = self.reg(wid, addr, l) & line_mask;
-            if !lines.contains(&a) {
-                lines.push(a);
+        // The address-register base and the line mask are applied outside
+        // any per-lane recomputation, and the gather buffer is reused
+        // across memory instructions.
+        let mut lines = std::mem::take(&mut self.line_scratch);
+        lines.clear();
+        {
+            let regs = &self.waves[wid].regs;
+            for l in Self::lanes(mask) {
+                let a = regs[abase + l] & line_mask;
+                if !lines.contains(&a) {
+                    lines.push(a);
+                }
             }
         }
 
@@ -938,13 +1037,14 @@ impl<'a> Machine<'a> {
 
         // Functional: validate bounds via backing store, then take the
         // (possibly stale) L1 copy as the observed value.
+        let dbase = dst.0 as usize * LANES;
         for l in Self::lanes(mask) {
-            let a = self.reg(wid, addr, l);
+            let a = self.waves[wid].regs[abase + l];
             let coherent = self.mem.load(a, &self.kernel.name)?;
             let observed = self.l1[cu].peek_word(a).unwrap_or(coherent);
-            self.set_reg(wid, dst, l, observed);
-            self.counters.bytes_loaded += 4;
+            self.waves[wid].regs[dbase + l] = observed;
         }
+        self.counters.bytes_loaded += 4 * mask.count_ones() as u64;
 
         // The wavefront continues after issue; the destination register is
         // gated on `done` (s_waitcnt semantics).
@@ -952,6 +1052,7 @@ impl<'a> Machine<'a> {
         self.waves[wid].ready_at = issue + lat.salu_issue;
         self.waves[wid].reg_ready[dst.0 as usize] = done;
         self.bump_end(done);
+        self.line_scratch = lines;
         Ok(())
     }
 
@@ -964,14 +1065,19 @@ impl<'a> Machine<'a> {
     ) -> Result<(), SimError> {
         let mask = self.waves[wid].mask;
         let cu = self.waves[wid].cu;
-        let lat = self.cfg.lat.clone();
+        let lat = self.cfg.lat;
         let line_mask = !(self.cfg.line_bytes - 1);
+        let abase = addr.0 as usize * LANES;
 
-        let mut lines: Vec<u32> = Vec::new();
-        for l in Self::lanes(mask) {
-            let a = self.reg(wid, addr, l) & line_mask;
-            if !lines.contains(&a) {
-                lines.push(a);
+        let mut lines = std::mem::take(&mut self.line_scratch);
+        lines.clear();
+        {
+            let regs = &self.waves[wid].regs;
+            for l in Self::lanes(mask) {
+                let a = regs[abase + l] & line_mask;
+                if !lines.contains(&a) {
+                    lines.push(a);
+                }
             }
         }
 
@@ -1007,17 +1113,19 @@ impl<'a> Machine<'a> {
         }
 
         // Functional: write-through to the backing store + own L1 copy.
+        let vbase = value.0 as usize * LANES;
         for l in Self::lanes(mask) {
-            let a = self.reg(wid, addr, l);
-            let v = self.reg(wid, value, l);
+            let a = self.waves[wid].regs[abase + l];
+            let v = self.waves[wid].regs[vbase + l];
             self.mem.store(a, v, &self.kernel.name)?;
             self.l1[cu].store_word(a, v);
-            self.counters.bytes_stored += 4;
         }
+        self.counters.bytes_stored += 4 * mask.count_ones() as u64;
 
         self.waves[wid].pc += 1;
         self.waves[wid].ready_at = ready;
         self.bump_end(ready);
+        self.line_scratch = lines;
         Ok(())
     }
 
@@ -1032,7 +1140,7 @@ impl<'a> Machine<'a> {
     ) -> Result<(), SimError> {
         let mask = self.waves[wid].mask;
         let cu = self.waves[wid].cu;
-        let lat = self.cfg.lat.clone();
+        let lat = self.cfg.lat;
         let nlanes = mask.count_ones() as u64;
 
         // The CU's vector memory unit issues the instruction quarter-wave
@@ -1049,9 +1157,10 @@ impl<'a> Machine<'a> {
         // as a single bank transaction; same-address lanes serialize (RMW
         // dependency chains).
         let line_mask = !(self.cfg.line_bytes - 1);
+        let abase = addr.0 as usize * LANES;
         let mut line_costs: Vec<(u32, Vec<(u32, u32)>)> = Vec::new(); // line -> [(addr, dup count)]
         for l in Self::lanes(mask) {
-            let a = self.reg(wid, addr, l);
+            let a = self.waves[wid].regs[abase + l];
             let line = a & line_mask;
             let entry = match line_costs.iter_mut().find(|(ln, _)| *ln == line) {
                 Some(e) => e,
@@ -1118,33 +1227,47 @@ impl<'a> Machine<'a> {
         let mask = self.waves[wid].mask;
         let cu = self.waves[wid].cu;
         let gidx = self.waves[wid].group;
-        let lat = self.cfg.lat.clone();
+        let lat = self.cfg.lat;
         let lds_bytes = self.kernel.lds_bytes;
+        let abase = addr.0 as usize * LANES;
 
         // Bank-conflict factor: 32 banks, 4-byte words; the 64-lane wave is
         // served in two 32-lane phases, so conflicts are counted per phase.
-        // Identical addresses within a phase broadcast (no conflict).
+        // Identical addresses within a phase broadcast (no conflict), so
+        // the factor is the per-bank count of *distinct* phase addresses —
+        // computed on stack arrays (a phase holds at most 32 addresses).
         let mut factor = 1u64;
-        for phase in 0..2 {
-            let mut bank_addrs: Vec<Vec<u32>> = vec![Vec::new(); 32];
-            for l in Self::lanes(mask).filter(|&l| l / 32 == phase) {
-                let a = self.reg(wid, addr, l);
-                if !a.is_multiple_of(4) {
-                    return Err(SimError::UnalignedAccess { addr: a });
+        {
+            let regs = &self.waves[wid].regs;
+            let mut phase_addrs = [0u32; 32];
+            for phase in 0..2usize {
+                let pmask = (mask >> (phase * 32)) & 0xFFFF_FFFF;
+                let mut n = 0usize;
+                for l in Self::lanes(pmask) {
+                    let a = regs[abase + phase * 32 + l];
+                    if !a.is_multiple_of(4) {
+                        return Err(SimError::UnalignedAccess { addr: a });
+                    }
+                    if a + 4 > lds_bytes {
+                        return Err(SimError::BadLdsAccess {
+                            offset: a,
+                            lds_bytes,
+                        });
+                    }
+                    if !phase_addrs[..n].contains(&a) {
+                        phase_addrs[n] = a;
+                        n += 1;
+                    }
                 }
-                if a + 4 > lds_bytes {
-                    return Err(SimError::BadLdsAccess {
-                        offset: a,
-                        lds_bytes,
-                    });
+                let mut bank_count = [0u8; 32];
+                let mut phase_factor = 1u64;
+                for &a in &phase_addrs[..n] {
+                    let bank = ((a / 4) % 32) as usize;
+                    bank_count[bank] += 1;
+                    phase_factor = phase_factor.max(u64::from(bank_count[bank]));
                 }
-                let bank = ((a / 4) % 32) as usize;
-                if !bank_addrs[bank].contains(&a) {
-                    bank_addrs[bank].push(a);
-                }
+                factor = factor.max(phase_factor);
             }
-            let phase_factor = bank_addrs.iter().map(Vec::len).max().unwrap_or(1).max(1) as u64;
-            factor = factor.max(phase_factor);
         }
         self.counters.lds_conflicts += factor - 1;
 
@@ -1155,21 +1278,29 @@ impl<'a> Machine<'a> {
         self.counters.lds_insts += 1;
         self.power.deposit(issue, self.cfg.power.lds_nj);
 
-        // Functional.
-        for l in Self::lanes(mask) {
-            let a = self.reg(wid, addr, l) as usize;
-            match (dst, value) {
-                (Some(d), None) => {
-                    let bytes: [u8; 4] =
-                        self.groups[gidx].lds[a..a + 4].try_into().expect("4 bytes");
-                    self.set_reg(wid, d, l, u32::from_le_bytes(bytes));
+        // Functional. The load/store decision is hoisted out of the lane
+        // loop, which then runs on direct LDS/register borrows.
+        match (dst, value) {
+            (Some(d), None) => {
+                let dbase = d.0 as usize * LANES;
+                let lds = &self.groups[gidx].lds;
+                let regs = &mut self.waves[wid].regs;
+                for l in Self::lanes(mask) {
+                    let a = regs[abase + l] as usize;
+                    let bytes: [u8; 4] = lds[a..a + 4].try_into().expect("4 bytes");
+                    regs[dbase + l] = u32::from_le_bytes(bytes);
                 }
-                (None, Some(v)) => {
-                    let val = self.reg(wid, v, l);
-                    self.groups[gidx].lds[a..a + 4].copy_from_slice(&val.to_le_bytes());
-                }
-                _ => unreachable!("LDS op is load xor store"),
             }
+            (None, Some(v)) => {
+                let vbase = v.0 as usize * LANES;
+                let lds = &mut self.groups[gidx].lds;
+                let regs = &self.waves[wid].regs;
+                for l in Self::lanes(mask) {
+                    let a = regs[abase + l] as usize;
+                    lds[a..a + 4].copy_from_slice(&regs[vbase + l].to_le_bytes());
+                }
+            }
+            _ => unreachable!("LDS op is load xor store"),
         }
 
         let done = issue + lat.lds_latency + (factor - 1) * lat.lds_conflict;
@@ -1199,7 +1330,7 @@ impl<'a> Machine<'a> {
         let mask = self.waves[wid].mask;
         let cu = self.waves[wid].cu;
         let gidx = self.waves[wid].group;
-        let lat = self.cfg.lat.clone();
+        let lat = self.cfg.lat;
         let lds_bytes = self.kernel.lds_bytes;
         let nlanes = mask.count_ones() as u64;
 

@@ -1,0 +1,163 @@
+//! A deterministic scoped worker pool for fanning out independent
+//! simulations.
+//!
+//! Every simulation in this workspace is a pure function of
+//! (kernel, launch configuration, fault seed): two runs of the same cell
+//! produce bit-identical counters, power figures and buffer contents. That
+//! makes the experiment sweeps (kernel × flavor cells, fault-injection
+//! campaigns) embarrassingly parallel *without* giving up reproducibility:
+//! workers pull tasks from a shared index counter, store each result in
+//! the slot of the task that produced it, and [`run`] hands the results
+//! back **in submission order**. Callers that render tables by iterating
+//! the returned `Vec` therefore emit byte-identical output for any worker
+//! count, including the serial `jobs = 1` path.
+//!
+//! Hand-rolled on `std::thread::scope` — the workspace deliberately
+//! carries no external dependencies (no rayon), and scoped threads let
+//! tasks borrow from the caller's stack (benchmark registries, experiment
+//! configs) without `Arc`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use by default: the host's available
+/// parallelism, or 1 if it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs every task and returns the results **in submission order**.
+///
+/// With `jobs <= 1` (or fewer than two tasks) the tasks run serially on
+/// the calling thread in order — the reference execution the parallel
+/// path is bit-identical to. With `jobs > 1`, at most `jobs` scoped
+/// worker threads claim tasks through a shared counter; claiming order is
+/// nondeterministic but irrelevant, because each result lands in the slot
+/// of the task that produced it.
+///
+/// # Panics
+///
+/// If a task panics, the panic propagates to the caller when the scope
+/// joins (no result is silently dropped).
+pub fn run<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    if jobs <= 1 || n <= 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = slots[i]
+                    .lock()
+                    .expect("task slot poisoned")
+                    .take()
+                    .expect("each task is claimed exactly once");
+                let out = task();
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("scope joined, every task completed")
+        })
+        .collect()
+}
+
+/// Applies `f` to every item across `jobs` workers, returning results in
+/// item order. Convenience wrapper over [`run`] for the common
+/// cell-sweep shape.
+pub fn map<I, T, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let f = &f;
+    run(
+        jobs,
+        items.into_iter().map(|item| move || f(item)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_submission_order() {
+        let tasks: Vec<_> = (0..64)
+            .map(|i| {
+                move || {
+                    // Stagger completion so claiming order differs from
+                    // submission order.
+                    if i % 7 == 0 {
+                        std::thread::yield_now();
+                    }
+                    i * 10
+                }
+            })
+            .collect();
+        let got = run(8, tasks);
+        assert_eq!(got, (0..64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let work = |i: u64| -> u64 {
+            let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+            for _ in 0..100 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+            }
+            x
+        };
+        let serial = map(1, (0..32).collect(), work);
+        let parallel = map(8, (0..32).collect(), work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn tasks_may_borrow_caller_state() {
+        let base = [100u32, 200, 300];
+        let got = map(2, vec![0usize, 1, 2], |i| base[i] + 1);
+        assert_eq!(got, vec![101, 201, 301]);
+    }
+
+    #[test]
+    fn empty_and_single_task_shortcuts() {
+        let none: Vec<u32> = run(8, Vec::<fn() -> u32>::new());
+        assert!(none.is_empty());
+        assert_eq!(run(8, vec![|| 7u32]), vec![7]);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panic_propagates() {
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom")), Box::new(|| 3)];
+        let _ = run(4, tasks);
+    }
+}

@@ -5,8 +5,12 @@
 //! profiler dump for one kernel.
 //!
 //! ```text
-//! cargo run --release --example compiler_diagnostics
+//! cargo run --release --example compiler_diagnostics [-- --jobs N]
 //! ```
+//!
+//! `--jobs N` fans the per-kernel transform work across N worker threads
+//! (default: available parallelism); the printed diagnostics are identical
+//! for any N.
 
 use gpu_rmt::ir::analysis::lint::{lint_kernel, LintAssumptions, LintConfig};
 use gpu_rmt::ir::analysis::{Protection, Residency};
@@ -15,34 +19,65 @@ use gpu_rmt::kernels::{all, by_abbrev, run_original, Scale};
 use gpu_rmt::rmt::{coverage, transform, verify_rmt, TransformOptions, TransformReport};
 use gpu_rmt::sim::DeviceConfig;
 
+fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--jobs" {
+            i += 1;
+            match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => return n,
+                _ => {
+                    eprintln!("bad --jobs {:?}; using 1", args.get(i));
+                    return 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    gpu_rmt::sim::pool::default_jobs()
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let jobs = jobs_from_args();
     println!(
         "{:<8} {:<18} {:>6} {:>7} {:>9} {:>9} {:>6}",
         "kernel", "flavor", "insts", "growth", "vgprs", "lds B", "exits"
     );
-    for b in all() {
+    // Transform every (kernel, flavor) cell across the worker pool; the
+    // results come back in submission order, so output order is stable.
+    let suite = all();
+    let cells: Vec<_> = suite
+        .iter()
+        .flat_map(|b| {
+            [
+                TransformOptions::intra_plus_lds(),
+                TransformOptions::intra_minus_lds(),
+                TransformOptions::inter(),
+            ]
+            .map(|opts| (b.as_ref(), opts))
+        })
+        .collect();
+    let lines = gpu_rmt::sim::pool::map(jobs, cells, |(b, opts)| {
         let kernel = b.kernel();
-        for opts in [
-            TransformOptions::intra_plus_lds(),
-            TransformOptions::intra_minus_lds(),
-            TransformOptions::inter(),
-        ] {
-            let rk = transform(&kernel, &opts)?;
-            let r = TransformReport::new(&kernel, &rk);
-            println!(
-                "{:<8} {:<18} {:>2}->{:<3} {:>6.2}x {:>3}->{:<4} {:>3}->{:<5} {:>6}",
-                b.abbrev(),
-                r.flavor.to_string(),
-                r.insts.0,
-                r.insts.1,
-                r.inst_growth(),
-                r.pressure.0,
-                r.pressure.1,
-                r.lds_bytes.0,
-                r.lds_bytes.1,
-                r.total_exits(),
-            );
-        }
+        let rk = transform(&kernel, &opts).map_err(|e| e.to_string())?;
+        let r = TransformReport::new(&kernel, &rk);
+        Ok::<_, String>(format!(
+            "{:<8} {:<18} {:>2}->{:<3} {:>6.2}x {:>3}->{:<4} {:>3}->{:<5} {:>6}",
+            b.abbrev(),
+            r.flavor.to_string(),
+            r.insts.0,
+            r.insts.1,
+            r.inst_growth(),
+            r.pressure.0,
+            r.pressure.1,
+            r.lds_bytes.0,
+            r.lds_bytes.1,
+            r.total_exits(),
+        ))
+    });
+    for line in lines {
+        println!("{}", line?);
     }
 
     // A full single-kernel report + the profiler view of a run.
