@@ -16,10 +16,14 @@ use std::time::Instant;
 fn usage() -> String {
     format!(
         "usage: repro <experiment>... [--scale small|paper|large] [--json] [--jobs N]\n\
-         --jobs N  worker threads for independent simulation cells\n\
-         \x20         (default: available parallelism; output is identical for any N)\n\
+         \x20                        [--seed N] [--budget N]\n\
+         --jobs N    worker threads for independent simulation cells\n\
+         \x20           (default: available parallelism; output is identical for any N)\n\
+         --seed N    campaign seed for `fuzz` (default 1)\n\
+         --budget N  generated cases for `fuzz` (default 200)\n\
          experiments: all, {}\n\
-         extra: bench (wall-clock simulator benchmark, writes BENCH_sim.json)",
+         extra: bench (wall-clock simulator benchmark, writes BENCH_sim.json),\n\
+         \x20      fuzz (generative differential campaign over random kernels)",
         ALL_IDS.join(", ")
     )
 }
@@ -54,6 +58,26 @@ fn main() -> ExitCode {
                     Some(n) if n >= 1 => n,
                     _ => {
                         eprintln!("bad --jobs {:?}\n{}", args.get(i), usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("bad --seed {:?}\n{}", args.get(i), usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--budget" => {
+                i += 1;
+                cfg.budget = match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("bad --budget {:?}\n{}", args.get(i), usage());
                         return ExitCode::FAILURE;
                     }
                 };

@@ -1,0 +1,194 @@
+//! `repro fuzz` — the generative differential campaign.
+//!
+//! Generates `--budget` random kernels from `--seed` (each case seed is
+//! [`child_seed`]`(seed, index)`), fans them across the worker pool, and
+//! runs every case through the full oracle stack of
+//! [`rmt_core::oracle`]: original-vs-every-flavor bit-identity and zero
+//! fault-free detections, post-transform `validate`/`verify_rmt`/lint,
+//! and a sampled fault-injection cross-check of the static coverage
+//! analysis. Failing cases are shrunk to minimal counterexamples and
+//! persisted to `fuzz/corpus/` as replayable `.rmt` files (a tier-1 test
+//! replays everything committed there).
+//!
+//! The campaign is a pure function of `(--seed, --budget, --scale)`:
+//! results merge in submission order, fault coordinates come from seeded
+//! samplers, and the report carries no timings — so output is
+//! byte-identical for any `--jobs` value.
+
+use crate::ExpConfig;
+use rmt_core::oracle::{run_case, Finding, OracleConfig, OracleReport};
+use rmt_ir::fuzz::{child_seed, serialize, GenConfig};
+use rmt_kernels::Scale;
+use std::path::PathBuf;
+
+/// Injection attempts per (case, flavor) at each scale. `Small` keeps CI
+/// smoke runs quick; larger scales trade time for campaign depth.
+fn injections_for(scale: Scale) -> usize {
+    match scale {
+        Scale::Small => 3,
+        Scale::Paper => 6,
+        Scale::Large => 12,
+    }
+}
+
+/// The oracle configuration the campaign (and the corpus-replay test)
+/// uses: small device, scale-dependent injection depth, faults seeded
+/// from the campaign seed.
+pub fn oracle_config(scale: Scale, seed: u64) -> OracleConfig {
+    let mut cfg = OracleConfig::quick();
+    cfg.max_injections = injections_for(scale);
+    cfg.fault_seed = seed;
+    cfg
+}
+
+/// Where minimized counterexamples are committed.
+pub fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("fuzz")
+        .join("corpus")
+}
+
+/// Renders the corpus file for one minimized finding: a commented header
+/// (`#` lines are ignored by the parser) plus the serialized case.
+pub fn render_corpus_file(f: &Finding) -> String {
+    format!(
+        "# minimized by `repro fuzz`\n\
+         # seed: {:#018x}\n\
+         # kind: {}\n\
+         # failure: {}\n\
+         # insts: {} -> {}\n\
+         {}",
+        f.seed,
+        f.kind.label(),
+        f.message.replace('\n', " "),
+        f.original_insts,
+        f.minimized_insts,
+        serialize(&f.case)
+    )
+}
+
+fn persist(f: &Finding) -> Result<PathBuf, String> {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("min-{:016x}.rmt", f.seed));
+    std::fs::write(&path, render_corpus_file(f))
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// The `fuzz` experiment.
+///
+/// # Errors
+///
+/// Returns the full report as an error string when any case fails the
+/// oracle (so `repro fuzz` exits nonzero), with the minimized
+/// counterexamples already written to `fuzz/corpus/`.
+pub fn fuzz(cfg: &ExpConfig) -> Result<String, String> {
+    let gen_cfg = GenConfig::default();
+    let oracle_cfg = oracle_config(cfg.scale, cfg.seed);
+
+    let indices: Vec<u64> = (0..cfg.budget as u64).collect();
+    let outs = gcn_sim::pool::map(cfg.jobs, indices, |i| {
+        run_case(child_seed(cfg.seed, i), &gen_cfg, &oracle_cfg, &|_| {})
+    });
+
+    let mut total = OracleReport::default();
+    let mut findings: Vec<Finding> = Vec::new();
+    for out in outs {
+        match out {
+            Ok(rep) => total.absorb(rep),
+            Err(f) => findings.push(*f),
+        }
+    }
+    let pass = cfg.budget - findings.len();
+
+    let mut persisted = Vec::new();
+    for f in &findings {
+        persisted.push(persist(f)?);
+    }
+
+    let out = if cfg.json {
+        let mut fs = String::from("[");
+        for (i, f) in findings.iter().enumerate() {
+            if i > 0 {
+                fs.push(',');
+            }
+            fs.push_str(&format!(
+                "{{\"seed\":{},\"kind\":{:?},\"message\":{:?},\"insts\":{}}}",
+                f.seed,
+                f.kind.label(),
+                f.message,
+                f.minimized_insts
+            ));
+        }
+        fs.push(']');
+        format!(
+            "{{\"experiment\":\"fuzz\",\"seed\":{},\"budget\":{},\"pass\":{pass},\
+             \"fail\":{},\"launches\":{},\"injections\":{},\"findings\":{fs}}}\n",
+            cfg.seed,
+            cfg.budget,
+            findings.len(),
+            total.launches,
+            total.injections
+        )
+    } else {
+        let mut s = format!(
+            "Generative differential campaign (seed {}, {} cases,\n\
+             {} injection attempts per case and flavor):\n\n\
+             {pass} passed, {} failed\n\
+             {} simulator launches, {} faults applied\n",
+            cfg.seed,
+            cfg.budget,
+            oracle_cfg.max_injections,
+            findings.len(),
+            total.launches,
+            total.injections
+        );
+        for (f, path) in findings.iter().zip(&persisted) {
+            s.push_str(&format!(
+                "\nFAIL seed {:#018x}: {} ({} -> {} insts)\n  minimized to {}\n",
+                f.seed,
+                f.message,
+                f.original_insts,
+                f.minimized_insts,
+                path.display()
+            ));
+        }
+        s
+    };
+    if findings.is_empty() {
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_passes_and_is_deterministic() {
+        let mut cfg = ExpConfig::small().with_jobs(2);
+        cfg.budget = 6;
+        cfg.seed = 0xA5;
+        let a = fuzz(&cfg).expect("campaign must pass");
+        assert!(a.contains("6 passed, 0 failed"), "{a}");
+        let b = fuzz(&cfg.clone().with_jobs(1)).expect("campaign must pass");
+        assert_eq!(a, b, "report must be byte-identical across --jobs");
+    }
+
+    #[test]
+    fn json_report_is_machine_readable() {
+        let mut cfg = ExpConfig::small();
+        cfg.budget = 2;
+        cfg.seed = 0xA5;
+        cfg.json = true;
+        let out = fuzz(&cfg).expect("campaign must pass");
+        let v = crate::baseline::parse(&out).expect("valid JSON");
+        assert_eq!(v.get("experiment").and_then(|j| j.as_str()), Some("fuzz"));
+        assert_eq!(v.get("fail").and_then(|j| j.as_f64()), Some(0.0));
+    }
+}

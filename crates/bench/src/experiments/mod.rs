@@ -6,6 +6,7 @@ pub mod bench;
 pub mod coverage;
 pub mod coverage_static;
 pub mod decomp;
+pub mod fuzz;
 pub mod lint;
 pub mod perf;
 pub mod power;
@@ -18,6 +19,8 @@ use crate::ExpConfig;
 ///
 /// `bench` is deliberately absent: its report is wall-clock timing, so
 /// including it would break the byte-stability of `repro all` output.
+/// `fuzz` is absent too: its runtime scales with `--budget`, not with the
+/// fixed suite, so it is opt-in rather than part of `repro all`.
 pub const ALL_IDS: &[&str] = &[
     "table1",
     "table2",
@@ -63,6 +66,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Result<String, String> {
         "ablation" => ablation::ablation(cfg),
         "lint" => lint::lint(cfg),
         "bench" => bench::bench(cfg),
+        "fuzz" => fuzz::fuzz(cfg),
         other => Err(format!(
             "unknown experiment `{other}`; known: {}",
             ALL_IDS.join(", ")

@@ -44,6 +44,12 @@ pub struct ExpConfig {
     /// order, so any value produces byte-identical reports; `1` runs
     /// everything serially on the calling thread.
     pub jobs: usize,
+    /// Campaign seed for the generative experiments (`repro fuzz --seed`).
+    /// Every per-case seed derives from it, so the whole campaign is a
+    /// pure function of `(seed, budget)`.
+    pub seed: u64,
+    /// Number of generated cases for `repro fuzz` (`--budget`).
+    pub budget: usize,
 }
 
 impl ExpConfig {
@@ -54,6 +60,8 @@ impl ExpConfig {
             device: DeviceConfig::radeon_hd_7790(),
             json: false,
             jobs: 1,
+            seed: 1,
+            budget: 200,
         }
     }
 
@@ -64,6 +72,8 @@ impl ExpConfig {
             device: DeviceConfig::radeon_hd_7790(),
             json: false,
             jobs: 1,
+            seed: 1,
+            budget: 200,
         }
     }
 

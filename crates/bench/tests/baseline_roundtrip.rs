@@ -1,0 +1,81 @@
+//! Round-trip contract for the hand-rolled JSON in `rmt_bench::baseline`:
+//! the canonical writer and the reader must be exact inverses, so the
+//! perf-gate can re-emit what it read without drift, and a malformed
+//! `BENCH_sim.json` must surface as a clear parse error, never a panic.
+
+use rmt_bench::baseline::{parse, Json};
+
+/// `to_string` ∘ `parse` ∘ `to_string` is byte-identical.
+fn assert_stable(v: &Json) {
+    let once = v.to_string();
+    let back = parse(&once).expect("canonical output must re-parse");
+    assert_eq!(&back, v, "parse(to_string(v)) must equal v");
+    assert_eq!(
+        back.to_string(),
+        once,
+        "re-rendering must be byte-identical"
+    );
+}
+
+#[test]
+fn representative_values_round_trip() {
+    assert_stable(&Json::Null);
+    assert_stable(&Json::Bool(true));
+    assert_stable(&Json::Num(-0.25));
+    assert_stable(&Json::Num(123456789.0));
+    assert_stable(&Json::Str("plain".into()));
+    assert_stable(&Json::Str(
+        "quote\" slash\\ newline\n tab\t ctrl\u{1}".into(),
+    ));
+    assert_stable(&Json::Arr(vec![
+        Json::Num(1.0),
+        Json::Str("x".into()),
+        Json::Null,
+    ]));
+    assert_stable(&Json::Obj(vec![
+        ("experiment".into(), Json::Str("bench".into())),
+        ("score".into(), Json::Num(123.5)),
+        (
+            "cells".into(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("kernel".into(), Json::Str("R".into())),
+                ("best_ms".into(), Json::Num(1.25)),
+            ])]),
+        ),
+    ]));
+}
+
+#[test]
+fn committed_baseline_file_round_trips() {
+    // The committed perf baseline is this reader's reason to exist: it
+    // must parse, and re-rendering it must be a fixed point.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    let txt = std::fs::read_to_string(path).expect("committed BENCH_sim.json present");
+    let v = parse(&txt).expect("committed baseline must parse");
+    assert!(
+        v.get("score").and_then(Json::as_f64).is_some(),
+        "baseline carries the score the perf-gate compares against"
+    );
+    assert_stable(&v);
+}
+
+#[test]
+fn malformed_baseline_is_a_clear_error_not_a_panic() {
+    // The shapes a truncated or hand-mangled BENCH_sim.json takes: each
+    // must produce a located, human-readable error.
+    for bad in [
+        "",
+        "{",
+        "{\"score\":",
+        "{\"score\":12.5",
+        "{\"score\":12.5} trailing",
+        "[1,]",
+        "{\"a\" 1}",
+        "\"unterminated",
+        "{\"u\":\"\\u12\"}",
+        "nope",
+    ] {
+        let err = parse(bad).expect_err(&format!("{bad:?} must be rejected"));
+        assert!(!err.is_empty(), "{bad:?}: error message must not be empty");
+    }
+}

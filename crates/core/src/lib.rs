@@ -76,6 +76,7 @@ pub mod decompose;
 mod error;
 mod launcher;
 mod options;
+pub mod oracle;
 mod report;
 pub mod sor;
 mod transform;

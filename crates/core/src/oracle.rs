@@ -1,0 +1,662 @@
+//! The differential oracle for generated kernels.
+//!
+//! [`rmt_ir::fuzz`] produces random well-formed kernels; this module is
+//! the judge that decides whether the RMT stack handled one correctly.
+//! For a [`FuzzCase`] it checks, in order:
+//!
+//! 1. the original kernel validates, lints clean, and runs fault-free on
+//!    the simulator (its output buffers become the *golden* reference);
+//! 2. every full-stage flavor (Intra+LDS, Intra−LDS, Inter, FAST)
+//!    transforms without error, still validates, upholds
+//!    [`verify_rmt`](crate::verify_rmt)'s transform invariants, and lints
+//!    clean at the doubled launch shape;
+//! 3. each transformed kernel's fault-free run produces **bit-identical**
+//!    user buffers and **zero** detections — RMT must be invisible when
+//!    nothing goes wrong;
+//! 4. a small seeded fault-injection campaign over sites chosen *and
+//!    classified* by the static coverage analysis upholds its verdicts:
+//!    no silent corruption at a Detected-class site (soundness), and no
+//!    silent corruption anywhere the analysis did not predict (recall).
+//!
+//! Any failure is reported as an [`OracleFailure`] naming the layer and
+//! flavor; [`run_case`] couples the check to the shrinker so a failing
+//! seed comes back as a minimized, replayable [`Finding`]. Everything is
+//! a pure function of `(case, config)` — fault coordinates come from
+//! [`FaultSampler`], not a wall clock — so failures reproduce exactly.
+
+use std::fmt;
+
+use crate::coverage as cov;
+use crate::launcher::RmtLauncher;
+use crate::options::TransformOptions;
+use crate::transform::{transform, RmtKernel};
+use crate::verify::verify_rmt;
+use gcn_sim::{
+    Arg, BufferId, Device, DeviceConfig, FaultPlan, FaultSampler, FaultTarget, LaunchConfig,
+};
+use rmt_ir::analysis::lint::{lint_kernel, LintAssumptions, LintConfig};
+use rmt_ir::analysis::{Protection, Residency};
+use rmt_ir::fuzz::{generate, shrink, ArgSpec, FuzzCase, GenConfig};
+use rmt_ir::{validate, ParamKind, Reg, Ty};
+
+/// The four full-stage flavor columns every case is checked under, in
+/// paper order.
+pub fn flavors() -> [(&'static str, TransformOptions); 4] {
+    [
+        ("Intra+LDS", TransformOptions::intra_plus_lds()),
+        ("Intra-LDS", TransformOptions::intra_minus_lds()),
+        ("Inter", TransformOptions::inter()),
+        ("FAST", TransformOptions::intra_plus_lds().with_swizzle()),
+    ]
+}
+
+/// Which oracle layer rejected the case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// `validate` rejected the kernel (before or after a transform).
+    Invalid,
+    /// The transform itself returned an error.
+    Transform,
+    /// `verify_rmt` found a broken transform invariant.
+    Verify,
+    /// The lint reported a diagnostic.
+    LintDirty,
+    /// A fault-free launch failed in the simulator.
+    Sim,
+    /// A fault-free run bumped the detection counter.
+    FalseDetection,
+    /// A transformed run's user buffers differ from the original's.
+    OutputMismatch,
+    /// SDC at a site the coverage analysis classified Detected.
+    CoverageSoundness,
+    /// SDC at a site the coverage analysis did not classify Vulnerable.
+    CoverageRecall,
+}
+
+impl FailureKind {
+    /// Stable short label, used in reports and corpus file headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::Invalid => "invalid",
+            FailureKind::Transform => "transform",
+            FailureKind::Verify => "verify",
+            FailureKind::LintDirty => "lint",
+            FailureKind::Sim => "sim",
+            FailureKind::FalseDetection => "false-detection",
+            FailureKind::OutputMismatch => "output-mismatch",
+            FailureKind::CoverageSoundness => "coverage-soundness",
+            FailureKind::CoverageRecall => "coverage-recall",
+        }
+    }
+
+    /// `true` for the two kinds that only the injection campaign can
+    /// produce — shrinking any other kind can skip the campaign.
+    pub fn needs_faults(self) -> bool {
+        matches!(
+            self,
+            FailureKind::CoverageSoundness | FailureKind::CoverageRecall
+        )
+    }
+}
+
+/// One oracle rejection: the layer, the flavor it happened under, and a
+/// human-readable account.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    /// The layer that rejected the case.
+    pub kind: FailureKind,
+    /// `"original"` or the flavor label.
+    pub flavor: &'static str,
+    /// What exactly went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: {}",
+            self.kind.label(),
+            self.flavor,
+            self.message
+        )
+    }
+}
+
+fn fail(kind: FailureKind, flavor: &'static str, message: String) -> OracleFailure {
+    OracleFailure {
+        kind,
+        flavor,
+        message,
+    }
+}
+
+/// Work tally of one successful check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Simulator launches performed (golden, per-flavor, injected).
+    pub launches: usize,
+    /// Faults actually applied across the campaign.
+    pub injections: usize,
+}
+
+impl OracleReport {
+    /// Accumulates another report's tallies (used when merging per-case
+    /// reports into a campaign total).
+    pub fn absorb(&mut self, other: OracleReport) {
+        self.launches += other.launches;
+        self.injections += other.injections;
+    }
+}
+
+/// Oracle configuration.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Simulated device for every launch (the watchdog for injected runs
+    /// is derived from the fault-free run, not taken from here).
+    pub device: DeviceConfig,
+    /// Upper bound on injection *attempts* per flavor; `0` disables the
+    /// campaign entirely (layers 1–3 still run).
+    pub max_injections: usize,
+    /// Seed for the fault-coordinate sampler.
+    pub fault_seed: u64,
+}
+
+impl OracleConfig {
+    /// A small-device config with a modest campaign — the default for
+    /// fuzzing, where throughput matters.
+    pub fn quick() -> Self {
+        OracleConfig {
+            device: DeviceConfig::small_test(),
+            max_injections: 6,
+            fault_seed: 0,
+        }
+    }
+
+    /// The same config with the injection campaign disabled.
+    pub fn without_faults(mut self) -> Self {
+        self.max_injections = 0;
+        self
+    }
+}
+
+/// Creates the kernel's arguments on `dev` from the case's [`ArgSpec`]s.
+/// Returns the positional [`Arg`]s plus the handles of the buffer args
+/// (in parameter order) for reading back results.
+fn materialize(dev: &mut Device, case: &FuzzCase) -> (Vec<Arg>, Vec<BufferId>) {
+    let mut args = Vec::new();
+    let mut bufs = Vec::new();
+    for (spec, param) in case.args.iter().zip(&case.kernel.params) {
+        match spec {
+            ArgSpec::Buffer { .. } => {
+                let words = spec.buffer_words().expect("buffer spec");
+                let b = dev.create_buffer(words.len() as u32 * 4);
+                dev.write_u32s(b, &words);
+                bufs.push(b);
+                args.push(Arg::Buffer(b));
+            }
+            ArgSpec::Scalar { bits } => args.push(match param.kind {
+                ParamKind::Scalar(Ty::F32) => Arg::F32(f32::from_bits(*bits)),
+                ParamKind::Scalar(Ty::I32) => Arg::I32(*bits as i32),
+                _ => Arg::U32(*bits),
+            }),
+        }
+    }
+    (args, bufs)
+}
+
+/// Runs the *original* kernel fault-free. Returns the user buffer
+/// contents (the golden reference) and the dynamic instruction count.
+fn run_original(case: &FuzzCase, dev_cfg: &DeviceConfig) -> Result<(Vec<Vec<u8>>, u64), String> {
+    let mut dev = Device::new(dev_cfg.clone());
+    let (args, bufs) = materialize(&mut dev, case);
+    let cfg = LaunchConfig::new_1d(case.global as usize, case.local as usize).args(args);
+    let stats = dev
+        .launch(&case.kernel, &cfg)
+        .map_err(|e| format!("original launch failed: {e}"))?;
+    let golden = bufs.iter().map(|b| dev.read_buffer(*b)).collect();
+    Ok((golden, stats.counters.dyn_insts))
+}
+
+/// One transformed-kernel run's observables.
+struct FlavorRun {
+    detections: u32,
+    faults_applied: usize,
+    dyn_insts: u64,
+    /// User buffer contents after the run.
+    bufs: Vec<Vec<u8>>,
+}
+
+/// Runs a *transformed* kernel (optionally with faults) on a fresh
+/// device.
+fn run_flavor(
+    case: &FuzzCase,
+    dev_cfg: &DeviceConfig,
+    rk: &RmtKernel,
+    faults: FaultPlan,
+) -> Result<FlavorRun, String> {
+    let mut dev = Device::new(dev_cfg.clone());
+    let (args, bufs) = materialize(&mut dev, case);
+    let cfg = LaunchConfig::new_1d(case.global as usize, case.local as usize)
+        .args(args)
+        .faults(faults);
+    let mut launcher = RmtLauncher::new();
+    let run = launcher
+        .launch(&mut dev, rk, &cfg)
+        .map_err(|e| format!("{e}"))?;
+    let out = bufs.iter().map(|b| dev.read_buffer(*b)).collect();
+    Ok(FlavorRun {
+        detections: run.detections,
+        faults_applied: run.stats.faults_applied,
+        dyn_insts: run.stats.counters.dyn_insts,
+        bufs: out,
+    })
+}
+
+fn lint_at(kernel: &rmt_ir::Kernel, local: u32) -> Vec<String> {
+    let cfg = LintConfig::with_assumptions(LintAssumptions::one_dim(local));
+    lint_kernel(kernel, &cfg)
+        .into_iter()
+        .map(|d| d.to_string())
+        .collect()
+}
+
+/// One injection site the campaign samples from, carrying the analysis
+/// verdict it must uphold.
+struct Site {
+    label: &'static str,
+    class: Protection,
+    reg: Option<Reg>,
+    lds: bool,
+}
+
+/// Sites chosen from the coverage report: a Detected-class and a
+/// Vulnerable-class user VGPR, the first user SRF broadcast, and the
+/// duplicated-or-not LDS allocation.
+fn pick_sites(rk: &RmtKernel, report: &rmt_ir::analysis::CoverageReport) -> Vec<Site> {
+    let mut sites = Vec::new();
+    let mut vgprs: Vec<Reg> = report
+        .windows
+        .iter()
+        .filter(|w| !w.machinery && w.residency == Residency::VgprLane)
+        .map(|w| w.reg)
+        .collect();
+    vgprs.sort_unstable();
+    vgprs.dedup();
+    for (label, class) in [
+        ("VGPR/detected", Protection::Detected),
+        ("VGPR/vulnerable", Protection::Vulnerable),
+    ] {
+        if let Some(&r) = vgprs
+            .iter()
+            .find(|&&r| report.vgpr_fault_class(r) == Some(class))
+        {
+            sites.push(Site {
+                label,
+                class,
+                reg: Some(r),
+                lds: false,
+            });
+        }
+    }
+    let mut uniform: Vec<Reg> = report
+        .windows
+        .iter()
+        .filter(|w| !w.machinery && w.residency == Residency::SrfBroadcast)
+        .map(|w| w.reg)
+        .collect();
+    uniform.sort_unstable();
+    uniform.dedup();
+    if let Some(&r) = uniform.first() {
+        if let Some(class) = report.sgpr_fault_class(r) {
+            sites.push(Site {
+                label: "SRF",
+                class,
+                reg: Some(r),
+                lds: false,
+            });
+        }
+    }
+    if rk.kernel.lds_bytes > 0 {
+        sites.push(Site {
+            label: "LDS",
+            class: report.lds_fault_class(),
+            reg: None,
+            lds: true,
+        });
+    }
+    sites
+}
+
+/// The sampled injection campaign for one flavor. `fault_free_insts` and
+/// `golden` come from the flavor's own clean run.
+#[allow(clippy::too_many_arguments)]
+fn campaign(
+    case: &FuzzCase,
+    cfg: &OracleConfig,
+    flavor_index: u64,
+    flavor: &'static str,
+    rk: &RmtKernel,
+    fault_free_insts: u64,
+    golden: &[Vec<u8>],
+    rep: &mut OracleReport,
+) -> Result<(), OracleFailure> {
+    let report = cov::analyze(rk);
+    let sites = pick_sites(rk, &report);
+    if sites.is_empty() {
+        return Ok(());
+    }
+    let mut sampler = FaultSampler::new(cfg.fault_seed ^ flavor_index.wrapping_mul(0x9E37));
+    // Injected runs that corrupt protocol state can spin; bound them by a
+    // watchdog a few times the fault-free length.
+    let mut inj_dev = cfg.device.clone();
+    inj_dev.watchdog_insts = fault_free_insts.saturating_mul(8).max(200_000);
+
+    for attempt in 0..cfg.max_injections {
+        let site = &sites[attempt % sites.len()];
+        let target = if site.lds {
+            // A word-aligned LDS offset inside the allocation.
+            let words = (rk.kernel.lds_bytes / 4).max(1);
+            FaultTarget::Lds {
+                group: 0,
+                offset: (sampler.below(u64::from(words)) as u32) * 4,
+                bit: sampler.bit8(),
+            }
+        } else {
+            let reg = site.reg.expect("register site");
+            match report.sgpr_fault_class(reg) {
+                Some(_) if site.label == "SRF" => FaultTarget::Sgpr {
+                    group: 0,
+                    wave: 0,
+                    reg: reg.0,
+                    bit: sampler.bit32(),
+                },
+                _ => FaultTarget::Vgpr {
+                    group: 0,
+                    wave: 0,
+                    reg: reg.0,
+                    lane: sampler.lane(),
+                    bit: sampler.bit32(),
+                },
+            }
+        };
+        let trigger = sampler.trigger(fault_free_insts);
+        let outcome = run_flavor(case, &inj_dev, rk, FaultPlan::single(trigger, target));
+        rep.launches += 1;
+        let run = match outcome {
+            Err(_) => continue, // detectable-by-timeout (DUE): acceptable anywhere
+            Ok(r) => r,
+        };
+        if run.faults_applied == 0 {
+            continue; // target missed (e.g. the group already retired)
+        }
+        rep.injections += 1;
+        let sdc = run.detections == 0 && run.bufs != golden;
+        if sdc {
+            if site.class == Protection::Detected {
+                return Err(fail(
+                    FailureKind::CoverageSoundness,
+                    flavor,
+                    format!(
+                        "SDC at Detected-class site {} ({target:?}, trigger {trigger})",
+                        site.label
+                    ),
+                ));
+            }
+            if site.class != Protection::Vulnerable {
+                return Err(fail(
+                    FailureKind::CoverageRecall,
+                    flavor,
+                    format!(
+                        "SDC at {}-class site {} ({target:?}, trigger {trigger})",
+                        site.class.label(),
+                        site.label
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks one case against the full oracle stack.
+///
+/// # Errors
+///
+/// Returns the first [`OracleFailure`] encountered, in layer order.
+pub fn check_case(case: &FuzzCase, cfg: &OracleConfig) -> Result<OracleReport, OracleFailure> {
+    check_case_with(case, cfg, &|_| {})
+}
+
+/// [`check_case`], with a hook that mutates each transformed kernel
+/// before it is verified and run — the seam the broken-transform tests
+/// (and `coverage_negative`-style sabotage) plug into.
+///
+/// # Errors
+///
+/// Returns the first [`OracleFailure`] encountered, in layer order.
+pub fn check_case_with(
+    case: &FuzzCase,
+    cfg: &OracleConfig,
+    mutate: &dyn Fn(&mut RmtKernel),
+) -> Result<OracleReport, OracleFailure> {
+    let mut rep = OracleReport::default();
+
+    validate(&case.kernel).map_err(|e| fail(FailureKind::Invalid, "original", format!("{e:?}")))?;
+    let diags = lint_at(&case.kernel, case.local);
+    if !diags.is_empty() {
+        return Err(fail(FailureKind::LintDirty, "original", diags.join("; ")));
+    }
+    let (golden, orig_insts) =
+        run_original(case, &cfg.device).map_err(|m| fail(FailureKind::Sim, "original", m))?;
+    rep.launches += 1;
+
+    for (flavor_index, (label, opts)) in flavors().into_iter().enumerate() {
+        let mut rk = transform(&case.kernel, &opts)
+            .map_err(|e| fail(FailureKind::Transform, label, format!("{e}")))?;
+        mutate(&mut rk);
+        validate(&rk.kernel).map_err(|e| fail(FailureKind::Invalid, label, format!("{e:?}")))?;
+        let errs = verify_rmt(&case.kernel, &rk);
+        if !errs.is_empty() {
+            let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+            return Err(fail(FailureKind::Verify, label, msgs.join("; ")));
+        }
+        let lint_local = if opts.flavor.is_intra() {
+            case.local * 2
+        } else {
+            case.local
+        };
+        let diags = lint_at(&rk.kernel, lint_local);
+        if !diags.is_empty() {
+            return Err(fail(FailureKind::LintDirty, label, diags.join("; ")));
+        }
+
+        let run = run_flavor(case, &cfg.device, &rk, FaultPlan::none())
+            .map_err(|m| fail(FailureKind::Sim, label, m))?;
+        rep.launches += 1;
+        let det = run.detections;
+        let (insts, bufs) = (run.dyn_insts, run.bufs);
+        if det != 0 {
+            return Err(fail(
+                FailureKind::FalseDetection,
+                label,
+                format!("fault-free run reported {det} detections"),
+            ));
+        }
+        if bufs != golden {
+            let which: Vec<usize> = bufs
+                .iter()
+                .zip(&golden)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .map(|(i, _)| i)
+                .collect();
+            return Err(fail(
+                FailureKind::OutputMismatch,
+                label,
+                format!("user buffers {which:?} differ from the original run"),
+            ));
+        }
+
+        if cfg.max_injections > 0 {
+            campaign(
+                case,
+                cfg,
+                flavor_index as u64,
+                label,
+                &rk,
+                insts.max(orig_insts),
+                &bufs,
+                &mut rep,
+            )?;
+        }
+    }
+    Ok(rep)
+}
+
+/// A minimized counterexample: everything needed to file, commit, and
+/// replay the failure.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The case seed that produced the failure.
+    pub seed: u64,
+    /// The oracle layer that rejected it.
+    pub kind: FailureKind,
+    /// The original failure, rendered.
+    pub message: String,
+    /// The minimized case (still fails with the same [`FailureKind`]).
+    pub case: FuzzCase,
+    /// Instruction count before shrinking.
+    pub original_insts: usize,
+    /// Instruction count after shrinking.
+    pub minimized_insts: usize,
+}
+
+/// Generates the case for `seed`, checks it, and — on failure — shrinks
+/// it while it keeps failing with the same [`FailureKind`].
+///
+/// For failure kinds the injection campaign cannot produce, the campaign
+/// is disabled during shrinking: the predicate can only flip to a
+/// coverage failure through the campaign, so skipping it is sound and
+/// much faster.
+///
+/// # Errors
+///
+/// Returns the minimized [`Finding`] when the oracle rejects the case.
+pub fn run_case(
+    seed: u64,
+    gen_cfg: &GenConfig,
+    cfg: &OracleConfig,
+    mutate: &dyn Fn(&mut RmtKernel),
+) -> Result<OracleReport, Box<Finding>> {
+    let case = generate(seed, gen_cfg);
+    let failure = match check_case_with(&case, cfg, mutate) {
+        Ok(rep) => return Ok(rep),
+        Err(f) => f,
+    };
+    let mut shrink_cfg = cfg.clone();
+    if !failure.kind.needs_faults() {
+        shrink_cfg.max_injections = 0;
+    }
+    let kind = failure.kind;
+    let mut pred =
+        |c: &FuzzCase| matches!(check_case_with(c, &shrink_cfg, mutate), Err(f) if f.kind == kind);
+    let small = shrink(&case, &mut pred);
+    Err(Box::new(Finding {
+        seed,
+        kind,
+        message: failure.to_string(),
+        original_insts: case.kernel.total_insts(),
+        minimized_insts: small.kernel.total_insts(),
+        case: small,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_ir::fuzz::child_seed;
+    use rmt_ir::{AtomicOp, Inst, MemSpace};
+
+    #[test]
+    fn generated_cases_pass_the_oracle() {
+        let gen_cfg = GenConfig::default();
+        let cfg = OracleConfig::quick();
+        for i in 0..10 {
+            let seed = child_seed(0xFEED, i);
+            let rep = run_case(seed, &gen_cfg, &cfg, &|_| {}).unwrap_or_else(|f| {
+                panic!(
+                    "seed {seed:#x}: {} ({} -> {} insts)\n{}",
+                    f.message,
+                    f.original_insts,
+                    f.minimized_insts,
+                    rmt_ir::fuzz::serialize(&f.case)
+                )
+            });
+            assert!(rep.launches >= 5, "golden + four flavors at minimum");
+        }
+    }
+
+    /// Sabotage that bumps the detect counter unconditionally: a clean
+    /// run can no longer report zero detections, so some layer of the
+    /// oracle must reject every case.
+    fn spurious_detection(rk: &mut RmtKernel) {
+        let base = Reg(rk.kernel.next_reg);
+        let one = Reg(rk.kernel.next_reg + 1);
+        rk.kernel.next_reg += 2;
+        let detect = rk.meta.detect_param;
+        rk.kernel.body.0.push(Inst::ReadParam {
+            dst: base,
+            index: detect,
+        });
+        rk.kernel.body.0.push(Inst::Const {
+            dst: one,
+            ty: Ty::U32,
+            bits: 1,
+        });
+        rk.kernel.body.0.push(Inst::Atomic {
+            dst: None,
+            space: MemSpace::Global,
+            op: AtomicOp::Add,
+            addr: base,
+            value: one,
+        });
+    }
+
+    #[test]
+    fn oracle_rejects_a_sabotaged_transform() {
+        let cfg = OracleConfig::quick().without_faults();
+        let case = generate(child_seed(0xFEED, 0), &GenConfig::default());
+        let failure =
+            check_case_with(&case, &cfg, &spurious_detection).expect_err("sabotage must be caught");
+        assert!(
+            matches!(
+                failure.kind,
+                FailureKind::Verify | FailureKind::FalseDetection
+            ),
+            "unexpected failure: {failure}"
+        );
+    }
+
+    #[test]
+    fn findings_are_shrunk_and_still_fail() {
+        let gen_cfg = GenConfig::default();
+        let cfg = OracleConfig::quick().without_faults();
+        let f = run_case(child_seed(0xFEED, 0), &gen_cfg, &cfg, &spurious_detection)
+            .expect_err("sabotage must be caught");
+        assert!(f.minimized_insts <= f.original_insts);
+        let again = check_case_with(&f.case, &cfg, &spurious_detection)
+            .expect_err("minimized case must still fail");
+        assert_eq!(again.kind, f.kind);
+    }
+
+    #[test]
+    fn failure_labels_are_stable() {
+        assert_eq!(FailureKind::OutputMismatch.label(), "output-mismatch");
+        assert_eq!(FailureKind::CoverageSoundness.label(), "coverage-soundness");
+        assert!(FailureKind::CoverageRecall.needs_faults());
+        assert!(!FailureKind::FalseDetection.needs_faults());
+        let f = fail(FailureKind::Sim, "Inter", "boom".into());
+        assert_eq!(f.to_string(), "sim [Inter]: boom");
+    }
+}

@@ -317,10 +317,14 @@ impl<'a> Engine<'a> {
     }
 
     /// Flags LDS accesses whose address is *provably* outside the declared
-    /// allocation (definite-only: an unknown address is not flagged).
+    /// allocation (definite-only: an unknown address is not flagged, and
+    /// an access under unsatisfiable guards is dead code, not a bug).
     fn check_lds_bounds(&mut self, addr: &Poly, desc: &str) {
         let lds = self.k.lds_bytes as i128;
-        let (lo, hi) = super::races::refined_range(addr, &self.constraints, &self.atoms);
+        let Some((lo, hi)) = super::races::refined_range(addr, &self.constraints, &self.atoms)
+        else {
+            return;
+        };
         let definite_oob = lo >= lds || (lo == hi && lo + 3 >= lds) || hi < 0;
         if definite_oob && lo < BIG {
             self.bounds.push(Diagnostic {

@@ -184,6 +184,22 @@ fn derive_facts(constraints: &[Constraint], atoms: &Atoms) -> Facts {
             break;
         }
     }
+    // A pin or numeric refinement that contradicts the atom's own range
+    // (e.g. `if (lid == huge_const)` under a known local size) makes the
+    // guarded region unreachable: pins short-circuit `Facts::range`, so
+    // they must be checked against the intrinsic bounds explicitly.
+    for (&a, &v) in &f.pins {
+        let i = atoms.info(a);
+        if v < i.lo || v > i.hi {
+            f.infeasible = true;
+        }
+    }
+    for (&a, &(nlo, nhi)) in &f.num {
+        let i = atoms.info(a);
+        if nlo.max(i.lo) > nhi.min(i.hi) {
+            f.infeasible = true;
+        }
+    }
     // Unsatisfiable constraint set ⇒ the access never executes.
     for c in constraints {
         let (lo, hi) = eval_with(&c.poly, atoms, &f);
@@ -257,10 +273,18 @@ fn isolate_signed_atom(p: &Poly, atoms: &Atoms) -> Option<(AtomId, i64, Poly)> {
 }
 
 /// Constraint-refined numeric range of a polynomial (also used by the
-/// engine's LDS bounds check).
-pub(super) fn refined_range(p: &Poly, constraints: &[Constraint], atoms: &Atoms) -> (i128, i128) {
+/// engine's LDS bounds check). `None` means the constraint set is
+/// unsatisfiable — the access sits in dead code and never executes.
+pub(super) fn refined_range(
+    p: &Poly,
+    constraints: &[Constraint],
+    atoms: &Atoms,
+) -> Option<(i128, i128)> {
     let f = derive_facts(constraints, atoms);
-    eval_with(p, atoms, &f)
+    if f.infeasible {
+        return None;
+    }
+    Some(eval_with(p, atoms, &f))
 }
 
 fn eval_with(p: &Poly, atoms: &Atoms, f: &Facts) -> (i128, i128) {

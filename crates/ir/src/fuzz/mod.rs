@@ -1,0 +1,150 @@
+//! Seeded random-kernel generation, shrinking, and a round-trippable
+//! text format — the generative half of the differential RMT tester.
+//!
+//! The RMT transforms claim to be semantics-preserving and detection-
+//! complete on *any* well-formed kernel, but the repo's evidence is a
+//! 16-kernel suite plus hand-written negative tests. This module closes
+//! the gap generatively:
+//!
+//! * [`generate`] derives a random [`FuzzCase`] — a kernel built through
+//!   [`crate::KernelBuilder`] plus the launch geometry and argument values
+//!   needed to run it — from a 64-bit seed. Generation is *constructive*:
+//!   the grammar only emits programs that pass [`crate::validate`], keep
+//!   every memory access in bounds, place barriers at uniform points, and
+//!   stay inside the subset every RMT flavor supports, so each case can go
+//!   straight to the differential oracle stack in `rmt-core`.
+//! * [`shrink`] greedily minimizes a failing case by instruction/region
+//!   deletion, re-checking `validate` and the caller's failure predicate
+//!   after every candidate edit.
+//! * [`serialize`] / [`parse`] round-trip a case through a line-oriented
+//!   text format, so minimized counterexamples can live in the committed
+//!   `fuzz/corpus/` directory and be replayed by a tier-1 test.
+//!
+//! Everything is a pure function of the seed: no wall clock, no global
+//! state, no platform dependence. See DESIGN.md ("Generative testing")
+//! for the grammar and the determinism argument.
+
+mod gen;
+mod rng;
+mod shrink;
+mod text;
+
+pub use gen::{generate, GenConfig};
+pub use rng::{child_seed, FuzzRng};
+pub use shrink::shrink;
+pub use text::{parse, serialize};
+
+use crate::Kernel;
+
+/// Deterministic initial contents of a buffer argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferFill {
+    /// All words zero (output buffers).
+    Zero,
+    /// Word `i` holds `i` (index-identity inputs).
+    Ramp,
+    /// Word `i` holds a splitmix-style hash of `(salt, i)` — dense,
+    /// irregular input data.
+    Hash(u32),
+}
+
+/// One launch argument of a [`FuzzCase`], aligned with the kernel's
+/// parameter list.
+///
+/// The fuzzer lives in `rmt-ir`, which the simulator depends on — so a
+/// case cannot hold device buffers. It holds this plain-data recipe
+/// instead; the oracle materializes buffers from it before each run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgSpec {
+    /// A global buffer of `words` 32-bit words with deterministic
+    /// initial contents.
+    Buffer {
+        /// Buffer length in 32-bit words.
+        words: u32,
+        /// Initial contents.
+        fill: BufferFill,
+    },
+    /// A 32-bit scalar immediate (raw bits; the kernel decides the type).
+    Scalar {
+        /// The raw 32-bit value.
+        bits: u32,
+    },
+}
+
+impl ArgSpec {
+    /// Materializes the initial contents of a buffer argument, or `None`
+    /// for scalars.
+    pub fn buffer_words(&self) -> Option<Vec<u32>> {
+        match *self {
+            ArgSpec::Buffer { words, fill } => Some(
+                (0..words)
+                    .map(|i| match fill {
+                        BufferFill::Zero => 0,
+                        BufferFill::Ramp => i,
+                        BufferFill::Hash(salt) => hash_word(salt, i),
+                    })
+                    .collect(),
+            ),
+            ArgSpec::Scalar { .. } => None,
+        }
+    }
+}
+
+/// 32-bit mix of `(salt, index)` for [`BufferFill::Hash`]. Bit-stable by
+/// construction — corpus files depend on it.
+fn hash_word(salt: u32, i: u32) -> u32 {
+    let mut x = (u64::from(salt) << 32) | u64::from(i);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (x ^ (x >> 31)) as u32
+}
+
+/// A generated kernel together with everything needed to launch it: a
+/// 1-D geometry and one [`ArgSpec`] per kernel parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// The kernel under test.
+    pub kernel: Kernel,
+    /// Global work-items (dimension 0; dimensions 1/2 are 1).
+    pub global: u32,
+    /// Work-group size (dimension 0). Divides `global`; at most 128 so
+    /// the intra-group flavors can double it within the 256-item device
+    /// limit.
+    pub local: u32,
+    /// One argument recipe per kernel parameter.
+    pub args: Vec<ArgSpec>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_are_deterministic() {
+        let b = ArgSpec::Buffer {
+            words: 8,
+            fill: BufferFill::Hash(7),
+        };
+        assert_eq!(b.buffer_words(), b.buffer_words());
+        let r = ArgSpec::Buffer {
+            words: 4,
+            fill: BufferFill::Ramp,
+        };
+        assert_eq!(r.buffer_words(), Some(vec![0, 1, 2, 3]));
+        let z = ArgSpec::Buffer {
+            words: 3,
+            fill: BufferFill::Zero,
+        };
+        assert_eq!(z.buffer_words(), Some(vec![0, 0, 0]));
+        assert_eq!(ArgSpec::Scalar { bits: 5 }.buffer_words(), None);
+    }
+
+    #[test]
+    fn hash_fill_varies_by_salt_and_index() {
+        let a = hash_word(1, 0);
+        let b = hash_word(1, 1);
+        let c = hash_word(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,228 @@
+//! Greedy structural minimization of failing cases.
+//!
+//! The shrinker knows nothing about *why* a case fails: the caller hands
+//! it a predicate ("still fails the same way") and it searches for a
+//! smaller case that keeps the predicate true. Candidate edits are
+//!
+//! * **Delete** — remove one instruction, including a whole `if`/`while`
+//!   subtree; and
+//! * **Unwrap** — replace a control container by its block contents
+//!   (`if` → then-insts ++ else-insts, `while` → cond-insts ++ body-insts),
+//!   which preserves the instructions while discarding the control
+//!   structure around them.
+//!
+//! Every candidate must pass [`crate::validate`] before the (expensive)
+//! predicate runs — deleting a def whose uses remain is rejected for
+//! free. The scan is greedy front-to-back in preorder (containers before
+//! their contents, so one accepted edit can drop a whole region) and
+//! repeats until a full pass accepts nothing: the result is 1-minimal
+//! with respect to the edit set. Determinism: the scan order is fixed,
+//! so the same case and predicate always minimize identically.
+
+use super::FuzzCase;
+use crate::{validate, Block, Inst};
+
+/// One candidate edit, addressed by a path of alternating
+/// (instruction index, sub-block index) pairs ending at an instruction.
+#[derive(Debug, Clone)]
+struct Op {
+    path: Vec<usize>,
+    unwrap: bool,
+}
+
+/// Minimizes `case` while `still_failing` stays true.
+///
+/// Returns `case` unchanged if it does not satisfy the predicate to
+/// begin with. The result always satisfies both `validate` and the
+/// predicate.
+pub fn shrink(case: &FuzzCase, still_failing: &mut dyn FnMut(&FuzzCase) -> bool) -> FuzzCase {
+    let mut cur = case.clone();
+    if !still_failing(&cur) {
+        return cur;
+    }
+    loop {
+        let mut changed = false;
+        let mut i = 0;
+        loop {
+            let ops = enumerate(&cur.kernel.body);
+            if i >= ops.len() {
+                break;
+            }
+            let cand = apply(&cur, &ops[i]);
+            if validate(&cand.kernel).is_ok() && still_failing(&cand) {
+                // Keep `i`: the edit shifted every later position, and the
+                // op now at ordinal `i` has not been tried on this shape.
+                cur = cand;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !changed {
+            return cur;
+        }
+    }
+}
+
+/// All candidate edits, preorder (containers before their contents).
+fn enumerate(body: &Block) -> Vec<Op> {
+    let mut ops = Vec::new();
+    walk(body, &mut Vec::new(), &mut ops);
+    ops
+}
+
+fn walk(b: &Block, path: &mut Vec<usize>, ops: &mut Vec<Op>) {
+    for (i, inst) in b.iter().enumerate() {
+        path.push(i);
+        ops.push(Op {
+            path: path.clone(),
+            unwrap: false,
+        });
+        let sub_blocks: &[&Block] = match inst {
+            Inst::If {
+                then_blk, else_blk, ..
+            } => &[then_blk, else_blk],
+            Inst::While { cond, body, .. } => &[cond, body],
+            _ => &[],
+        };
+        if !sub_blocks.is_empty() {
+            ops.push(Op {
+                path: path.clone(),
+                unwrap: true,
+            });
+            for (s, blk) in sub_blocks.iter().enumerate() {
+                path.push(s);
+                walk(blk, path, ops);
+                path.pop();
+            }
+        }
+        path.pop();
+    }
+}
+
+fn apply(case: &FuzzCase, op: &Op) -> FuzzCase {
+    let mut out = case.clone();
+    edit(&mut out.kernel.body, &op.path, op.unwrap);
+    out
+}
+
+/// Applies one edit at `path` inside `b`.
+fn edit(b: &mut Block, path: &[usize], unwrap: bool) {
+    let i = path[0];
+    if path.len() == 1 {
+        if !unwrap {
+            b.0.remove(i);
+            return;
+        }
+        // Unwrap the container in place.
+        let inst = b.0.remove(i);
+        let spliced: Vec<Inst> = match inst {
+            Inst::If {
+                then_blk, else_blk, ..
+            } => then_blk.0.into_iter().chain(else_blk.0).collect(),
+            Inst::While { cond, body, .. } => cond.0.into_iter().chain(body.0).collect(),
+            other => vec![other], // unreachable for well-formed ops
+        };
+        b.0.splice(i..i, spliced);
+        return;
+    }
+    let sub = path[1];
+    match &mut b.0[i] {
+        Inst::If {
+            then_blk, else_blk, ..
+        } => {
+            let blk = if sub == 0 { then_blk } else { else_blk };
+            edit(blk, &path[2..], unwrap);
+        }
+        Inst::While { cond, body, .. } => {
+            let blk = if sub == 0 { cond } else { body };
+            edit(blk, &path[2..], unwrap);
+        }
+        _ => unreachable!("path descends through a non-container"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{generate, GenConfig};
+    use super::*;
+    use crate::MemSpace;
+
+    /// Finds a seed whose generated kernel contains at least one of the
+    /// wanted instruction kind.
+    fn seed_with(pred: impl Fn(&Inst) -> bool) -> (u64, FuzzCase) {
+        let cfg = GenConfig::default();
+        for seed in 0..500 {
+            let case = generate(seed, &cfg);
+            if case.kernel.count_insts(&pred) > 0 {
+                return (seed, case);
+            }
+        }
+        panic!("no seed in 0..500 produced the wanted instruction");
+    }
+
+    #[test]
+    fn shrinks_to_single_atomic() {
+        let (seed, case) = seed_with(|i| matches!(i, Inst::Atomic { .. }));
+        let before = case.kernel.total_insts();
+        let mut pred =
+            |c: &FuzzCase| c.kernel.count_insts(|i| matches!(i, Inst::Atomic { .. })) > 0;
+        let small = shrink(&case, &mut pred);
+        let after = small.kernel.total_insts();
+        assert!(after < before, "seed {seed}: {before} -> {after}");
+        assert!(pred(&small));
+        assert_eq!(validate(&small.kernel), Ok(()));
+        // The atomic plus its transitive operand chain (an address, a
+        // value, and the param reads feeding them) is all that remains.
+        assert!(after <= 12, "seed {seed}: shrank only to {after} insts");
+    }
+
+    #[test]
+    fn shrinks_away_control_flow_wrappers() {
+        // A predicate about LDS traffic must not keep unrelated ifs/loops
+        // alive.
+        let (seed, case) = seed_with(|i| {
+            matches!(
+                i,
+                Inst::Store {
+                    space: MemSpace::Local,
+                    ..
+                }
+            )
+        });
+        let mut pred = |c: &FuzzCase| {
+            c.kernel.count_insts(|i| {
+                matches!(
+                    i,
+                    Inst::Store {
+                        space: MemSpace::Local,
+                        ..
+                    }
+                )
+            }) > 0
+        };
+        let small = shrink(&case, &mut pred);
+        assert_eq!(
+            small.kernel.count_insts(Inst::is_control),
+            0,
+            "seed {seed}: control flow survived an LDS-store predicate: {}",
+            super::super::serialize(&small)
+        );
+    }
+
+    #[test]
+    fn non_failing_case_is_returned_unchanged() {
+        let case = generate(1, &GenConfig::default());
+        let mut pred = |_: &FuzzCase| false;
+        let same = shrink(&case, &mut pred);
+        assert_eq!(same, case);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let (_, case) = seed_with(|i| matches!(i, Inst::Atomic { .. }));
+        let mut p1 = |c: &FuzzCase| c.kernel.count_insts(|i| matches!(i, Inst::Atomic { .. })) > 0;
+        let mut p2 = |c: &FuzzCase| c.kernel.count_insts(|i| matches!(i, Inst::Atomic { .. })) > 0;
+        assert_eq!(shrink(&case, &mut p1), shrink(&case, &mut p2));
+    }
+}

@@ -59,6 +59,7 @@
 pub mod analysis;
 mod builder;
 mod display;
+pub mod fuzz;
 mod inst;
 mod kernel;
 mod types;

@@ -133,6 +133,26 @@ fn lds_access_past_allocation_is_flagged() {
 }
 
 #[test]
+fn lds_access_under_unsatisfiable_guard_is_dead_code_not_a_bug() {
+    // Found by `repro fuzz`: guarding an access with `lid == K` where K
+    // exceeds the assumed local size pins `lid` to K in the guarded
+    // region. The bounds pass used to substitute the pin into comm-slot
+    // addresses and flag an "out of bounds" access that can never
+    // execute. An unsatisfiable guard means dead code, not a bug.
+    let mut b = KernelBuilder::new("dead_guard");
+    b.set_lds_bytes(16);
+    let lid = b.local_id(0);
+    let huge = b.const_u32(0x15cc_797a);
+    let cond = b.cmp(rmt_ir::CmpOp::Eq, rmt_ir::Ty::U32, lid, huge);
+    b.if_(cond, |b| {
+        let four = b.const_u32(4);
+        let slot = b.mul_u32(lid, four);
+        b.store_local(slot, lid);
+    });
+    assert_eq!(kinds(&b.finish()), Vec::<LintKind>::new());
+}
+
+#[test]
 fn clean_kernel_stays_clean() {
     // Sanity: the standard tiled pattern (write own slot, barrier, read
     // neighbour) produces no findings.

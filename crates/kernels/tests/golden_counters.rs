@@ -27,10 +27,21 @@ fn snapshot() -> String {
         ("Intra+LDS", Some(TransformOptions::intra_plus_lds())),
         ("Inter", Some(TransformOptions::inter())),
     ];
+    // FWT (butterfly LDS traffic) and BlkSch (transcendental-bound) pin
+    // only the Inter flavor: its cross-group comm protocol exercises
+    // counter paths (global polling, ticket traffic) the intra flavors
+    // never touch.
+    let inter_only: [(&str, Option<TransformOptions>); 1] =
+        [("Inter", Some(TransformOptions::inter()))];
     let mut out = String::new();
-    for abbrev in ["R", "MM", "PS"] {
+    for abbrev in ["R", "MM", "PS", "FWT", "BlkSch"] {
         let b = by_abbrev(abbrev).expect("known benchmark");
-        for (name, opts) in &flavors {
+        let flavors: &[(&str, Option<TransformOptions>)] = if matches!(abbrev, "FWT" | "BlkSch") {
+            &inter_only
+        } else {
+            &flavors
+        };
+        for (name, opts) in flavors {
             let run = match opts {
                 None => run_original(b.as_ref(), Scale::Small, &dev, &|c| c),
                 Some(o) => run_rmt(b.as_ref(), Scale::Small, &dev, o),

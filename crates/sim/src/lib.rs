@@ -86,7 +86,7 @@ pub use config::{DeviceConfig, Latencies, PowerConfig, TICKS_PER_CYCLE};
 pub use counters::PerfCounters;
 pub use device::{BufferId, Device};
 pub use error::SimError;
-pub use fault::{FaultPlan, FaultTarget, Injection};
+pub use fault::{FaultPlan, FaultSampler, FaultTarget, Injection};
 pub use flat::CompiledKernel;
 pub use launch::{Arg, LaunchConfig, LaunchStats, Occupancy, OccupancyLimiter};
 pub use power::PowerStats;

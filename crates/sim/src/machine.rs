@@ -602,6 +602,12 @@ impl<'a> Machine<'a> {
 
     /// Executes one wavefront instruction at time `t`.
     fn step(&mut self, wid: usize, t: u64) -> Result<(), SimError> {
+        // An empty program has nothing to fetch: the wave retires at its
+        // first scheduling slot.
+        if self.waves[wid].pc >= self.kernel.ops.len() {
+            self.retire_wave(wid);
+            return Ok(());
+        }
         self.counters.dyn_insts += 1;
         // Copy the `&'a` kernel reference out of `self` so the op and its
         // pre-decoded metadata can be borrowed without pinning `&mut self`.

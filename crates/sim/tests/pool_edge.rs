@@ -1,0 +1,52 @@
+//! Edge-shape tests for the worker pool through its public API: the
+//! degenerate campaign sizes the fuzz and figure experiments can hand it
+//! (zero cells, one cell, oversubscribed workers) and panic delivery on
+//! both the serial and the parallel path.
+
+use gcn_sim::pool;
+
+#[test]
+fn zero_tasks_with_many_jobs_returns_empty() {
+    let got: Vec<u32> = pool::map(8, Vec::<u32>::new(), |x| x + 1);
+    assert!(got.is_empty());
+}
+
+#[test]
+fn one_task_with_many_jobs_runs_it_once() {
+    // More workers than tasks: the single task must run exactly once and
+    // land in slot 0.
+    let got = pool::map(8, vec![41u32], |x| x + 1);
+    assert_eq!(got, vec![42]);
+}
+
+#[test]
+fn more_jobs_than_tasks_preserves_order() {
+    let got = pool::map(64, (0..5u32).collect(), |x| x * 10);
+    assert_eq!(got, vec![0, 10, 20, 30, 40]);
+}
+
+#[test]
+#[should_panic(expected = "boom-serial")]
+fn panicking_task_propagates_on_the_serial_path() {
+    // jobs = 1 runs on the calling thread: the original payload arrives
+    // unwrapped.
+    let _ = pool::map(1, vec![0u32, 1], |x| {
+        if x == 1 {
+            panic!("boom-serial");
+        }
+        x
+    });
+}
+
+#[test]
+#[should_panic]
+fn panicking_task_propagates_on_the_parallel_path() {
+    // jobs > 1 runs under a thread scope: the scope re-raises the worker
+    // panic at join, so the caller still fails loudly.
+    let _ = pool::map(8, (0..16u32).collect(), |x| {
+        if x == 11 {
+            panic!("boom-parallel");
+        }
+        x
+    });
+}
