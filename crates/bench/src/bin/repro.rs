@@ -17,13 +17,19 @@ fn usage() -> String {
     format!(
         "usage: repro <experiment>... [--scale small|paper|large] [--json] [--jobs N]\n\
          \x20                        [--seed N] [--budget N]\n\
-         --jobs N    worker threads for independent simulation cells\n\
-         \x20           (default: available parallelism; output is identical for any N)\n\
-         --seed N    campaign seed for `fuzz` (default 1)\n\
-         --budget N  generated cases for `fuzz` (default 200)\n\
+         \x20                        [--kernel K] [--flavor F] [--timeline OUT.json]\n\
+         --jobs N      worker threads for independent simulation cells\n\
+         \x20             (default: available parallelism; output is identical for any N)\n\
+         --seed N      campaign seed for `fuzz` (default 1)\n\
+         --budget N    generated cases for `fuzz` (default 200)\n\
+         --kernel K    single-kernel mode for `profile` (benchmark abbreviation)\n\
+         --flavor F    flavor for `profile --kernel`: Original, Intra+LDS,\n\
+         \x20             Intra-LDS, Inter, FAST (default Intra+LDS)\n\
+         --timeline P  write a Chrome trace_event timeline (needs --kernel)\n\
          experiments: all, {}\n\
          extra: bench (wall-clock simulator benchmark, writes BENCH_sim.json),\n\
-         \x20      fuzz (generative differential campaign over random kernels)",
+         \x20      fuzz (generative differential campaign over random kernels),\n\
+         \x20      profile (stall taxonomy, hotspots, RMT cycle split, timelines)",
         ALL_IDS.join(", ")
     )
 }
@@ -78,6 +84,36 @@ fn main() -> ExitCode {
                     Some(n) if n >= 1 => n,
                     _ => {
                         eprintln!("bad --budget {:?}\n{}", args.get(i), usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--kernel" => {
+                i += 1;
+                cfg.kernel = match args.get(i) {
+                    Some(k) if !k.starts_with('-') => Some(k.clone()),
+                    _ => {
+                        eprintln!("bad --kernel {:?}\n{}", args.get(i), usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--flavor" => {
+                i += 1;
+                cfg.flavor = match args.get(i) {
+                    Some(f) if !f.starts_with("--") => Some(f.clone()),
+                    _ => {
+                        eprintln!("bad --flavor {:?}\n{}", args.get(i), usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--timeline" => {
+                i += 1;
+                cfg.timeline = match args.get(i) {
+                    Some(p) if !p.starts_with('-') => Some(p.clone()),
+                    _ => {
+                        eprintln!("bad --timeline {:?}\n{}", args.get(i), usage());
                         return ExitCode::FAILURE;
                     }
                 };

@@ -10,6 +10,7 @@ pub mod fuzz;
 pub mod lint;
 pub mod perf;
 pub mod power;
+pub mod profile;
 pub mod swizzle;
 pub mod tables;
 
@@ -21,6 +22,9 @@ use crate::ExpConfig;
 /// including it would break the byte-stability of `repro all` output.
 /// `fuzz` is absent too: its runtime scales with `--budget`, not with the
 /// fixed suite, so it is opt-in rather than part of `repro all`.
+/// `profile` is opt-in as well: it re-simulates the whole suite under
+/// four flavors with profiling attached, duplicating work `repro all`
+/// already does unprofiled.
 pub const ALL_IDS: &[&str] = &[
     "table1",
     "table2",
@@ -67,6 +71,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Result<String, String> {
         "lint" => lint::lint(cfg),
         "bench" => bench::bench(cfg),
         "fuzz" => fuzz::fuzz(cfg),
+        "profile" => profile::profile(cfg),
         other => Err(format!(
             "unknown experiment `{other}`; known: {}",
             ALL_IDS.join(", ")

@@ -1,0 +1,356 @@
+//! `repro profile`: the observability experiment.
+//!
+//! Two modes share one experiment id:
+//!
+//! * **Matrix** (no `--kernel`): the full 16-kernel suite under four
+//!   flavors, one cell per run showing the dominant stall category and
+//!   its share of wave-occupied ticks. This is the "where does the RMT
+//!   slowdown *go*" view the paper's Section 9 discussion gestures at:
+//!   a kernel whose Original cell says `valu` but whose Inter cell says
+//!   `mem` lost its time to the communication protocol's global-memory
+//!   round trips, not to extra ALU work.
+//! * **Single kernel** (`--kernel R [--flavor Inter]`): the full stall
+//!   breakdown, per-source-instruction hotspots, the provenance-derived
+//!   cycle split (original / redundant / detect-compare / protocol), and
+//!   optionally (`--timeline out.json`) a Chrome `trace_event` timeline
+//!   viewable in Perfetto.
+//!
+//! Every profiled cell re-checks the slot-conservation invariant here in
+//! release mode (the simulator itself only debug-asserts it), so `repro
+//! profile` doubles as an end-to-end soundness check of the profiler.
+
+use crate::table::{Matrix, Table};
+use crate::ExpConfig;
+use gcn_sim::{Profile, ProfileConfig, SlotCat, TICKS_PER_CYCLE};
+use rmt_core::{split_cycles, CycleBucket, CycleSplit, RmtKernel, TransformOptions};
+use rmt_kernels::{all, by_abbrev, run_original_profiled, run_rmt_profiled, Benchmark};
+
+/// The four profiled flavors, in report column order.
+fn flavors() -> Vec<(&'static str, Option<TransformOptions>)> {
+    vec![
+        ("Original", None),
+        ("Intra+LDS", Some(TransformOptions::intra_plus_lds())),
+        ("Inter", Some(TransformOptions::inter())),
+        (
+            "FAST",
+            Some(TransformOptions::intra_plus_lds().with_swizzle()),
+        ),
+    ]
+}
+
+fn parse_flavor(name: &str) -> Result<Option<TransformOptions>, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "original" => Ok(None),
+        "intra+lds" => Ok(Some(TransformOptions::intra_plus_lds())),
+        "intra-lds" => Ok(Some(TransformOptions::intra_minus_lds())),
+        "inter" => Ok(Some(TransformOptions::inter())),
+        "fast" => Ok(Some(TransformOptions::intra_plus_lds().with_swizzle())),
+        other => Err(format!(
+            "unknown flavor `{other}`; known: Original, Intra+LDS, Intra-LDS, Inter, FAST"
+        )),
+    }
+}
+
+/// Runs one profiled cell and re-checks conservation in release mode.
+/// Returns the transformed kernel alongside the profile for RMT flavors.
+fn run_cell(
+    cfg: &ExpConfig,
+    bench: &dyn Benchmark,
+    opts: &Option<TransformOptions>,
+    pcfg: &ProfileConfig,
+) -> Result<(Profile, Option<RmtKernel>), String> {
+    let tag = |e: rmt_kernels::SuiteError| format!("{}: {e}", bench.abbrev());
+    let (profile, rk) = match opts {
+        None => {
+            let (_, p) = run_original_profiled(bench, cfg.scale, &cfg.device, pcfg).map_err(tag)?;
+            (p, None)
+        }
+        Some(o) => {
+            let (_, p, rk) =
+                run_rmt_profiled(bench, cfg.scale, &cfg.device, o, pcfg).map_err(tag)?;
+            (p, Some(rk))
+        }
+    };
+    profile
+        .check_conservation()
+        .map_err(|e| format!("{}: conservation violated: {e}", bench.abbrev()))?;
+    Ok((profile, rk))
+}
+
+/// Formats a matrix cell: dominant wave-occupied category and its share.
+fn cell_text(profile: &Profile) -> String {
+    match profile.dominant_wave_cat() {
+        Some((cat, share)) => format!("{} {:.0}%", cat.short(), 100.0 * share),
+        None => "idle".to_string(),
+    }
+}
+
+/// Suite-wide stall matrix: 16 kernels × 4 flavors.
+fn matrix(cfg: &ExpConfig) -> Result<String, String> {
+    let vs = flavors();
+    let columns: Vec<&str> = vs.iter().map(|(l, _)| *l).collect();
+    let mut m = Matrix::new("kernel", &columns);
+    // Matrix cells skip timeline sampling: only the breakdown is shown.
+    let pcfg = ProfileConfig { sample_interval: 0 };
+
+    // 64 independent cells, fanned across the pool; the merge walks
+    // results in submission order, so the report is byte-identical for
+    // any `--jobs` value.
+    let suite = all();
+    let cells: Vec<(&dyn Benchmark, Option<TransformOptions>)> = suite
+        .iter()
+        .flat_map(|b| vs.iter().map(move |(_, opts)| (b.as_ref(), *opts)))
+        .collect();
+    let outs = gcn_sim::pool::map(cfg.jobs, cells, |(bench, opts)| {
+        run_cell(cfg, bench, &opts, &pcfg).map(|(p, _)| cell_text(&p))
+    });
+    let mut outs = outs.into_iter();
+    for bench in &suite {
+        let mut row = Vec::new();
+        for _ in &vs {
+            row.push(outs.next().expect("one result per cell")?);
+        }
+        m.row(bench.abbrev(), row);
+    }
+    let order: Vec<&str> = suite.iter().map(|b| b.abbrev()).collect();
+    m.sort_rows_by_label_order(&order);
+
+    if cfg.json {
+        Ok(format!(
+            "{{\"experiment\":\"profile\",\"matrix\":{}}}\n",
+            m.to_json()
+        ))
+    } else {
+        Ok(format!(
+            "Dominant stall category per kernel and flavor (share of\n\
+             wave-occupied slot ticks; see `--kernel` for full breakdowns):\n\n{}",
+            m.render()
+        ))
+    }
+}
+
+/// Pre-order source-instruction strings for hotspot display: entry `i`
+/// is the instruction `CompiledKernel::lines` index `i` refers to.
+fn inst_strings(kernel: &rmt_ir::Kernel) -> Vec<String> {
+    let mut out = Vec::new();
+    kernel.visit_insts(&mut |inst| out.push(rmt_ir::inst_to_string(inst)));
+    out
+}
+
+/// The top-N hottest PCs by attributed ticks (ties broken by PC).
+fn hotspots(profile: &Profile, n: usize) -> Vec<&gcn_sim::PcProfile> {
+    let mut pcs: Vec<&gcn_sim::PcProfile> = profile.pc.iter().filter(|p| p.ticks > 0).collect();
+    pcs.sort_by_key(|p| (std::cmp::Reverse(p.ticks), p.pc));
+    pcs.truncate(n);
+    pcs
+}
+
+/// Single-kernel deep profile.
+fn single(cfg: &ExpConfig, abbrev: &str) -> Result<String, String> {
+    let bench = by_abbrev(abbrev).ok_or_else(|| {
+        format!(
+            "unknown kernel `{abbrev}`; known: {}",
+            all()
+                .iter()
+                .map(|b| b.abbrev())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    let flavor_name = cfg.flavor.as_deref().unwrap_or("Intra+LDS");
+    let opts = parse_flavor(flavor_name)?;
+    let pcfg = ProfileConfig::default();
+    let (profile, rk) = run_cell(cfg, bench.as_ref(), &opts, &pcfg)?;
+
+    let insts = match &rk {
+        Some(rk) => inst_strings(&rk.kernel),
+        None => inst_strings(&bench.kernel()),
+    };
+    let split = rk.as_ref().map(|rk| split_cycles(rk, &profile));
+    let hot = hotspots(&profile, 8);
+
+    let timeline_note = match &cfg.timeline {
+        Some(path) => {
+            std::fs::write(path, profile.to_chrome_trace())
+                .map_err(|e| format!("writing timeline {path}: {e}"))?;
+            format!(
+                "timeline: {} samples written to {path} (open in Perfetto)\n",
+                profile.samples.len()
+            )
+        }
+        None => String::new(),
+    };
+
+    if cfg.json {
+        return Ok(single_json(
+            abbrev,
+            flavor_name,
+            &profile,
+            &split,
+            &hot,
+            &insts,
+        ));
+    }
+
+    let mut t = Table::new(&["pc", "line", "issues", "ticks", "instruction"]);
+    for p in &hot {
+        t.row(vec![
+            p.pc.to_string(),
+            p.line.to_string(),
+            p.issues.to_string(),
+            p.ticks.to_string(),
+            insts[p.line as usize].clone(),
+        ]);
+    }
+    let split_text = match &split {
+        Some(s) => {
+            let mut st = Table::new(&["bucket", "ticks", "share"]);
+            for (label, bucket, v) in [
+                ("original", CycleBucket::Original, s.original),
+                ("redundant", CycleBucket::Redundant, s.redundant),
+                (
+                    "detect-compare",
+                    CycleBucket::DetectCompare,
+                    s.detect_compare,
+                ),
+                ("protocol", CycleBucket::Protocol, s.protocol),
+            ] {
+                st.row(vec![
+                    label.into(),
+                    v.to_string(),
+                    format!("{:.1}%", s.pct(bucket)),
+                ]);
+            }
+            format!(
+                "RMT cycle split (provenance-classified attributed wave ticks):\n\n{}\n",
+                st.render()
+            )
+        }
+        None => String::new(),
+    };
+    Ok(format!(
+        "Profile: {abbrev} / {flavor_name} at {:?} scale\n\n{}\n\
+         Hottest source instructions (by attributed ticks):\n\n{}\n{split_text}{timeline_note}",
+        cfg.scale,
+        profile.render(),
+        t.render()
+    ))
+}
+
+fn single_json(
+    abbrev: &str,
+    flavor: &str,
+    profile: &Profile,
+    split: &Option<CycleSplit>,
+    hot: &[&gcn_sim::PcProfile],
+    insts: &[String],
+) -> String {
+    let totals = profile.totals();
+    let cats = SlotCat::ALL
+        .iter()
+        .map(|c| format!("\"{}\":{}", c.label(), totals[c.index()]))
+        .collect::<Vec<_>>()
+        .join(",");
+    let hot_json = hot
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"pc\":{},\"line\":{},\"issues\":{},\"ticks\":{},\"inst\":{:?}}}",
+                p.pc, p.line, p.issues, p.ticks, insts[p.line as usize]
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let split_json = match split {
+        Some(s) => format!(
+            "{{\"original\":{},\"redundant\":{},\"detect_compare\":{},\"protocol\":{}}}",
+            s.original, s.redundant, s.detect_compare, s.protocol
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"experiment\":\"profile\",\"kernel\":{abbrev:?},\"flavor\":{flavor:?},\
+         \"wall_cycles\":{},\"capacity_ticks\":{},\"categories\":{{{cats}}},\
+         \"hotspots\":[{hot_json}],\"split\":{split_json}}}\n",
+        profile.wall_ticks / TICKS_PER_CYCLE,
+        profile.capacity(),
+    )
+}
+
+/// The `profile` experiment entry point.
+///
+/// # Errors
+///
+/// Unknown kernel/flavor names, `--timeline` without `--kernel`, failed
+/// runs, and conservation violations.
+pub fn profile(cfg: &ExpConfig) -> Result<String, String> {
+    match &cfg.kernel {
+        Some(k) => single(cfg, k),
+        None if cfg.timeline.is_some() => {
+            Err("--timeline requires --kernel (timelines are per-launch)".into())
+        }
+        None if cfg.flavor.is_some() => {
+            Err("--flavor requires --kernel (the matrix runs all flavors)".into())
+        }
+        None => matrix(cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_cfg(kernel: &str, flavor: Option<&str>) -> ExpConfig {
+        let mut cfg = ExpConfig::small();
+        cfg.kernel = Some(kernel.to_string());
+        cfg.flavor = flavor.map(String::from);
+        cfg
+    }
+
+    #[test]
+    fn single_kernel_report_has_breakdown_split_and_hotspots() {
+        let out = profile(&single_cfg("R", None)).unwrap();
+        assert!(out.contains("issue-valu"), "taxonomy missing:\n{out}");
+        assert!(out.contains("empty-slot"), "taxonomy missing:\n{out}");
+        assert!(out.contains("detect-compare"), "split missing:\n{out}");
+        assert!(out.contains("instruction"), "hotspots missing:\n{out}");
+    }
+
+    #[test]
+    fn original_flavor_has_no_split() {
+        let out = profile(&single_cfg("R", Some("Original"))).unwrap();
+        assert!(
+            !out.contains("cycle split"),
+            "original must not split:\n{out}"
+        );
+    }
+
+    #[test]
+    fn single_kernel_json_is_machine_readable() {
+        let mut cfg = single_cfg("MM", Some("Inter"));
+        cfg.json = true;
+        let out = profile(&cfg).unwrap();
+        assert!(out.starts_with("{\"experiment\":\"profile\""));
+        assert!(out.contains("\"split\":{\"original\":"));
+        assert!(out.contains("\"issue-valu\":"));
+        assert!(out.ends_with("}\n"));
+    }
+
+    #[test]
+    fn timeline_without_kernel_is_rejected() {
+        let mut cfg = ExpConfig::small();
+        cfg.timeline = Some("/tmp/never-written.json".into());
+        let e = profile(&cfg).unwrap_err();
+        assert!(e.contains("--kernel"));
+    }
+
+    #[test]
+    fn unknown_kernel_and_flavor_are_rejected() {
+        assert!(profile(&single_cfg("nope", None))
+            .unwrap_err()
+            .contains("known:"));
+        assert!(profile(&single_cfg("R", Some("mega")))
+            .unwrap_err()
+            .contains("unknown flavor"));
+    }
+}

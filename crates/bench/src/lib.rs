@@ -50,6 +50,16 @@ pub struct ExpConfig {
     pub seed: u64,
     /// Number of generated cases for `repro fuzz` (`--budget`).
     pub budget: usize,
+    /// Benchmark abbreviation for the single-kernel `repro profile` mode
+    /// (`--kernel`); `None` renders the suite-wide stall matrix.
+    pub kernel: Option<String>,
+    /// Flavor name for single-kernel profiling (`--flavor`, default
+    /// `Intra+LDS`): one of `Original`, `Intra+LDS`, `Intra-LDS`,
+    /// `Inter`, `FAST`.
+    pub flavor: Option<String>,
+    /// Output path for the Chrome `trace_event` timeline written by
+    /// single-kernel profiling (`--timeline`).
+    pub timeline: Option<String>,
 }
 
 impl ExpConfig {
@@ -62,6 +72,9 @@ impl ExpConfig {
             jobs: 1,
             seed: 1,
             budget: 200,
+            kernel: None,
+            flavor: None,
+            timeline: None,
         }
     }
 
@@ -74,6 +87,9 @@ impl ExpConfig {
             jobs: 1,
             seed: 1,
             budget: 200,
+            kernel: None,
+            flavor: None,
+            timeline: None,
         }
     }
 

@@ -20,6 +20,18 @@ fn coverage_static_json_is_identical_across_jobs() {
 }
 
 #[test]
+fn profile_json_is_identical_across_jobs() {
+    let mut cfg = ExpConfig::small();
+    cfg.json = true;
+    let serial = experiments::run("profile", &cfg).expect("serial run");
+    let parallel = experiments::run("profile", &cfg.clone().with_jobs(8)).expect("parallel run");
+    assert_eq!(
+        serial, parallel,
+        "profile --json must be byte-identical at --jobs 1 and --jobs 8"
+    );
+}
+
+#[test]
 fn fig2_report_is_identical_across_jobs() {
     let cfg = ExpConfig::small();
     let serial = experiments::run("fig2", &cfg).expect("serial run");

@@ -83,6 +83,44 @@ impl RmtLauncher {
         rk: &RmtKernel,
         base: &LaunchConfig,
     ) -> Result<RmtRunResult, RmtError> {
+        let (cfg, detect) = self.prepare(dev, rk, base)?;
+        let stats = dev.launch(&rk.kernel, &cfg)?;
+        let detections = dev.read_u32s(detect)[0];
+        Ok(RmtRunResult { stats, detections })
+    }
+
+    /// Like [`RmtLauncher::launch`], with cycle-attributed profiling
+    /// enabled on the transformed launch. Combine the returned
+    /// [`gcn_sim::Profile`] with [`crate::profile::split_cycles`] to
+    /// decompose the kernel's cycles into original / redundant /
+    /// detect-compare / protocol work.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RmtLauncher::launch`].
+    pub fn launch_profiled(
+        &mut self,
+        dev: &mut Device,
+        rk: &RmtKernel,
+        base: &LaunchConfig,
+        profile_cfg: gcn_sim::ProfileConfig,
+    ) -> Result<(RmtRunResult, gcn_sim::Profile), RmtError> {
+        let (cfg, detect) = self.prepare(dev, rk, base)?;
+        let (stats, profile) = dev.launch_profiled(&rk.kernel, &cfg, profile_cfg)?;
+        let detections = dev.read_u32s(detect)[0];
+        Ok((RmtRunResult { stats, detections }, profile))
+    }
+
+    /// Builds the transformed launch configuration: doubled geometry plus
+    /// the detection / ticket / communication buffers appended to the
+    /// original argument list. Returns the config and the detection
+    /// buffer to read back.
+    fn prepare(
+        &mut self,
+        dev: &mut Device,
+        rk: &RmtKernel,
+        base: &LaunchConfig,
+    ) -> Result<(LaunchConfig, BufferId), RmtError> {
         if base.args.len() != rk.meta.orig_param_count {
             return Err(RmtError::Geometry(format!(
                 "base launch supplies {} args, original kernel had {} params",
@@ -124,10 +162,7 @@ impl RmtLauncher {
             dev.write_buffer(comm, &vec![0u8; bytes as usize]);
             cfg.args.push(Arg::Buffer(comm));
         }
-
-        let stats = dev.launch(&rk.kernel, &cfg)?;
-        let detections = dev.read_u32s(detect)[0];
-        Ok(RmtRunResult { stats, detections })
+        Ok((cfg, detect))
     }
 }
 

@@ -77,6 +77,7 @@ mod error;
 mod launcher;
 mod options;
 pub mod oracle;
+pub mod profile;
 mod report;
 pub mod sor;
 mod transform;
@@ -85,6 +86,7 @@ pub mod verify;
 pub use error::RmtError;
 pub use launcher::{launch_rmt, RmtLauncher, RmtRunResult};
 pub use options::{CommMode, RmtFlavor, Stage, TransformOptions};
+pub use profile::{classify_insts, split_cycles, CycleBucket, CycleSplit};
 pub use report::TransformReport;
 pub use transform::{transform, Provenance, RmtKernel, RmtMeta, RmtTag};
 pub use verify::{verify_rmt, VerifyError};

@@ -1,0 +1,262 @@
+//! RMT overhead decomposition from cycle-attributed profiles.
+//!
+//! The paper's Figs. 4 and 7 explain each benchmark's slowdown by *what
+//! kind* of work the added cycles perform — redundant computation,
+//! detect-and-compare sequences, or communication protocol. The paper
+//! approximates this decomposition by re-running partially transformed
+//! kernels (the `Stage` ablation); this module derives it exactly instead:
+//! [`classify_insts`] buckets every instruction of a transformed kernel
+//! through [`crate::Provenance`] tags, and [`split_cycles`] folds a
+//! [`gcn_sim::Profile`]'s per-PC attributed ticks through that
+//! classification.
+//!
+//! ## Bucketing rules
+//!
+//! An instruction's bucket follows its destination register's tag; an
+//! untagged destination below `user_reg_limit` is original work; an
+//! untagged destination at/above the limit (a machinery temporary) falls
+//! back to its sources, tagged source priority being detect-compare >
+//! protocol > remap. Instructions without registers on either side
+//! (notably `barrier`) count as original — transform-inserted barriers
+//! are indistinguishable from user barriers at the IR level, a documented
+//! approximation that under-counts machinery by a few scalar issues.
+//!
+//! Because both intra- and inter-group RMT run *one* instruction stream
+//! over a doubled NDRange (replica pairs share the code), the replica's
+//! share of original-class cycles is exactly half; [`split_cycles`] moves
+//! that half into the redundant bucket.
+
+use crate::transform::{RmtKernel, RmtTag};
+use gcn_sim::Profile;
+use rmt_ir::Inst;
+
+/// What kind of work a transformed-kernel instruction performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CycleBucket {
+    /// The original kernel's computation (leading replica's share).
+    Original,
+    /// Redundant execution: the trailing replica's share of the original
+    /// computation, plus ID-remap machinery.
+    Redundant,
+    /// Output comparison and detection-counter updates.
+    DetectCompare,
+    /// Communication and synchronization machinery: role predicates,
+    /// channel addresses/values, tickets, and full/empty protocol state.
+    Protocol,
+}
+
+fn bucket_of_tag(tag: RmtTag) -> CycleBucket {
+    match tag {
+        RmtTag::IdRemap => CycleBucket::Redundant,
+        RmtTag::DetectBase | RmtTag::DetectCompare => CycleBucket::DetectCompare,
+        RmtTag::RoleGuard | RmtTag::ChannelValue | RmtTag::CommAddress | RmtTag::Protocol => {
+            CycleBucket::Protocol
+        }
+    }
+}
+
+/// Priority when several tagged sources disagree: the comparison chain
+/// dominates (a compare of a channel value against the local copy *is*
+/// the detect sequence), then protocol, then remap.
+fn strongest(buckets: impl Iterator<Item = CycleBucket>) -> Option<CycleBucket> {
+    let rank = |b: CycleBucket| match b {
+        CycleBucket::DetectCompare => 3,
+        CycleBucket::Protocol => 2,
+        CycleBucket::Redundant => 1,
+        CycleBucket::Original => 0,
+    };
+    let mut best: Option<CycleBucket> = None;
+    for b in buckets {
+        if best.map(rank).unwrap_or(-1) < rank(b) {
+            best = Some(b);
+        }
+    }
+    best
+}
+
+/// Classifies every instruction of a transformed kernel, in
+/// `Kernel::visit_insts` pre-order — the same order
+/// [`gcn_sim::CompiledKernel::lines`] indexes, so
+/// `classification[profile.pc[pc].line]` buckets a flat-program PC.
+pub fn classify_insts(rk: &RmtKernel) -> Vec<CycleBucket> {
+    let prov = &rk.provenance;
+    let mut out = Vec::new();
+    let mut srcs = Vec::new();
+    rk.kernel.visit_insts(&mut |inst: &Inst| {
+        srcs.clear();
+        inst.srcs(&mut srcs);
+        let src_bucket = strongest(
+            srcs.iter()
+                .filter_map(|r| prov.tag_of(*r))
+                .map(bucket_of_tag),
+        );
+        let bucket = match inst.dst() {
+            Some(dst) => match prov.tag_of(dst) {
+                Some(tag) => bucket_of_tag(tag),
+                None if dst.0 < prov.user_reg_limit => CycleBucket::Original,
+                // Untagged machinery temporary: inherit from sources,
+                // defaulting to redundant-execution support.
+                None => src_bucket.unwrap_or(CycleBucket::Redundant),
+            },
+            // Stores, barriers, control flow: classified by what they
+            // consume; barriers and all-original control are original.
+            None => src_bucket.unwrap_or(CycleBucket::Original),
+        };
+        out.push(bucket);
+    });
+    out
+}
+
+/// A transformed kernel's attributed wave ticks, split by work kind.
+///
+/// Covers only wave-occupied ticks (issue + stalls charged to resident
+/// waves); empty-slot capacity is an occupancy property, not a work
+/// kind, and is reported separately by the [`Profile`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleSplit {
+    /// Original computation (leading replica).
+    pub original: u64,
+    /// Redundant computation (trailing replica + remap machinery).
+    pub redundant: u64,
+    /// Detect-and-compare sequences.
+    pub detect_compare: u64,
+    /// Communication/synchronization protocol.
+    pub protocol: u64,
+}
+
+impl CycleSplit {
+    /// Total attributed ticks across all buckets.
+    pub fn total(&self) -> u64 {
+        self.original + self.redundant + self.detect_compare + self.protocol
+    }
+
+    /// A bucket's share of the total, in percent (0 when empty).
+    pub fn pct(&self, bucket: CycleBucket) -> f64 {
+        let v = match bucket {
+            CycleBucket::Original => self.original,
+            CycleBucket::Redundant => self.redundant,
+            CycleBucket::DetectCompare => self.detect_compare,
+            CycleBucket::Protocol => self.protocol,
+        };
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * v as f64 / total as f64
+        }
+    }
+}
+
+/// Splits a profiled launch of `rk` into the paper's overhead buckets.
+///
+/// Per-PC attributed ticks are mapped through the flat program's line
+/// info to [`classify_insts`]'s verdicts; half of the original-class
+/// ticks are then moved to the redundant bucket (the trailing replica
+/// executes the same instruction stream over the doubled NDRange).
+///
+/// # Panics
+///
+/// Panics if `profile` was not produced by launching `rk` (a PC's line
+/// falls outside the kernel's instruction count).
+pub fn split_cycles(rk: &RmtKernel, profile: &Profile) -> CycleSplit {
+    let classes = classify_insts(rk);
+    let mut split = CycleSplit::default();
+    for pc in &profile.pc {
+        if pc.ticks == 0 {
+            continue;
+        }
+        let class = classes[pc.line as usize];
+        match class {
+            CycleBucket::Original => split.original += pc.ticks,
+            CycleBucket::Redundant => split.redundant += pc.ticks,
+            CycleBucket::DetectCompare => split.detect_compare += pc.ticks,
+            CycleBucket::Protocol => split.protocol += pc.ticks,
+        }
+    }
+    // The trailing replica's half of the shared original stream.
+    let replica = split.original / 2;
+    split.original -= replica;
+    split.redundant += replica;
+    split
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::TransformOptions;
+    use crate::transform::transform;
+    use rmt_ir::KernelBuilder;
+
+    fn store_kernel() -> rmt_ir::Kernel {
+        let mut b = KernelBuilder::new("k");
+        let inp = b.buffer_param("in");
+        let out = b.buffer_param("out");
+        let gid = b.global_id(0);
+        let ia = b.elem_addr(inp, gid);
+        let oa = b.elem_addr(out, gid);
+        let v = b.load_global(ia);
+        let three = b.const_u32(3);
+        let w = b.mul_u32(v, three);
+        b.store_global(oa, w);
+        b.finish()
+    }
+
+    #[test]
+    fn classification_is_total_and_ordered() {
+        let rk = transform(&store_kernel(), &TransformOptions::intra_plus_lds()).unwrap();
+        let classes = classify_insts(&rk);
+        let mut n = 0;
+        rk.kernel.visit_insts(&mut |_| n += 1);
+        assert_eq!(classes.len(), n, "one bucket per pre-order instruction");
+        assert!(
+            classes.contains(&CycleBucket::Original),
+            "user computation survives the transform"
+        );
+        assert!(
+            classes.contains(&CycleBucket::DetectCompare),
+            "the transform inserted compare machinery"
+        );
+    }
+
+    #[test]
+    fn inter_kernel_has_protocol_work() {
+        let rk = transform(&store_kernel(), &TransformOptions::inter()).unwrap();
+        let classes = classify_insts(&rk);
+        assert!(
+            classes.contains(&CycleBucket::Protocol),
+            "ticket/slot protocol must be classified as protocol"
+        );
+    }
+
+    #[test]
+    fn user_instructions_keep_the_original_bucket() {
+        let rk = transform(&store_kernel(), &TransformOptions::intra_plus_lds()).unwrap();
+        let classes = classify_insts(&rk);
+        let originals = classes
+            .iter()
+            .filter(|c| **c == CycleBucket::Original)
+            .count();
+        assert!(originals >= 4, "loads/addressing of the user kernel");
+    }
+
+    #[test]
+    fn split_moves_half_of_original_to_redundant() {
+        let split = CycleSplit {
+            original: 100,
+            redundant: 0,
+            detect_compare: 0,
+            protocol: 0,
+        };
+        // Emulate the halving rule on a hand-built split.
+        let replica = split.original / 2;
+        let split = CycleSplit {
+            original: split.original - replica,
+            redundant: split.redundant + replica,
+            ..split
+        };
+        assert_eq!(split.original, 50);
+        assert_eq!(split.redundant, 50);
+        assert_eq!(split.total(), 100);
+        assert!((split.pct(CycleBucket::Original) - 50.0).abs() < 1e-9);
+    }
+}

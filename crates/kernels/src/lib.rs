@@ -52,7 +52,10 @@ mod urng;
 pub mod util;
 
 pub use stats::AggregateStats;
-pub use suite::{all, by_abbrev, run_duplicated, run_original, run_rmt, RunOutcome, SuiteError};
+pub use suite::{
+    all, by_abbrev, run_duplicated, run_original, run_original_profiled, run_rmt, run_rmt_profiled,
+    RunOutcome, SuiteError,
+};
 
 use gcn_sim::{BufferId, Device, LaunchConfig};
 use rmt_ir::Kernel;

@@ -147,6 +147,85 @@ pub fn run_rmt(
     })
 }
 
+/// Like [`run_original`], with cycle-attributed profiling enabled on
+/// every pass. Per-pass [`gcn_sim::Profile`]s are accumulated into one
+/// (wall ticks concatenate, category and per-PC counters add), so the
+/// conservation invariant still holds on the returned profile.
+///
+/// # Errors
+///
+/// Simulator failures and verification mismatches.
+pub fn run_original_profiled(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    dev_cfg: &DeviceConfig,
+    pcfg: &gcn_sim::ProfileConfig,
+) -> Result<(RunOutcome, gcn_sim::Profile), SuiteError> {
+    let mut dev = Device::new(dev_cfg.clone());
+    let plan = bench.plan(scale, &mut dev);
+    let compiled = dev.compile(&bench.kernel())?;
+    let mut agg = AggregateStats::new();
+    let mut acc: Option<gcn_sim::Profile> = None;
+    for pass in &plan.passes {
+        let (stats, profile) = dev.launch_compiled_profiled(&compiled, pass, pcfg.clone())?;
+        agg.add(&stats);
+        match &mut acc {
+            Some(a) => a.accumulate(&profile),
+            None => acc = Some(profile),
+        }
+    }
+    verify(bench, scale, &dev, &plan)?;
+    Ok((
+        RunOutcome {
+            stats: agg,
+            detections: 0,
+        },
+        acc.expect("benchmarks have at least one pass"),
+    ))
+}
+
+/// Like [`run_rmt`], with cycle-attributed profiling enabled on every
+/// pass. Also returns the transformed kernel so callers can decompose
+/// the profile with [`rmt_core::split_cycles`] without re-running the
+/// transform.
+///
+/// # Errors
+///
+/// Transform, launch, and verification failures.
+pub fn run_rmt_profiled(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    dev_cfg: &DeviceConfig,
+    opts: &TransformOptions,
+    pcfg: &gcn_sim::ProfileConfig,
+) -> Result<(RunOutcome, gcn_sim::Profile, rmt_core::RmtKernel), SuiteError> {
+    let rk = transform(&bench.kernel(), opts)?;
+    let mut dev = Device::new(dev_cfg.clone());
+    let plan = bench.plan(scale, &mut dev);
+    let mut launcher = RmtLauncher::new();
+    let mut agg = AggregateStats::new();
+    let mut detections = 0;
+    let mut acc: Option<gcn_sim::Profile> = None;
+    for pass in &plan.passes {
+        let (run, profile) = launcher.launch_profiled(&mut dev, &rk, pass, pcfg.clone())?;
+        detections += run.detections;
+        agg.add(&run.stats);
+        match &mut acc {
+            Some(a) => a.accumulate(&profile),
+            None => acc = Some(profile),
+        }
+    }
+    verify(bench, scale, &dev, &plan)?;
+    Ok((
+        RunOutcome {
+            stats: agg,
+            detections,
+        },
+        acc.expect("benchmarks have at least one pass"),
+        rk,
+    ))
+}
+
 /// Runs the naive full-duplication baseline the paper's related work
 /// discusses (Dimitrov et al.): execute the entire kernel launch twice on
 /// independent state and let the *host* compare every buffer afterwards.

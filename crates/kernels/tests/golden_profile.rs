@@ -1,0 +1,89 @@
+//! Golden stall-breakdown snapshot: pins the profiler's full
+//! category-attribution output for three representative kernels under
+//! three flavors.
+//!
+//! The watermark attribution inside the interpreter is easy to break
+//! silently — a missed segment shifts ticks between categories while the
+//! conservation invariant still holds (the remainder lands in a
+//! neighboring bucket, not in thin air). Pinning the rendered breakdown
+//! bit-for-bit catches exactly that class of regression.
+//!
+//! To regenerate after an intentional machine-model or attribution
+//! change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p rmt-kernels --test golden_profile
+//! ```
+
+use gcn_sim::DeviceConfig;
+use gcn_sim::ProfileConfig;
+use rmt_core::TransformOptions;
+use rmt_kernels::{by_abbrev, run_original_profiled, run_rmt_profiled, Scale};
+
+const SNAP_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_profile.snap");
+
+fn snapshot() -> String {
+    let dev = DeviceConfig::radeon_hd_7790();
+    // Breakdown only — timelines are pinned indirectly through the wall
+    // ticks and would bloat the snapshot.
+    let pcfg = ProfileConfig { sample_interval: 0 };
+    let flavors: [(&str, Option<TransformOptions>); 3] = [
+        ("Original", None),
+        ("Intra+LDS", Some(TransformOptions::intra_plus_lds())),
+        ("Inter", Some(TransformOptions::inter())),
+    ];
+    let mut out = String::new();
+    for abbrev in ["R", "MM", "PS"] {
+        let b = by_abbrev(abbrev).expect("known benchmark");
+        for (name, opts) in &flavors {
+            let profile = match opts {
+                None => {
+                    run_original_profiled(b.as_ref(), Scale::Small, &dev, &pcfg).map(|(_, p)| p)
+                }
+                Some(o) => {
+                    run_rmt_profiled(b.as_ref(), Scale::Small, &dev, o, &pcfg).map(|(_, p, _)| p)
+                }
+            }
+            .unwrap_or_else(|e| panic!("{abbrev} {name}: {e}"));
+            profile
+                .check_conservation()
+                .unwrap_or_else(|e| panic!("{abbrev} {name}: {e}"));
+            out.push_str(&format!("== {abbrev} {name} ==\n{}\n", profile.render()));
+        }
+    }
+    out
+}
+
+#[test]
+fn stall_breakdown_matches_golden_snapshot() {
+    let got = snapshot();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(SNAP_PATH, &got).expect("write golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(SNAP_PATH).expect(
+        "golden snapshot missing; create it with \
+         UPDATE_GOLDEN=1 cargo test -p rmt-kernels --test golden_profile",
+    );
+    if got != want {
+        let mismatch = got
+            .lines()
+            .zip(want.lines())
+            .enumerate()
+            .find(|(_, (g, w))| g != w);
+        match mismatch {
+            Some((i, (g, w))) => panic!(
+                "stall breakdown diverged from the golden snapshot at line {}:\n  \
+                 got:  {g}\n  want: {w}\n\
+                 (if intended, regenerate with UPDATE_GOLDEN=1)",
+                i + 1
+            ),
+            None => panic!(
+                "stall breakdown diverged from the golden snapshot (length only: \
+                 {} vs {} bytes); if intended, regenerate with UPDATE_GOLDEN=1",
+                got.len(),
+                want.len()
+            ),
+        }
+    }
+}

@@ -125,7 +125,7 @@ impl Device {
         cfg: &LaunchConfig,
     ) -> Result<LaunchStats, SimError> {
         let machine = Machine::new(&self.config, kernel, &mut self.memory, cfg)?;
-        let (counters, power, occupancy, faults_applied, _) = machine.run()?;
+        let (counters, power, occupancy, faults_applied, _, _) = machine.run()?;
         Ok(LaunchStats {
             cycles: counters.cycles(),
             counters,
@@ -149,7 +149,7 @@ impl Device {
         let compiled = compile(kernel)?;
         let mut machine = Machine::new(&self.config, &compiled, &mut self.memory, cfg)?;
         machine.set_tracer(trace_cfg);
-        let (counters, power, occupancy, faults_applied, trace) = machine.run()?;
+        let (counters, power, occupancy, faults_applied, trace, _) = machine.run()?;
         Ok((
             LaunchStats {
                 cycles: counters.cycles(),
@@ -159,6 +159,51 @@ impl Device {
                 faults_applied,
             },
             trace,
+        ))
+    }
+
+    /// Launches a kernel with cycle-attributed profiling enabled: every
+    /// wave-slot tick attributed to a [`crate::profile::SlotCat`], per-PC
+    /// hotspot counters, and (unless `profile_cfg.sample_interval` is 0)
+    /// fixed-interval timeline samples. Profiling is observational — the
+    /// returned [`LaunchStats`] are bit-identical to an unprofiled launch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Device::launch`].
+    pub fn launch_profiled(
+        &mut self,
+        kernel: &Kernel,
+        cfg: &LaunchConfig,
+        profile_cfg: crate::profile::ProfileConfig,
+    ) -> Result<(LaunchStats, crate::profile::Profile), SimError> {
+        let compiled = compile(kernel)?;
+        self.launch_compiled_profiled(&compiled, cfg, profile_cfg)
+    }
+
+    /// Launches a pre-compiled kernel with profiling enabled.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Device::launch_compiled`].
+    pub fn launch_compiled_profiled(
+        &mut self,
+        kernel: &CompiledKernel,
+        cfg: &LaunchConfig,
+        profile_cfg: crate::profile::ProfileConfig,
+    ) -> Result<(LaunchStats, crate::profile::Profile), SimError> {
+        let mut machine = Machine::new(&self.config, kernel, &mut self.memory, cfg)?;
+        machine.set_profiler(profile_cfg);
+        let (counters, power, occupancy, faults_applied, _, profile) = machine.run()?;
+        Ok((
+            LaunchStats {
+                cycles: counters.cycles(),
+                counters,
+                power,
+                occupancy,
+                faults_applied,
+            },
+            profile.expect("profiler was attached"),
         ))
     }
 }

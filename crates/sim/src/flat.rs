@@ -121,12 +121,20 @@ pub struct CompiledKernel {
     pub nregs: u32,
     /// Static instruction mix of the source kernel.
     pub mix: InstMix,
+    /// Per-op source line: the pre-order index of the IR instruction each
+    /// flat op was lowered from (parallel to `ops`, matching
+    /// `Kernel::visit_insts` order). All control ops of an `if`/`while`
+    /// map back to that `if`/`while` instruction. This is what per-PC
+    /// profiles use to attribute ticks to source instructions.
+    pub lines: Vec<u32>,
     /// Per-op pre-decoded issue metadata (parallel to `ops`).
     pub(crate) meta: Vec<OpMeta>,
 }
 
-fn lower_block(block: &Block, ops: &mut Vec<FlatOp>) {
+fn lower_block(block: &Block, ops: &mut Vec<FlatOp>, lines: &mut Vec<u32>, next_line: &mut u32) {
     for inst in block.iter() {
+        let line = *next_line;
+        *next_line += 1;
         match inst {
             Inst::If {
                 cond,
@@ -139,12 +147,15 @@ fn lower_block(block: &Block, ops: &mut Vec<FlatOp>) {
                     else_pc: 0,
                     end_pc: 0,
                 });
-                lower_block(then_blk, ops);
+                lines.push(line);
+                lower_block(then_blk, ops, lines, next_line);
                 let else_pc = ops.len();
                 ops.push(FlatOp::Else { end_pc: 0 });
-                lower_block(else_blk, ops);
+                lines.push(line);
+                lower_block(else_blk, ops, lines, next_line);
                 let end_pc = ops.len();
                 ops.push(FlatOp::EndIf);
+                lines.push(line);
                 ops[begin] = FlatOp::IfBegin {
                     cond: *cond,
                     else_pc,
@@ -159,14 +170,17 @@ fn lower_block(block: &Block, ops: &mut Vec<FlatOp>) {
             } => {
                 let begin = ops.len();
                 ops.push(FlatOp::LoopBegin { end_pc: 0 });
-                lower_block(cond, ops);
+                lines.push(line);
+                lower_block(cond, ops, lines, next_line);
                 let test_pc = ops.len();
                 ops.push(FlatOp::LoopTest {
                     cond: *cond_reg,
                     end_pc: 0,
                 });
-                lower_block(body, ops);
+                lines.push(line);
+                lower_block(body, ops, lines, next_line);
                 ops.push(FlatOp::LoopEnd { begin_pc: begin });
+                lines.push(line);
                 let end_pc = ops.len(); // one past LoopEnd
                 ops[begin] = FlatOp::LoopBegin { end_pc };
                 ops[test_pc] = FlatOp::LoopTest {
@@ -174,7 +188,10 @@ fn lower_block(block: &Block, ops: &mut Vec<FlatOp>) {
                     end_pc,
                 };
             }
-            other => ops.push(FlatOp::Op(other.clone())),
+            other => {
+                ops.push(FlatOp::Op(other.clone()));
+                lines.push(line);
+            }
         }
     }
 }
@@ -187,7 +204,10 @@ fn lower_block(block: &Block, ops: &mut Vec<FlatOp>) {
 pub fn compile(kernel: &Kernel) -> Result<CompiledKernel, SimError> {
     rmt_ir::validate(kernel).map_err(|e| SimError::InvalidKernel(e.to_string()))?;
     let mut ops = Vec::with_capacity(kernel.total_insts() * 2);
-    lower_block(&kernel.body, &mut ops);
+    let mut lines = Vec::with_capacity(kernel.total_insts() * 2);
+    let mut next_line = 0u32;
+    lower_block(&kernel.body, &mut ops, &mut lines, &mut next_line);
+    debug_assert_eq!(ops.len(), lines.len());
 
     let uniform = uniform_regs(kernel);
     let scalar = ops
@@ -208,6 +228,7 @@ pub fn compile(kernel: &Kernel) -> Result<CompiledKernel, SimError> {
         pressure: register_pressure(kernel),
         nregs: kernel.next_reg.max(1),
         mix: instruction_mix(kernel),
+        lines,
         meta,
     })
 }
@@ -296,6 +317,50 @@ mod tests {
             .find(|m| m.nsrcs == 2)
             .expect("binary op meta");
         assert_eq!(add.srcs[..2], [gid, two]);
+    }
+
+    #[test]
+    fn lines_follow_visit_insts_preorder() {
+        let mut b = KernelBuilder::new("k");
+        let c = b.const_u32(1); // pre-order 0
+        b.if_else(c, |b| b.emit_nop_const(), |b| b.emit_nop_const());
+        let k = b.finish();
+        let ck = compile(&k).unwrap();
+        // ops: const(0), IfBegin(1), then-const(2), Else(1), else-const(3),
+        // EndIf(1) — all control ops map back to the `if` itself.
+        assert_eq!(ck.lines, vec![0, 1, 2, 1, 3, 1]);
+        let mut total = 0u32;
+        k.visit_insts(&mut |_| total += 1);
+        assert!(ck.lines.iter().all(|&l| l < total));
+    }
+
+    #[test]
+    fn loop_lines_map_to_the_while() {
+        let mut b = KernelBuilder::new("k");
+        let zero = b.const_u32(0); // 0
+        let two = b.const_u32(2); // 1
+        b.for_range(zero, two, |_b, _i| {});
+        let k = b.finish();
+        let ck = compile(&k).unwrap();
+        assert_eq!(ck.lines.len(), ck.ops.len());
+        // Find the while's pre-order index independently.
+        let mut while_line = None;
+        let mut idx = 0u32;
+        k.visit_insts(&mut |i| {
+            if matches!(i, Inst::While { .. }) {
+                while_line = Some(idx);
+            }
+            idx += 1;
+        });
+        let while_line = while_line.expect("kernel has a loop");
+        for (op, &line) in ck.ops.iter().zip(&ck.lines) {
+            if matches!(
+                op,
+                FlatOp::LoopBegin { .. } | FlatOp::LoopTest { .. } | FlatOp::LoopEnd { .. }
+            ) {
+                assert_eq!(line, while_line, "loop control maps to the while inst");
+            }
+        }
     }
 
     #[test]

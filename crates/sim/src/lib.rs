@@ -79,6 +79,7 @@ mod machine;
 mod memory;
 pub mod pool;
 mod power;
+pub mod profile;
 mod trace;
 
 pub use cache::CacheStats;
@@ -90,4 +91,5 @@ pub use fault::{FaultPlan, FaultSampler, FaultTarget, Injection};
 pub use flat::CompiledKernel;
 pub use launch::{Arg, LaunchConfig, LaunchStats, Occupancy, OccupancyLimiter};
 pub use power::PowerStats;
+pub use profile::{PcProfile, Profile, ProfileConfig, SlotCat, TimelineSample, NUM_CATS};
 pub use trace::{Trace, TraceConfig, TraceRecord};

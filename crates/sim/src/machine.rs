@@ -60,10 +60,17 @@ struct Wave {
     /// Completion tick of the in-flight load producing each register
     /// (GCN-style s_waitcnt: consumers stall at first use, not at issue).
     reg_ready: Vec<u64>,
+    /// Producer kind of the in-flight load gating each register
+    /// (parallel to `reg_ready`): [`SRC_GLOBAL`] or [`SRC_LDS`]. Only
+    /// consulted to classify first-use stalls for tracing/profiling.
+    reg_src: Vec<u8>,
     ready_at: u64,
     done: bool,
     at_barrier: bool,
 }
+
+const SRC_GLOBAL: u8 = 1;
+const SRC_LDS: u8 = 2;
 
 #[derive(Debug)]
 struct GroupState {
@@ -123,6 +130,7 @@ pub(crate) struct Machine<'a> {
     line_scratch: Vec<u32>,
 
     tracer: Option<crate::trace::Tracer>,
+    profiler: Option<crate::profile::Profiler>,
 }
 
 /// Computes launch occupancy, or why the kernel cannot be scheduled.
@@ -298,6 +306,7 @@ impl<'a> Machine<'a> {
             faults_applied: 0,
             line_scratch: Vec::with_capacity(LANES),
             tracer: None,
+            profiler: None,
         };
 
         // Initial dispatch: fill CUs round-robin, staggered.
@@ -353,10 +362,14 @@ impl<'a> Machine<'a> {
                 stack: Vec::new(),
                 regs: vec![0; self.kernel.nregs as usize * LANES],
                 reg_ready: vec![0; self.kernel.nregs as usize],
+                reg_src: vec![0; self.kernel.nregs as usize],
                 ready_at: t,
                 done: false,
                 at_barrier: false,
             });
+            if let Some(p) = &mut self.profiler {
+                p.on_wave_start(wid, cu, simd, t);
+            }
             self.heap.push(Reverse((t, wid)));
             wave_ids.push(wid);
             self.counters.waves_executed += 1;
@@ -370,10 +383,39 @@ impl<'a> Machine<'a> {
             barrier_arrived: 0,
         });
         self.cus[cu].resident += 1;
+        if let Some(p) = &mut self.profiler {
+            p.on_dispatch(t, (self.groups_total - self.next_group) as u64);
+        }
     }
 
     pub(crate) fn set_tracer(&mut self, cfg: crate::trace::TraceConfig) {
         self.tracer = Some(crate::trace::Tracer::new(cfg));
+    }
+
+    /// Attaches a profiler. `Machine::new` performs the initial staggered
+    /// dispatch before this can run, so the already-resident waves and the
+    /// dispatcher queue history are backfilled here.
+    pub(crate) fn set_profiler(&mut self, cfg: crate::profile::ProfileConfig) {
+        let mut p = crate::profile::Profiler::new(
+            cfg,
+            self.cfg.num_cus,
+            self.cfg.simds_per_cu,
+            self.cfg.max_waves_per_cu() as u64,
+            self.kernel.ops.len(),
+        );
+        for (wid, w) in self.waves.iter().enumerate() {
+            p.on_wave_start(wid, w.cu, w.simd, w.ready_at);
+        }
+        for (i, g) in self.groups.iter().enumerate() {
+            let t = g
+                .wave_ids
+                .iter()
+                .map(|&wid| self.waves[wid].ready_at)
+                .min()
+                .unwrap_or(0);
+            p.on_dispatch(t, (self.groups_total - (i + 1)) as u64);
+        }
+        self.profiler = Some(p);
     }
 
     /// Runs the launch to completion.
@@ -387,6 +429,7 @@ impl<'a> Machine<'a> {
             Occupancy,
             usize,
             crate::trace::Trace,
+            Option<crate::profile::Profile>,
         ),
         SimError,
     > {
@@ -428,12 +471,21 @@ impl<'a> Machine<'a> {
         }
         let power = self.power.finish(self.counters.wall_ticks);
         let trace = self.tracer.take().map(|t| t.trace).unwrap_or_default();
+        let profile = self.profiler.take().map(|p| {
+            let prof = p.finish(self.counters.wall_ticks, &self.kernel.lines);
+            #[cfg(debug_assertions)]
+            if let Err(e) = prof.check_conservation() {
+                panic!("slot-attribution conservation violated: {e}");
+            }
+            prof
+        });
         Ok((
             self.counters,
             power,
             self.occupancy,
             self.faults_applied,
             trace,
+            profile,
         ))
     }
 
@@ -555,7 +607,7 @@ impl<'a> Machine<'a> {
     }
 
     /// Charges an ALU op and returns nothing; updates ready_at.
-    fn charge_alu(&mut self, wid: usize, t: u64, scalar: bool, transcendental: bool) {
+    fn charge_alu(&mut self, wid: usize, pc: usize, t: u64, scalar: bool, transcendental: bool) {
         let lat = &self.cfg.lat;
         let w = &self.waves[wid];
         let cu = w.cu;
@@ -567,6 +619,13 @@ impl<'a> Machine<'a> {
             self.counters.salu_insts += 1;
             self.waves[wid].ready_at = start + lat.salu_issue;
             self.power.deposit(start, self.cfg.power.salu_nj);
+            self.profile_issue(
+                wid,
+                pc,
+                crate::profile::SlotCat::IssueSalu,
+                start,
+                start + lat.salu_issue,
+            );
         } else {
             let occ = lat.valu_issue
                 + if transcendental {
@@ -586,8 +645,40 @@ impl<'a> Machine<'a> {
                     0.0
                 };
             self.power.deposit(start, nj);
+            self.profile_issue(
+                wid,
+                pc,
+                crate::profile::SlotCat::IssueValu,
+                start,
+                start + occ,
+            );
         }
         self.bump_end(self.waves[wid].ready_at);
+    }
+
+    /// Records an issue with the profiler, if one is attached. No-op (a
+    /// dead branch) otherwise — keeping every profiling touch point on
+    /// the hot path behind a single `Option` check.
+    #[inline]
+    fn profile_issue(
+        &mut self,
+        wid: usize,
+        pc: usize,
+        cat: crate::profile::SlotCat,
+        issue: u64,
+        until: u64,
+    ) {
+        if let Some(p) = &mut self.profiler {
+            p.on_issue(wid, pc, cat, issue, until);
+        }
+    }
+
+    /// Records a post-issue completion wait with the profiler, if any.
+    #[inline]
+    fn profile_post(&mut self, wid: usize, pc: usize, cat: crate::profile::SlotCat, to: u64) {
+        if let Some(p) = &mut self.profiler {
+            p.post(wid, pc, cat, to);
+        }
     }
 
     fn bump_end(&mut self, t: u64) {
@@ -618,6 +709,7 @@ impl<'a> Machine<'a> {
         let op = &kernel.ops[pc];
         let meta: OpMeta = kernel.meta[pc];
         // Stall until in-flight loads feeding this instruction land.
+        let t_sched = t;
         let t = {
             let rr = &self.waves[wid].reg_ready;
             let mut ready = t;
@@ -626,6 +718,26 @@ impl<'a> Machine<'a> {
             }
             ready
         };
+        // Classify the first-use data stall by its producing unit (only
+        // when someone is observing; a plain run skips this entirely).
+        let stall = if t > t_sched && (self.profiler.is_some() || self.tracer.is_some()) {
+            let w = &self.waves[wid];
+            let mut cat = crate::profile::SlotCat::StallMem;
+            for r in &meta.srcs[..meta.nsrcs as usize] {
+                if w.reg_ready[r.0 as usize] == t {
+                    if w.reg_src[r.0 as usize] == SRC_LDS {
+                        cat = crate::profile::SlotCat::StallLdsConflict;
+                    }
+                    break;
+                }
+            }
+            Some(cat)
+        } else {
+            None
+        };
+        if let Some(p) = &mut self.profiler {
+            p.begin_inst(wid, pc, t_sched, t, stall);
+        }
         if let Some(tracer) = &mut self.tracer {
             let w = &self.waves[wid];
             let (group, wave, cu, simd, mask) = (
@@ -635,7 +747,7 @@ impl<'a> Machine<'a> {
                 w.simd,
                 w.mask,
             );
-            tracer.record(t, group, wave, cu, simd, pc, mask, || match op {
+            tracer.record(t, group, wave, cu, simd, pc, mask, stall, || match op {
                 FlatOp::Op(inst) => rmt_ir::inst_to_string(inst),
                 FlatOp::IfBegin { cond, .. } => format!("if.begin {cond}"),
                 FlatOp::Else { .. } => "if.else".into(),
@@ -672,7 +784,7 @@ impl<'a> Machine<'a> {
                     self.waves[wid].mask = emask;
                     self.waves[wid].pc = else_pc + 1;
                 }
-                self.charge_alu(wid, t, true, false);
+                self.charge_alu(wid, pc, t, true, false);
             }
             FlatOp::Else { end_pc } => {
                 let frame = *self.waves[wid].stack.last().expect("if frame");
@@ -685,7 +797,7 @@ impl<'a> Machine<'a> {
                 } else {
                     self.waves[wid].pc = end_pc;
                 }
-                self.charge_alu(wid, t, true, false);
+                self.charge_alu(wid, pc, t, true, false);
             }
             FlatOp::EndIf => {
                 let frame = self.waves[wid].stack.pop().expect("if frame");
@@ -694,13 +806,13 @@ impl<'a> Machine<'a> {
                 };
                 self.waves[wid].mask = saved;
                 self.waves[wid].pc = pc + 1;
-                self.charge_alu(wid, t, true, false);
+                self.charge_alu(wid, pc, t, true, false);
             }
             FlatOp::LoopBegin { end_pc: _ } => {
                 let mask = self.waves[wid].mask;
                 self.waves[wid].stack.push(Frame::Loop { saved: mask });
                 self.waves[wid].pc = pc + 1;
-                self.charge_alu(wid, t, true, false);
+                self.charge_alu(wid, pc, t, true, false);
             }
             FlatOp::LoopTest { cond, end_pc } => {
                 let mask = self.waves[wid].mask;
@@ -723,11 +835,11 @@ impl<'a> Machine<'a> {
                     self.waves[wid].mask = active;
                     self.waves[wid].pc = pc + 1;
                 }
-                self.charge_alu(wid, t, true, false);
+                self.charge_alu(wid, pc, t, true, false);
             }
             FlatOp::LoopEnd { begin_pc } => {
                 self.waves[wid].pc = begin_pc + 1;
-                self.charge_alu(wid, t, true, false);
+                self.charge_alu(wid, pc, t, true, false);
             }
             FlatOp::Op(ref inst) => {
                 self.exec_inst(wid, t, inst, scalar, meta.transcendental)?;
@@ -742,10 +854,14 @@ impl<'a> Machine<'a> {
     }
 
     fn retire_wave(&mut self, wid: usize) {
+        if let Some(p) = &mut self.profiler {
+            p.on_retire(wid, self.waves[wid].ready_at);
+        }
         let w = &mut self.waves[wid];
         w.done = true;
         w.regs = Vec::new(); // free lane storage eagerly
         w.reg_ready = Vec::new();
+        w.reg_src = Vec::new();
         let gidx = w.group;
         let end = w.ready_at;
         let cu = w.cu;
@@ -944,9 +1060,23 @@ impl<'a> Machine<'a> {
             },
             Inst::Barrier => {
                 let gidx = self.waves[wid].group;
+                let pc = self.waves[wid].pc;
                 self.waves[wid].pc += 1;
                 self.waves[wid].at_barrier = true;
                 self.waves[wid].ready_at = t + self.cfg.lat.salu_issue;
+                // The barrier instruction itself issues on the scalar
+                // path; the wait until group-wide release is attributed
+                // as stall-barrier when the wave is next scheduled.
+                if let Some(p) = &mut self.profiler {
+                    p.on_issue(
+                        wid,
+                        pc,
+                        crate::profile::SlotCat::IssueSalu,
+                        t,
+                        t + self.cfg.lat.salu_issue,
+                    );
+                    p.on_barrier(wid, pc);
+                }
                 self.groups[gidx].barrier_arrived += 1;
                 self.counters.barrier_waits += 1;
                 self.check_barrier_release(gidx, t);
@@ -961,8 +1091,9 @@ impl<'a> Machine<'a> {
 
     /// Advances pc and charges an ALU cost.
     fn advance(&mut self, wid: usize, t: u64, scalar: bool, transcendental: bool) {
+        let pc = self.waves[wid].pc;
         self.waves[wid].pc += 1;
-        self.charge_alu(wid, t, scalar, transcendental);
+        self.charge_alu(wid, pc, t, scalar, transcendental);
     }
 
     /// `scalar`: a wavefront-uniform load the compiler would issue on the
@@ -1019,6 +1150,9 @@ impl<'a> Machine<'a> {
         for &line in &lines {
             self.power.deposit(issue, self.cfg.power.l1_nj);
             let hit = self.l1[cu].load_word(line).is_some();
+            if let Some(p) = &mut self.profiler {
+                p.on_l1(hit, issue);
+            }
             if !hit {
                 // L1 miss: consult the (banked) L2, then DRAM bandwidth.
                 self.counters.l2_transactions += 1;
@@ -1054,9 +1188,17 @@ impl<'a> Machine<'a> {
 
         // The wavefront continues after issue; the destination register is
         // gated on `done` (s_waitcnt semantics).
+        let pc = self.waves[wid].pc;
         self.waves[wid].pc += 1;
         self.waves[wid].ready_at = issue + lat.salu_issue;
         self.waves[wid].reg_ready[dst.0 as usize] = done;
+        self.waves[wid].reg_src[dst.0 as usize] = SRC_GLOBAL;
+        let cat = if scalar {
+            crate::profile::SlotCat::IssueSalu
+        } else {
+            crate::profile::SlotCat::IssueVmem
+        };
+        self.profile_issue(wid, pc, cat, issue, issue + lat.salu_issue);
         self.bump_end(done);
         self.line_scratch = lines;
         Ok(())
@@ -1128,8 +1270,18 @@ impl<'a> Machine<'a> {
         }
         self.counters.bytes_stored += 4 * mask.count_ones() as u64;
 
+        let pc = self.waves[wid].pc;
         self.waves[wid].pc += 1;
         self.waves[wid].ready_at = ready;
+        self.profile_issue(
+            wid,
+            pc,
+            crate::profile::SlotCat::IssueVmem,
+            issue,
+            issue + lat.store_issue,
+        );
+        // Any remainder up to `ready` is the write-buffer backlog stall.
+        self.profile_post(wid, pc, crate::profile::SlotCat::StallWriteBuffer, ready);
         self.bump_end(ready);
         self.line_scratch = lines;
         Ok(())
@@ -1216,8 +1368,19 @@ impl<'a> Machine<'a> {
         }
 
         let done = done_by + lat.atomic_latency;
+        let pc = self.waves[wid].pc;
         self.waves[wid].pc += 1;
         self.waves[wid].ready_at = done;
+        // The wave occupies its slot for the whole atomic round trip:
+        // issue occupancy on the memory unit, then stall-mem to `done`.
+        self.profile_issue(
+            wid,
+            pc,
+            crate::profile::SlotCat::IssueVmem,
+            issue,
+            (issue + occ).min(done),
+        );
+        self.profile_post(wid, pc, crate::profile::SlotCat::StallMem, done);
         self.bump_end(done);
         Ok(())
     }
@@ -1310,6 +1473,7 @@ impl<'a> Machine<'a> {
         }
 
         let done = issue + lat.lds_latency + (factor - 1) * lat.lds_conflict;
+        let pc = self.waves[wid].pc;
         self.waves[wid].pc += 1;
         match dst {
             Some(d) => {
@@ -1317,9 +1481,17 @@ impl<'a> Machine<'a> {
                 // gated on completion.
                 self.waves[wid].ready_at = issue + lat.lds_issue;
                 self.waves[wid].reg_ready[d.0 as usize] = done;
+                self.waves[wid].reg_src[d.0 as usize] = SRC_LDS;
             }
             None => self.waves[wid].ready_at = issue + lat.lds_issue,
         }
+        self.profile_issue(
+            wid,
+            pc,
+            crate::profile::SlotCat::IssueLds,
+            issue,
+            issue + lat.lds_issue,
+        );
         self.bump_end(done);
         Ok(())
     }
@@ -1383,8 +1555,18 @@ impl<'a> Machine<'a> {
         }
 
         let done = issue + lat.lds_latency + nlanes * lat.lds_conflict;
+        let pc = self.waves[wid].pc;
         self.waves[wid].pc += 1;
         self.waves[wid].ready_at = done;
+        // The wave holds its slot until the serialized RMW chain drains.
+        self.profile_issue(
+            wid,
+            pc,
+            crate::profile::SlotCat::IssueLds,
+            issue,
+            (issue + lat.lds_issue).min(done),
+        );
+        self.profile_post(wid, pc, crate::profile::SlotCat::StallLdsConflict, done);
         self.bump_end(done);
         Ok(())
     }

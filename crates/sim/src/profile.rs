@@ -1,0 +1,819 @@
+//! Cycle-attributed profiling: stall taxonomy, per-PC hotspots, and
+//! sampled timelines.
+//!
+//! The paper explains every RMT slowdown by *where the cycles go* —
+//! redundant VALU work hiding behind memory stalls, LDS-bandwidth
+//! saturation, occupancy loss from doubled work-groups (Sections 5–7).
+//! This module turns the simulator into that kind of instrument: when a
+//! launch runs with a [`Profiler`] attached, **every tick of every wave
+//! slot** is attributed to exactly one [`SlotCat`], per-PC issue/tick
+//! counters record hotspots, and fixed-interval [`TimelineSample`]s
+//! capture occupancy, issue mix, cache behaviour, and dispatcher queue
+//! depth (exportable as Chrome `trace_event` JSON, loadable in Perfetto).
+//!
+//! The accounting obeys a **conservation invariant**: per compute unit,
+//!
+//! ```text
+//! Σ over categories (attributed ticks) == wall_ticks × wave slots per CU
+//! ```
+//!
+//! Per-wave segments are required to tile the wave's residency interval
+//! contiguously (debug-asserted at every attribution), and the empty-slot
+//! remainder is computed by checked subtraction, so over-attribution
+//! panics even in release builds. Profiling is strictly observational:
+//! attaching a profiler never changes functional results, counters, or
+//! timing, and a machine without one pays only a dead `Option` check per
+//! attribution point.
+
+use crate::config::TICKS_PER_CYCLE;
+
+/// Number of slot categories, including [`SlotCat::EmptySlot`].
+pub const NUM_CATS: usize = 10;
+
+/// The category a wave-slot tick is attributed to. Every tick of every
+/// wave slot lands in exactly one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotCat {
+    /// Vector-ALU issue/occupancy (the 16-wide SIMD serving 64 lanes).
+    IssueValu,
+    /// Scalar-unit issue: control ops, scalar ALU, scalar (constant-cache)
+    /// loads, and the barrier instruction itself.
+    IssueSalu,
+    /// Vector-memory issue: global loads/stores/atomics on the CU's
+    /// memory unit.
+    IssueVmem,
+    /// LDS pipeline issue.
+    IssueLds,
+    /// Waiting for an in-flight global load (s_waitcnt at first use) or
+    /// for a global atomic's L2 round trip.
+    StallMem,
+    /// Store blocked behind a saturated write buffer
+    /// (`WriteUnitStalled`).
+    StallWriteBuffer,
+    /// Waiting for LDS data: bank-conflict serialization and LDS latency
+    /// on loads consumed at first use, and LDS-atomic completion.
+    StallLdsConflict,
+    /// Parked at a work-group barrier waiting for sibling waves.
+    StallBarrier,
+    /// Ready to issue but the target unit (SIMD, SU, memory, or LDS pipe)
+    /// is occupied by other waves.
+    StallIssueArb,
+    /// No wave resident in the slot (occupancy loss, dispatch gaps, and
+    /// the post-retirement memory-drain tail).
+    EmptySlot,
+}
+
+impl SlotCat {
+    /// All categories, in attribution-table order.
+    pub const ALL: [SlotCat; NUM_CATS] = [
+        SlotCat::IssueValu,
+        SlotCat::IssueSalu,
+        SlotCat::IssueVmem,
+        SlotCat::IssueLds,
+        SlotCat::StallMem,
+        SlotCat::StallWriteBuffer,
+        SlotCat::StallLdsConflict,
+        SlotCat::StallBarrier,
+        SlotCat::StallIssueArb,
+        SlotCat::EmptySlot,
+    ];
+
+    /// Stable index into per-category arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable label (matches the taxonomy in DESIGN.md).
+    pub fn label(self) -> &'static str {
+        match self {
+            SlotCat::IssueValu => "issue-valu",
+            SlotCat::IssueSalu => "issue-salu",
+            SlotCat::IssueVmem => "issue-vmem",
+            SlotCat::IssueLds => "issue-lds",
+            SlotCat::StallMem => "stall-mem",
+            SlotCat::StallWriteBuffer => "stall-write-buffer",
+            SlotCat::StallLdsConflict => "stall-lds-conflict",
+            SlotCat::StallBarrier => "stall-barrier",
+            SlotCat::StallIssueArb => "stall-issue-arb",
+            SlotCat::EmptySlot => "empty-slot",
+        }
+    }
+
+    /// Compact label for matrix cells.
+    pub fn short(self) -> &'static str {
+        match self {
+            SlotCat::IssueValu => "valu",
+            SlotCat::IssueSalu => "salu",
+            SlotCat::IssueVmem => "vmem",
+            SlotCat::IssueLds => "lds",
+            SlotCat::StallMem => "mem",
+            SlotCat::StallWriteBuffer => "wbuf",
+            SlotCat::StallLdsConflict => "ldsc",
+            SlotCat::StallBarrier => "barr",
+            SlotCat::StallIssueArb => "arb",
+            SlotCat::EmptySlot => "idle",
+        }
+    }
+}
+
+/// What to profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileConfig {
+    /// Timeline sampling interval in ticks ([`TICKS_PER_CYCLE`] ticks =
+    /// one cycle). `0` disables timeline sampling (the breakdown and
+    /// hotspot counters are always collected).
+    pub sample_interval: u64,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            sample_interval: 1024 * TICKS_PER_CYCLE,
+        }
+    }
+}
+
+/// Issue count and attributed ticks for one flat-program PC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PcProfile {
+    /// Flat-program PC.
+    pub pc: usize,
+    /// Pre-order index of the source IR instruction this op was lowered
+    /// from ([`crate::CompiledKernel::lines`]); control ops map to their
+    /// `if`/`while`.
+    pub line: u32,
+    /// Dynamic issue count.
+    pub issues: u64,
+    /// Wave-slot ticks attributed to this PC (issue occupancy plus every
+    /// stall charged while the wave sat at it).
+    pub ticks: u64,
+}
+
+/// One fixed-interval timeline sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineSample {
+    /// Start tick of the sampled interval.
+    pub tick: u64,
+    /// Average resident wavefronts across the device over the interval.
+    pub occupancy: f64,
+    /// Vector-ALU instructions issued in the interval.
+    pub valu_issues: u64,
+    /// Scalar instructions issued in the interval.
+    pub salu_issues: u64,
+    /// Vector-memory instructions issued in the interval.
+    pub vmem_issues: u64,
+    /// LDS instructions issued in the interval.
+    pub lds_issues: u64,
+    /// L1 line transactions that hit.
+    pub l1_hits: u64,
+    /// L1 line transactions that missed.
+    pub l1_misses: u64,
+    /// Work-groups not yet dispatched at the end of the interval.
+    pub queue_depth: u64,
+}
+
+/// The profile of one launch (or, after [`Profile::accumulate`], of a
+/// multi-pass run of one kernel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Wall time of the launch in ticks.
+    pub wall_ticks: u64,
+    /// Wave slots per CU (`DeviceConfig::max_waves_per_cu`).
+    pub slots_per_cu: u64,
+    /// SIMD units per CU.
+    pub simds_per_cu: usize,
+    /// Per-SIMD attribution (index `cu * simds_per_cu + simd`). The
+    /// [`SlotCat::EmptySlot`] column is always zero here: empty slots are
+    /// accounted per CU (the dispatcher assigns waves to SIMDs round-robin
+    /// per CU, so slot capacity is a CU-level property).
+    pub per_simd: Vec<[u64; NUM_CATS]>,
+    /// Per-CU attribution including the empty-slot remainder; each row
+    /// sums to `wall_ticks * slots_per_cu`.
+    pub per_cu: Vec<[u64; NUM_CATS]>,
+    /// Per-PC hotspot counters, indexed by flat-program PC.
+    pub pc: Vec<PcProfile>,
+    /// Timeline sampling interval in ticks (0 = sampling disabled).
+    pub sample_interval: u64,
+    /// Timeline samples, in time order.
+    pub samples: Vec<TimelineSample>,
+}
+
+impl Profile {
+    /// Total device slot-tick capacity: `wall_ticks × slots_per_cu × CUs`.
+    pub fn capacity(&self) -> u64 {
+        self.wall_ticks * self.slots_per_cu * self.per_cu.len() as u64
+    }
+
+    /// Device-wide per-category totals.
+    pub fn totals(&self) -> [u64; NUM_CATS] {
+        let mut out = [0u64; NUM_CATS];
+        for row in &self.per_cu {
+            for (o, v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Ticks attributed to resident waves (everything but empty slots).
+    pub fn occupied_ticks(&self) -> u64 {
+        let t = self.totals();
+        t.iter().sum::<u64>() - t[SlotCat::EmptySlot.index()]
+    }
+
+    /// The dominant wave-occupied category and its share of occupied
+    /// ticks, or `None` if no wave ever ran. Ties break in
+    /// [`SlotCat::ALL`] order, so the result is deterministic.
+    pub fn dominant_wave_cat(&self) -> Option<(SlotCat, f64)> {
+        let totals = self.totals();
+        let occupied = self.occupied_ticks();
+        if occupied == 0 {
+            return None;
+        }
+        let cat = *SlotCat::ALL
+            .iter()
+            .filter(|c| **c != SlotCat::EmptySlot)
+            .max_by_key(|c| totals[c.index()])?;
+        Some((cat, totals[cat.index()] as f64 / occupied as f64))
+    }
+
+    /// Verifies the conservation invariant: every CU's attributed ticks
+    /// (including empty slots) sum exactly to `wall_ticks × slots_per_cu`,
+    /// and the per-SIMD rows sum to the per-CU wave-occupied ticks.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated CU.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let budget = self.wall_ticks * self.slots_per_cu;
+        for (cu, row) in self.per_cu.iter().enumerate() {
+            let sum: u64 = row.iter().sum();
+            if sum != budget {
+                return Err(format!(
+                    "CU {cu}: attributed {sum} ticks, slot budget is {budget} \
+                     ({} wall ticks x {} slots)",
+                    self.wall_ticks, self.slots_per_cu
+                ));
+            }
+            let simd_sum: u64 = self.per_simd[cu * self.simds_per_cu..(cu + 1) * self.simds_per_cu]
+                .iter()
+                .flatten()
+                .sum();
+            let occupied = sum - row[SlotCat::EmptySlot.index()];
+            if simd_sum != occupied {
+                return Err(format!(
+                    "CU {cu}: per-SIMD rows sum to {simd_sum}, \
+                     per-CU wave-occupied ticks are {occupied}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds another launch of the *same* kernel (e.g. a later pass of a
+    /// multi-pass benchmark) into this profile: breakdowns and hotspots
+    /// add, timelines concatenate with the later pass shifted past this
+    /// one's wall time. Conservation is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two profiles have different device shapes, program
+    /// lengths, or sample intervals.
+    pub fn accumulate(&mut self, other: &Profile) {
+        assert_eq!(self.per_simd.len(), other.per_simd.len(), "device shape");
+        assert_eq!(self.per_cu.len(), other.per_cu.len(), "device shape");
+        assert_eq!(self.slots_per_cu, other.slots_per_cu, "device shape");
+        assert_eq!(self.pc.len(), other.pc.len(), "program length");
+        assert_eq!(self.sample_interval, other.sample_interval, "interval");
+        let base = self.wall_ticks;
+        for s in &other.samples {
+            let mut s = s.clone();
+            s.tick += base;
+            self.samples.push(s);
+        }
+        self.wall_ticks += other.wall_ticks;
+        for (a, b) in self.per_simd.iter_mut().zip(&other.per_simd) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        for (a, b) in self.per_cu.iter_mut().zip(&other.per_cu) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        for (a, b) in self.pc.iter_mut().zip(&other.pc) {
+            debug_assert_eq!(a.line, b.line);
+            a.issues += b.issues;
+            a.ticks += b.ticks;
+        }
+    }
+
+    /// Renders the device-wide breakdown as a fixed-width table (ticks and
+    /// share of total slot capacity per category).
+    pub fn render(&self) -> String {
+        let totals = self.totals();
+        let cap = self.capacity().max(1);
+        let mut out = format!(
+            "wall {} cycles; {} CUs x {} slots; slot capacity {} ticks\n",
+            self.wall_ticks / TICKS_PER_CYCLE,
+            self.per_cu.len(),
+            self.slots_per_cu,
+            cap,
+        );
+        out.push_str("category            ticks           share\n");
+        for cat in SlotCat::ALL {
+            let v = totals[cat.index()];
+            out.push_str(&format!(
+                "{:<18} {:>15} {:>6.2}%\n",
+                cat.label(),
+                v,
+                100.0 * v as f64 / cap as f64
+            ));
+        }
+        out
+    }
+
+    /// Exports the timeline as Chrome `trace_event` JSON (counter events;
+    /// open in Perfetto or `chrome://tracing`). One simulated cycle is
+    /// rendered as one microsecond of trace time.
+    pub fn to_chrome_trace(&self) -> String {
+        let ts = |tick: u64| format!("{:.3}", tick as f64 / TICKS_PER_CYCLE as f64);
+        let mut out = String::from(
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+             {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{\"name\":\"gcn-sim\"}}",
+        );
+        for s in &self.samples {
+            let t = ts(s.tick);
+            out.push_str(&format!(
+                ",{{\"name\":\"occupancy\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\
+                 \"ts\":{t},\"args\":{{\"waves\":{:.3}}}}}",
+                s.occupancy
+            ));
+            out.push_str(&format!(
+                ",{{\"name\":\"issue mix\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\
+                 \"ts\":{t},\"args\":{{\"valu\":{},\"salu\":{},\"vmem\":{},\"lds\":{}}}}}",
+                s.valu_issues, s.salu_issues, s.vmem_issues, s.lds_issues
+            ));
+            out.push_str(&format!(
+                ",{{\"name\":\"L1\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\
+                 \"ts\":{t},\"args\":{{\"hits\":{},\"misses\":{}}}}}",
+                s.l1_hits, s.l1_misses
+            ));
+            out.push_str(&format!(
+                ",{{\"name\":\"dispatch queue\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\
+                 \"ts\":{t},\"args\":{{\"groups\":{}}}}}",
+                s.queue_depth
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Per-wave accounting state.
+#[derive(Debug, Clone)]
+struct WaveProf {
+    cu: u32,
+    simd: u32,
+    start: u64,
+    /// Attribution watermark: every tick in `[start, last)` has been
+    /// attributed; the next segment must begin exactly here.
+    last: u64,
+    /// PC of a barrier whose release gap is still unattributed (−1 none).
+    barrier_pc: i64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SampleAcc {
+    valu: u64,
+    salu: u64,
+    vmem: u64,
+    lds: u64,
+    l1_hits: u64,
+    l1_misses: u64,
+}
+
+/// Internal recorder handed to the machine (mirrors `Tracer`).
+#[derive(Debug)]
+pub(crate) struct Profiler {
+    cfg: ProfileConfig,
+    simds_per_cu: usize,
+    num_cus: usize,
+    slots_per_cu: u64,
+    per_simd: Vec<[u64; NUM_CATS]>,
+    pc_issues: Vec<u64>,
+    pc_ticks: Vec<u64>,
+    waves: Vec<WaveProf>,
+    /// Completed wave residency spans `(start, end)` for the occupancy
+    /// timeline.
+    spans: Vec<(u64, u64)>,
+    issue_acc: Vec<SampleAcc>,
+    /// `(tick, groups not yet dispatched)` after each group dispatch.
+    queue_events: Vec<(u64, u64)>,
+}
+
+impl Profiler {
+    pub(crate) fn new(
+        cfg: ProfileConfig,
+        num_cus: usize,
+        simds_per_cu: usize,
+        slots_per_cu: u64,
+        ops_len: usize,
+    ) -> Self {
+        Profiler {
+            cfg,
+            simds_per_cu,
+            num_cus,
+            slots_per_cu,
+            per_simd: vec![[0; NUM_CATS]; num_cus * simds_per_cu],
+            pc_issues: vec![0; ops_len],
+            pc_ticks: vec![0; ops_len],
+            waves: Vec::new(),
+            spans: Vec::new(),
+            issue_acc: Vec::new(),
+            queue_events: Vec::new(),
+        }
+    }
+
+    /// Registers a wave at dispatch. Waves must be registered in wave-id
+    /// order (the machine allocates ids densely).
+    pub(crate) fn on_wave_start(&mut self, wid: usize, cu: usize, simd: usize, t: u64) {
+        debug_assert_eq!(wid, self.waves.len(), "waves registered in id order");
+        self.waves.push(WaveProf {
+            cu: cu as u32,
+            simd: simd as u32,
+            start: t,
+            last: t,
+            barrier_pc: -1,
+        });
+    }
+
+    /// Records dispatcher queue depth after a group dispatch.
+    pub(crate) fn on_dispatch(&mut self, t: u64, pending: u64) {
+        self.queue_events.push((t, pending));
+    }
+
+    /// Attributes `[last, to)` of `wid`'s slot to `cat`, charged to `pc`.
+    fn attr(&mut self, wid: usize, cat: SlotCat, to: u64, pc: usize) {
+        let w = &mut self.waves[wid];
+        debug_assert!(
+            to >= w.last,
+            "attribution must not rewind: wave {wid} at {} asked to cover to {to}",
+            w.last
+        );
+        if to <= w.last {
+            return;
+        }
+        let d = to - w.last;
+        w.last = to;
+        let idx = w.cu as usize * self.simds_per_cu + w.simd as usize;
+        self.per_simd[idx][cat.index()] += d;
+        self.pc_ticks[pc] += d;
+    }
+
+    /// Attributes a pending barrier-release gap up to `t` (the wave's
+    /// scheduling time). Called at the top of every step and before an
+    /// end-of-program retire.
+    pub(crate) fn pre_gap(&mut self, wid: usize, t: u64) {
+        let bpc = self.waves[wid].barrier_pc;
+        if bpc >= 0 {
+            self.waves[wid].barrier_pc = -1;
+            self.attr(wid, SlotCat::StallBarrier, t, bpc as usize);
+        } else {
+            debug_assert_eq!(
+                self.waves[wid].last, t,
+                "unattributed gap without a pending barrier (wave {wid})"
+            );
+        }
+    }
+
+    /// Starts an instruction: closes any barrier gap at `t_sched`, then
+    /// attributes the data-dependency wait `[t_sched, t_ready)` to
+    /// `stall` (the category of the producing unit).
+    pub(crate) fn begin_inst(
+        &mut self,
+        wid: usize,
+        pc: usize,
+        t_sched: u64,
+        t_ready: u64,
+        stall: Option<SlotCat>,
+    ) {
+        self.pre_gap(wid, t_sched);
+        if t_ready > t_sched {
+            self.attr(wid, stall.unwrap_or(SlotCat::StallMem), t_ready, pc);
+        }
+    }
+
+    /// Attributes one issue: `[last, issue)` is arbitration wait,
+    /// `[issue, until)` is `cat` occupancy; bumps the PC issue counter and
+    /// the timeline issue mix.
+    pub(crate) fn on_issue(&mut self, wid: usize, pc: usize, cat: SlotCat, issue: u64, until: u64) {
+        self.pc_issues[pc] += 1;
+        self.attr(wid, SlotCat::StallIssueArb, issue, pc);
+        self.attr(wid, cat, until, pc);
+        // `checked_div` doubles as the "sampling disabled" test: the
+        // interval is 0 exactly when timelines are off.
+        if let Some(b) = issue.checked_div(self.cfg.sample_interval) {
+            let b = b as usize;
+            if b >= self.issue_acc.len() {
+                self.issue_acc.resize(b + 1, SampleAcc::default());
+            }
+            let acc = &mut self.issue_acc[b];
+            match cat {
+                SlotCat::IssueValu => acc.valu += 1,
+                SlotCat::IssueSalu => acc.salu += 1,
+                SlotCat::IssueVmem => acc.vmem += 1,
+                SlotCat::IssueLds => acc.lds += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Attributes a post-issue completion wait `[last, to)` to `cat`
+    /// (write-buffer backlog, atomic round trips, LDS serialization).
+    pub(crate) fn post(&mut self, wid: usize, pc: usize, cat: SlotCat, to: u64) {
+        self.attr(wid, cat, to, pc);
+    }
+
+    /// Marks `wid` as parked at the barrier at `pc`; the gap until its
+    /// next scheduling is attributed to [`SlotCat::StallBarrier`].
+    pub(crate) fn on_barrier(&mut self, wid: usize, pc: usize) {
+        self.waves[wid].barrier_pc = pc as i64;
+    }
+
+    /// Records an L1 line transaction for the timeline.
+    pub(crate) fn on_l1(&mut self, hit: bool, t: u64) {
+        if self.cfg.sample_interval == 0 {
+            return;
+        }
+        let b = (t / self.cfg.sample_interval) as usize;
+        if b >= self.issue_acc.len() {
+            self.issue_acc.resize(b + 1, SampleAcc::default());
+        }
+        if hit {
+            self.issue_acc[b].l1_hits += 1;
+        } else {
+            self.issue_acc[b].l1_misses += 1;
+        }
+    }
+
+    /// Closes a wave's accounting at retirement.
+    pub(crate) fn on_retire(&mut self, wid: usize, end: u64) {
+        self.pre_gap(wid, end);
+        let w = &self.waves[wid];
+        debug_assert_eq!(w.last, end, "wave {wid} retired with unattributed ticks");
+        self.spans.push((w.start, end));
+    }
+
+    /// Finalizes the profile for a completed launch.
+    ///
+    /// # Panics
+    ///
+    /// Panics (also in release builds) if any CU's attributed wave ticks
+    /// exceed its slot-tick budget — the conservation invariant.
+    pub(crate) fn finish(mut self, wall_ticks: u64, lines: &[u32]) -> Profile {
+        debug_assert_eq!(lines.len(), self.pc_ticks.len());
+        let budget = wall_ticks * self.slots_per_cu;
+        let mut per_cu = vec![[0u64; NUM_CATS]; self.num_cus];
+        for (i, row) in self.per_simd.iter().enumerate() {
+            let cu = i / self.simds_per_cu;
+            for (o, v) in per_cu[cu].iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        for (cu, row) in per_cu.iter_mut().enumerate() {
+            let occupied: u64 = row.iter().sum();
+            row[SlotCat::EmptySlot.index()] = budget.checked_sub(occupied).unwrap_or_else(|| {
+                panic!(
+                    "slot-attribution conservation violated on CU {cu}: \
+                     {occupied} wave ticks attributed, budget {budget}"
+                )
+            });
+        }
+        let pc = self
+            .pc_ticks
+            .iter()
+            .zip(&self.pc_issues)
+            .enumerate()
+            .map(|(i, (&ticks, &issues))| PcProfile {
+                pc: i,
+                line: lines[i],
+                issues,
+                ticks,
+            })
+            .collect();
+        let samples = self.build_samples(wall_ticks);
+        Profile {
+            wall_ticks,
+            slots_per_cu: self.slots_per_cu,
+            simds_per_cu: self.simds_per_cu,
+            per_simd: std::mem::take(&mut self.per_simd),
+            per_cu,
+            pc,
+            sample_interval: self.cfg.sample_interval,
+            samples,
+        }
+    }
+
+    fn build_samples(&mut self, wall_ticks: u64) -> Vec<TimelineSample> {
+        let interval = self.cfg.sample_interval;
+        if interval == 0 {
+            return Vec::new();
+        }
+        let nbuckets = (wall_ticks.div_ceil(interval) as usize).max(self.issue_acc.len());
+        // Wave residency overlap per bucket, for average occupancy.
+        let mut resident = vec![0u64; nbuckets];
+        for &(start, end) in &self.spans {
+            let b0 = (start / interval) as usize;
+            let b1 = ((end.saturating_sub(1)) / interval) as usize;
+            for (b, r) in resident
+                .iter_mut()
+                .enumerate()
+                .take((b1 + 1).min(nbuckets))
+                .skip(b0)
+            {
+                let lo = start.max(b as u64 * interval);
+                let hi = end.min((b as u64 + 1) * interval);
+                *r += hi.saturating_sub(lo);
+            }
+        }
+        // Dispatcher queue depth: step function sampled at bucket ends.
+        self.queue_events.sort_unstable();
+        let mut qi = 0usize;
+        let mut depth = self.queue_events.first().map_or(0, |e| e.1);
+        let mut out = Vec::with_capacity(nbuckets);
+        for (b, &res) in resident.iter().enumerate() {
+            let lo = b as u64 * interval;
+            let hi = ((b as u64 + 1) * interval).min(wall_ticks.max(lo + 1));
+            while qi < self.queue_events.len() && self.queue_events[qi].0 < hi {
+                depth = self.queue_events[qi].1;
+                qi += 1;
+            }
+            let acc = self.issue_acc.get(b).copied().unwrap_or_default();
+            out.push(TimelineSample {
+                tick: lo,
+                occupancy: res as f64 / (hi - lo).max(1) as f64,
+                valu_issues: acc.valu,
+                salu_issues: acc.salu,
+                vmem_issues: acc.vmem,
+                lds_issues: acc.lds,
+                l1_hits: acc.l1_hits,
+                l1_misses: acc.l1_misses,
+                queue_depth: depth,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_wave_profiler() -> Profiler {
+        let mut p = Profiler::new(ProfileConfig::default(), 1, 2, 4, 3);
+        p.on_wave_start(0, 0, 0, 0);
+        p.on_wave_start(1, 0, 1, 0);
+        p
+    }
+
+    #[test]
+    fn taxonomy_is_total_and_labelled() {
+        assert_eq!(SlotCat::ALL.len(), NUM_CATS);
+        for (i, c) in SlotCat::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(!c.label().is_empty());
+            assert!(!c.short().is_empty());
+        }
+        assert_eq!(SlotCat::EmptySlot.index(), NUM_CATS - 1);
+    }
+
+    #[test]
+    fn segments_tile_and_conserve() {
+        let mut p = two_wave_profiler();
+        // Wave 0: arb to 10, VALU to 50, mem stall to 80, retire.
+        p.begin_inst(0, 0, 0, 0, None);
+        p.on_issue(0, 0, SlotCat::IssueValu, 10, 50);
+        p.begin_inst(0, 1, 50, 80, Some(SlotCat::StallMem));
+        p.on_issue(0, 1, SlotCat::IssueSalu, 80, 90);
+        p.on_retire(0, 90);
+        // Wave 1: barrier at pc 2, released with a 30-tick gap.
+        p.on_issue(1, 2, SlotCat::IssueSalu, 0, 10);
+        p.on_barrier(1, 2);
+        p.begin_inst(1, 0, 40, 40, None);
+        p.on_issue(1, 0, SlotCat::IssueValu, 40, 60);
+        p.on_retire(1, 60);
+        let prof = p.finish(100, &[0, 1, 2]);
+        prof.check_conservation().expect("conserved");
+        let t = prof.totals();
+        assert_eq!(t[SlotCat::IssueValu.index()], 40 + 20);
+        assert_eq!(t[SlotCat::StallMem.index()], 30);
+        assert_eq!(t[SlotCat::StallBarrier.index()], 30);
+        assert_eq!(t[SlotCat::StallIssueArb.index()], 10);
+        // Capacity: 100 ticks x 4 slots x 1 CU.
+        assert_eq!(prof.capacity(), 400);
+        assert_eq!(t.iter().sum::<u64>(), 400);
+        // Hotspots: pc 2 carries the barrier issue + release gap.
+        assert_eq!(prof.pc[2].issues, 1);
+        assert_eq!(prof.pc[2].ticks, 10 + 30);
+        // Both SIMDs saw work; empty lives only in the per-CU row.
+        assert!(prof
+            .per_simd
+            .iter()
+            .all(|r| r[SlotCat::EmptySlot.index()] == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "conservation violated")]
+    fn overattribution_panics_in_release_too() {
+        let mut p = Profiler::new(ProfileConfig::default(), 1, 1, 1, 1);
+        p.on_wave_start(0, 0, 0, 0);
+        p.on_issue(0, 0, SlotCat::IssueValu, 0, 500);
+        p.on_retire(0, 500);
+        // Wall of 100 ticks x 1 slot cannot hold 500 attributed ticks.
+        let _ = p.finish(100, &[0]);
+    }
+
+    #[test]
+    fn dominant_category_and_render() {
+        let mut p = two_wave_profiler();
+        p.on_issue(0, 0, SlotCat::IssueLds, 0, 70);
+        p.on_retire(0, 70);
+        p.on_issue(1, 1, SlotCat::IssueValu, 0, 30);
+        p.on_retire(1, 30);
+        let prof = p.finish(100, &[0, 0, 1]);
+        let (cat, share) = prof.dominant_wave_cat().expect("waves ran");
+        assert_eq!(cat, SlotCat::IssueLds);
+        assert!((share - 0.7).abs() < 1e-9);
+        let r = prof.render();
+        assert!(r.contains("issue-lds"));
+        assert!(r.contains("empty-slot"));
+    }
+
+    #[test]
+    fn accumulate_shifts_timeline_and_adds() {
+        let make = || {
+            let mut p = Profiler::new(
+                ProfileConfig {
+                    sample_interval: 32,
+                },
+                1,
+                1,
+                2,
+                1,
+            );
+            p.on_wave_start(0, 0, 0, 0);
+            p.on_dispatch(0, 3);
+            p.on_issue(0, 0, SlotCat::IssueValu, 0, 64);
+            p.on_retire(0, 64);
+            p.finish(64, &[0])
+        };
+        let mut a = make();
+        let b = make();
+        a.accumulate(&b);
+        assert_eq!(a.wall_ticks, 128);
+        assert_eq!(a.totals()[SlotCat::IssueValu.index()], 128);
+        a.check_conservation().expect("still conserved");
+        assert_eq!(a.samples.len(), 4);
+        assert_eq!(a.samples[2].tick, 64);
+        assert_eq!(a.pc[0].issues, 2);
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_counters() {
+        let mut p = Profiler::new(
+            ProfileConfig {
+                sample_interval: 16,
+            },
+            1,
+            1,
+            2,
+            1,
+        );
+        p.on_wave_start(0, 0, 0, 0);
+        p.on_dispatch(0, 1);
+        p.on_issue(0, 0, SlotCat::IssueVmem, 0, 16);
+        p.on_retire(0, 16);
+        let prof = p.finish(32, &[0]);
+        let json = prof.to_chrome_trace();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("occupancy"));
+        assert!(json.contains("dispatch queue"));
+    }
+
+    #[test]
+    fn sampling_disabled_yields_no_samples() {
+        let mut p = Profiler::new(ProfileConfig { sample_interval: 0 }, 1, 1, 1, 1);
+        p.on_wave_start(0, 0, 0, 0);
+        p.on_issue(0, 0, SlotCat::IssueValu, 0, 10);
+        p.on_retire(0, 10);
+        let prof = p.finish(10, &[0]);
+        assert!(prof.samples.is_empty());
+        prof.check_conservation().expect("conserved");
+    }
+}

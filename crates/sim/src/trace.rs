@@ -3,6 +3,7 @@
 //! user reaches for first when a kernel misbehaves.
 
 use crate::config::TICKS_PER_CYCLE;
+use crate::profile::SlotCat;
 
 /// What to trace.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -13,6 +14,9 @@ pub struct TraceConfig {
     pub wave: Option<usize>,
     /// Stop recording after this many records (0 = unlimited — beware,
     /// paper-scale launches execute tens of millions of instructions).
+    /// When the limit cuts the recording short, the trace is *not*
+    /// silently incomplete: [`Trace::truncated`] is set and
+    /// [`Trace::render`] prints a truncation marker.
     pub max_records: usize,
 }
 
@@ -44,6 +48,12 @@ pub struct TraceRecord {
     pub pc: usize,
     /// Active-lane mask at execution.
     pub mask: u64,
+    /// Why the instruction waited before issue, if it did: the stall
+    /// category of the producing unit (first-use data-dependency stalls,
+    /// [`SlotCat::StallMem`] / [`SlotCat::StallLdsConflict`]), reusing
+    /// the profiling taxonomy. `None` when the instruction issued at its
+    /// scheduling time.
+    pub stall: Option<SlotCat>,
     /// One-line rendering of the executed operation.
     pub op: String,
 }
@@ -71,7 +81,7 @@ impl Trace {
         out.push_str("    cycle  g/w    cu.simd  pc    exec              op\n");
         for r in &self.records {
             out.push_str(&format!(
-                "{:>9}  {:>2}/{:<2} {:>4}.{}  {:<5} {:016x}  {}\n",
+                "{:>9}  {:>2}/{:<2} {:>4}.{}  {:<5} {:016x}  {}{}\n",
                 r.cycle(),
                 r.group,
                 r.wave,
@@ -79,7 +89,11 @@ impl Trace {
                 r.simd,
                 r.pc,
                 r.mask,
-                r.op
+                r.op,
+                match r.stall {
+                    Some(s) => format!("  [{}]", s.label()),
+                    None => String::new(),
+                }
             ));
         }
         if self.truncated {
@@ -114,6 +128,7 @@ impl Tracer {
         simd: usize,
         pc: usize,
         mask: u64,
+        stall: Option<SlotCat>,
         op: impl FnOnce() -> String,
     ) {
         if self.trace.truncated {
@@ -137,6 +152,7 @@ impl Tracer {
             simd,
             pc,
             mask,
+            stall,
             op: op(),
         });
     }
@@ -149,11 +165,11 @@ mod tests {
     #[test]
     fn filters_and_truncates() {
         let mut t = Tracer::new(TraceConfig::wavefront(2, 0, 2));
-        t.record(16, 1, 0, 0, 0, 0, u64::MAX, || "skip-me".into());
-        t.record(16, 2, 1, 0, 0, 0, u64::MAX, || "skip-me".into());
-        t.record(16, 2, 0, 0, 0, 0, u64::MAX, || "a".into());
-        t.record(32, 2, 0, 0, 1, 1, 1, || "b".into());
-        t.record(48, 2, 0, 0, 0, 2, u64::MAX, || "c".into());
+        t.record(16, 1, 0, 0, 0, 0, u64::MAX, None, || "skip-me".into());
+        t.record(16, 2, 1, 0, 0, 0, u64::MAX, None, || "skip-me".into());
+        t.record(16, 2, 0, 0, 0, 0, u64::MAX, None, || "a".into());
+        t.record(32, 2, 0, 0, 1, 1, 1, None, || "b".into());
+        t.record(48, 2, 0, 0, 0, 2, u64::MAX, None, || "c".into());
         assert_eq!(t.trace.records.len(), 2);
         assert!(t.trace.truncated);
         assert_eq!(t.trace.records[0].op, "a");
@@ -163,10 +179,23 @@ mod tests {
     #[test]
     fn render_contains_rows() {
         let mut t = Tracer::new(TraceConfig::default());
-        t.record(16, 0, 0, 3, 1, 7, u64::MAX, || "%1 = add.u32 %0, %0".into());
+        t.record(16, 0, 0, 3, 1, 7, u64::MAX, None, || {
+            "%1 = add.u32 %0, %0".into()
+        });
         let s = t.trace.render();
         assert!(s.contains("add.u32"));
         assert!(s.contains("3.1"));
         assert!(!s.contains("truncated"));
+    }
+
+    #[test]
+    fn render_annotates_stalls() {
+        let mut t = Tracer::new(TraceConfig::default());
+        t.record(16, 0, 0, 0, 0, 4, u64::MAX, Some(SlotCat::StallMem), || {
+            "%2 = add.u32 %1, %1".into()
+        });
+        let s = t.trace.render();
+        assert!(s.contains("[stall-mem]"));
+        assert_eq!(t.trace.records[0].stall, Some(SlotCat::StallMem));
     }
 }

@@ -5,19 +5,24 @@
 //! profiler dump for one kernel.
 //!
 //! ```text
-//! cargo run --release --example compiler_diagnostics [-- --jobs N]
+//! cargo run --release --example compiler_diagnostics [-- --jobs N] [-- --profile]
 //! ```
 //!
 //! `--jobs N` fans the per-kernel transform work across N worker threads
 //! (default: available parallelism); the printed diagnostics are identical
-//! for any N.
+//! for any N. `--profile` appends a cycle-attributed profile of one
+//! transformed kernel: the stall-taxonomy breakdown plus the
+//! provenance-derived split of its cycles into original / redundant /
+//! detect-compare / protocol work.
 
 use gpu_rmt::ir::analysis::lint::{lint_kernel, LintAssumptions, LintConfig};
 use gpu_rmt::ir::analysis::{Protection, Residency};
 use gpu_rmt::ir::{Block, Inst, KernelBuilder, MemSpace};
-use gpu_rmt::kernels::{all, by_abbrev, run_original, Scale};
-use gpu_rmt::rmt::{coverage, transform, verify_rmt, TransformOptions, TransformReport};
-use gpu_rmt::sim::DeviceConfig;
+use gpu_rmt::kernels::{all, by_abbrev, run_original, run_rmt_profiled, Scale};
+use gpu_rmt::rmt::{
+    coverage, split_cycles, transform, verify_rmt, CycleBucket, TransformOptions, TransformReport,
+};
+use gpu_rmt::sim::{DeviceConfig, ProfileConfig};
 
 fn jobs_from_args() -> usize {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,6 +41,10 @@ fn jobs_from_args() -> usize {
         i += 1;
     }
     gpu_rmt::sim::pool::default_jobs()
+}
+
+fn profile_requested() -> bool {
+    std::env::args().skip(1).any(|a| a == "--profile")
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -224,6 +233,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     tampered.kernel.body = strip_atomics(&tampered.kernel.body);
     for e in verify_rmt(&kernel, &tampered) {
         println!("  tampered (detect bumps removed): {e}");
+    }
+
+    // == --profile: where do the transformed kernel's cycles go? ==
+    //
+    // A profiled run of Reduction under Intra-Group+LDS: every wave-slot
+    // tick attributed to a stall category, and the provenance tags used
+    // to split the wave-occupied ticks into the paper's overhead buckets.
+    if profile_requested() {
+        println!("\n== cycle-attributed profile: Reduction / Intra+LDS (small scale) ==\n");
+        let (_, prof, rk) = run_rmt_profiled(
+            b.as_ref(),
+            Scale::Small,
+            &DeviceConfig::radeon_hd_7790(),
+            &TransformOptions::intra_plus_lds(),
+            &ProfileConfig::default(),
+        )?;
+        print!("{}", prof.render());
+        let split = split_cycles(&rk, &prof);
+        println!(
+            "\nRMT cycle split: original {:.1}%, redundant {:.1}%, \
+             detect-compare {:.1}%, protocol {:.1}%",
+            split.pct(CycleBucket::Original),
+            split.pct(CycleBucket::Redundant),
+            split.pct(CycleBucket::DetectCompare),
+            split.pct(CycleBucket::Protocol),
+        );
     }
     Ok(())
 }

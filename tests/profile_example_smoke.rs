@@ -1,0 +1,46 @@
+//! Smoke test for the `--profile` path of `examples/compiler_diagnostics`:
+//! drives the same facade-level calls the example makes and asserts the
+//! profile is conserved and the cycle split is complete.
+
+use gpu_rmt::kernels::{by_abbrev, run_rmt_profiled, Scale};
+use gpu_rmt::rmt::{split_cycles, CycleBucket, TransformOptions};
+use gpu_rmt::sim::{DeviceConfig, ProfileConfig};
+
+#[test]
+fn profiled_reduction_splits_into_overhead_buckets() {
+    let b = by_abbrev("R").expect("Reduction exists");
+    let (run, prof, rk) = run_rmt_profiled(
+        b.as_ref(),
+        Scale::Small,
+        &DeviceConfig::radeon_hd_7790(),
+        &TransformOptions::intra_plus_lds(),
+        &ProfileConfig::default(),
+    )
+    .expect("profiled RMT run");
+    assert_eq!(run.detections, 0, "fault-free run must not detect");
+    prof.check_conservation().expect("slot conservation");
+
+    // The split tiles exactly the wave-occupied ticks: nothing dropped,
+    // nothing double-counted.
+    let split = split_cycles(&rk, &prof);
+    assert_eq!(split.total(), prof.occupied_ticks());
+    assert!(split.original > 0, "user computation must appear");
+    assert!(split.redundant > 0, "replica work must appear");
+    assert!(split.detect_compare > 0, "compare machinery must appear");
+    let pct_sum: f64 = [
+        CycleBucket::Original,
+        CycleBucket::Redundant,
+        CycleBucket::DetectCompare,
+        CycleBucket::Protocol,
+    ]
+    .iter()
+    .map(|b| split.pct(*b))
+    .sum();
+    assert!((pct_sum - 100.0).abs() < 1e-6, "shares sum to 100%");
+
+    // The breakdown the example prints names the full taxonomy.
+    let render = prof.render();
+    assert!(render.contains("issue-valu"));
+    assert!(render.contains("stall-barrier"));
+    assert!(render.contains("empty-slot"));
+}
