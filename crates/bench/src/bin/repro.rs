@@ -16,12 +16,14 @@ use std::time::Instant;
 fn usage() -> String {
     format!(
         "usage: repro <experiment>... [--scale small|paper|large] [--json] [--jobs N]\n\
-         \x20                        [--seed N] [--budget N]\n\
+         \x20                        [--seed N] [--budget N] [--protect N]\n\
          \x20                        [--kernel K] [--flavor F] [--timeline OUT.json]\n\
          --jobs N      worker threads for independent simulation cells\n\
          \x20             (default: available parallelism; output is identical for any N)\n\
          --seed N      campaign seed for `fuzz` (default 1)\n\
          --budget N    generated cases for `fuzz` (default 200)\n\
+         --protect N   single protection budget for `pareto` in percent\n\
+         \x20             (default: sweep 0/25/50/75/90/100)\n\
          --kernel K    single-kernel mode for `profile` (benchmark abbreviation)\n\
          --flavor F    flavor for `profile --kernel`: Original, Intra+LDS,\n\
          \x20             Intra-LDS, Inter, FAST (default Intra+LDS)\n\
@@ -84,6 +86,16 @@ fn main() -> ExitCode {
                     Some(n) if n >= 1 => n,
                     _ => {
                         eprintln!("bad --budget {:?}\n{}", args.get(i), usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--protect" => {
+                i += 1;
+                cfg.protect = match args.get(i).and_then(|s| s.parse::<u8>().ok()) {
+                    Some(n) if n <= 100 => Some(n),
+                    _ => {
+                        eprintln!("bad --protect {:?}\n{}", args.get(i), usage());
                         return ExitCode::FAILURE;
                     }
                 };

@@ -33,9 +33,10 @@ fn variants() -> [(&'static str, TransformOptions); 4] {
     ]
 }
 
-/// How one injected fault resolved.
+/// How one injected fault resolved. Shared with the `pareto` experiment,
+/// which runs the same campaign over Selective budgets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Outcome {
+pub(super) enum Outcome {
     /// The redundant comparison bumped the detect counter.
     Detected,
     /// Outputs differ from the golden run with no detection: SDC.
@@ -47,15 +48,15 @@ enum Outcome {
 }
 
 #[derive(Debug, Clone, Copy, Default)]
-struct InjTally {
-    detected: usize,
-    sdc: usize,
-    masked: usize,
-    due: usize,
+pub(super) struct InjTally {
+    pub(super) detected: usize,
+    pub(super) sdc: usize,
+    pub(super) masked: usize,
+    pub(super) due: usize,
 }
 
 impl InjTally {
-    fn note(&mut self, o: Outcome) {
+    pub(super) fn note(&mut self, o: Outcome) {
         match o {
             Outcome::Detected => self.detected += 1,
             Outcome::Sdc => self.sdc += 1,
@@ -64,7 +65,7 @@ impl InjTally {
         }
     }
 
-    fn total(self) -> usize {
+    pub(super) fn total(self) -> usize {
         self.detected + self.sdc + self.masked + self.due
     }
 }
@@ -73,7 +74,7 @@ impl InjTally {
 /// the first pass only. Returns `(detections, faults_applied, dyn insts of
 /// the first pass, final buffer contents)`, or the simulator error.
 #[allow(clippy::type_complexity)]
-fn run_transformed(
+pub(super) fn run_transformed(
     bench: &dyn Benchmark,
     scale: Scale,
     dev_cfg: &DeviceConfig,
@@ -106,7 +107,10 @@ fn run_transformed(
 /// Picks injection sites from the coverage report itself: a Detected-class
 /// and a Vulnerable-class user VGPR, a user SRF broadcast, and an LDS word.
 /// Each site carries the analysis verdict the campaign must uphold.
-fn pick_sites(rk: &RmtKernel, report: &rmt_ir::analysis::CoverageReport) -> Vec<SiteTargets> {
+pub(super) fn pick_sites(
+    rk: &RmtKernel,
+    report: &rmt_ir::analysis::CoverageReport,
+) -> Vec<SiteTargets> {
     let mut sites = Vec::new();
     let mut regs: Vec<Reg> = report
         .windows
@@ -180,10 +184,10 @@ fn pick_sites(rk: &RmtKernel, report: &rmt_ir::analysis::CoverageReport) -> Vec<
     sites
 }
 
-struct SiteTargets {
-    label: &'static str,
-    class: Protection,
-    targets: Vec<FaultTarget>,
+pub(super) struct SiteTargets {
+    pub(super) label: &'static str,
+    pub(super) class: Protection,
+    pub(super) targets: Vec<FaultTarget>,
 }
 
 /// Everything one (kernel, flavor) cell contributes to the report.
@@ -259,15 +263,18 @@ fn run_cell(
                 injections += 1;
                 tally.note(outcome);
                 if outcome == Outcome::Sdc {
-                    if site.class == Protection::Detected {
+                    // Re-derive the verdict through the unified lookup: the
+                    // class the report holds for the exact corrupted target.
+                    let class = cov::fault_class(&report, target).unwrap_or(site.class);
+                    if class == Protection::Detected {
                         violations.push(format!(
                             "SOUNDNESS: {ctx}: SDC at Detected-class site {} ({target:?}, trigger {trigger})",
                             site.label
                         ));
-                    } else if site.class != Protection::Vulnerable {
+                    } else if class != Protection::Vulnerable {
                         violations.push(format!(
                             "RECALL: {ctx}: SDC at {}-class site {} ({target:?}, trigger {trigger})",
-                            site.class.label(),
+                            class.label(),
                             site.label
                         ));
                     }

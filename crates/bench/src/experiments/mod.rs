@@ -8,6 +8,7 @@ pub mod coverage_static;
 pub mod decomp;
 pub mod fuzz;
 pub mod lint;
+pub mod pareto;
 pub mod perf;
 pub mod power;
 pub mod profile;
@@ -43,6 +44,7 @@ pub const ALL_IDS: &[&str] = &[
     "baseline",
     "ablation",
     "lint",
+    "pareto",
 ];
 
 /// Dispatches an experiment by id.
@@ -69,6 +71,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Result<String, String> {
         "baseline" => ablation::baseline(cfg),
         "ablation" => ablation::ablation(cfg),
         "lint" => lint::lint(cfg),
+        "pareto" => pareto::pareto(cfg),
         "bench" => bench::bench(cfg),
         "fuzz" => fuzz::fuzz(cfg),
         "profile" => profile::profile(cfg),

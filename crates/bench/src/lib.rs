@@ -60,6 +60,9 @@ pub struct ExpConfig {
     /// Output path for the Chrome `trace_event` timeline written by
     /// single-kernel profiling (`--timeline`).
     pub timeline: Option<String>,
+    /// Single protection budget for `repro pareto` (`--protect`, percent);
+    /// `None` sweeps the full {0, 25, 50, 75, 90, 100} grid.
+    pub protect: Option<u8>,
 }
 
 impl ExpConfig {
@@ -75,6 +78,7 @@ impl ExpConfig {
             kernel: None,
             flavor: None,
             timeline: None,
+            protect: None,
         }
     }
 
@@ -90,6 +94,7 @@ impl ExpConfig {
             kernel: None,
             flavor: None,
             timeline: None,
+            protect: None,
         }
     }
 

@@ -20,8 +20,11 @@
 use crate::options::{RmtFlavor, Stage, TransformOptions};
 use crate::sor::{render_table_with, SphereOfReplication, Structure};
 use crate::transform::{RmtKernel, RmtTag};
-use rmt_ir::analysis::{coverage, CoverageReport, CoverageSpec, Replication, Residency};
-use rmt_ir::{Kernel, KernelBuilder, Ty};
+use gcn_sim::FaultTarget;
+use rmt_ir::analysis::{
+    coverage, CoverageReport, CoverageSpec, Protection, Replication, Residency,
+};
+use rmt_ir::{Kernel, KernelBuilder, Reg, Ty};
 
 /// Builds the analyzer spec for a transformed kernel from its provenance.
 pub fn spec_for(rk: &RmtKernel) -> CoverageSpec {
@@ -34,10 +37,17 @@ pub fn spec_for(rk: &RmtKernel) -> CoverageSpec {
             lds_duplicated: false,
         },
         RmtFlavor::Inter => Replication::PairedGroups,
+        // Selective replicates exactly like Intra+LDS; what varies is which
+        // exits carry compares, and the analysis reads that from the body.
+        RmtFlavor::Selective { .. } => Replication::PairedLanes {
+            lds_duplicated: true,
+        },
     };
     let prov = &rk.provenance;
     let mut spec = CoverageSpec::new(replication);
-    spec.full = opts.stage == Stage::Full;
+    // An empty-plan Selective kernel runs un-replicated: no value is
+    // compared anywhere, so the full-stage coverage rules must not apply.
+    spec.full = opts.stage == Stage::Full && rk.meta.replicates();
     spec.user_reg_limit = prov.user_reg_limit;
     spec.compare_regs = prov.regs_with(RmtTag::DetectCompare);
     spec.channel_regs = prov.regs_with(RmtTag::ChannelValue);
@@ -56,6 +66,21 @@ pub fn spec_for(rk: &RmtKernel) -> CoverageSpec {
 /// provenance dictates.
 pub fn analyze(rk: &RmtKernel) -> CoverageReport {
     coverage(&rk.kernel, &spec_for(rk))
+}
+
+/// Unified fault-class lookup: the static verdict for the residency a
+/// simulator fault target corrupts. Replaces ad-hoc dispatch over
+/// `vgpr_fault_class` / `sgpr_fault_class` / `lds_fault_class` at every
+/// injection cross-validation site. `None` when the report carries no
+/// verdict for the target: the register never appears, or the target (L1
+/// data, DRAM) has no per-register static window.
+pub fn fault_class(report: &CoverageReport, target: &FaultTarget) -> Option<Protection> {
+    match *target {
+        FaultTarget::Vgpr { reg, .. } => report.vgpr_fault_class(Reg(reg)),
+        FaultTarget::Sgpr { reg, .. } => report.sgpr_fault_class(Reg(reg)),
+        FaultTarget::Lds { .. } => Some(report.lds_fault_class()),
+        FaultTarget::L1Data { .. } | FaultTarget::GlobalMem { .. } => None,
+    }
 }
 
 /// A kernel that exercises every residency the analysis classifies: a
@@ -103,6 +128,7 @@ pub fn derived_covers(flavor: RmtFlavor, s: Structure) -> bool {
         RmtFlavor::IntraPlusLds => TransformOptions::intra_plus_lds(),
         RmtFlavor::IntraMinusLds => TransformOptions::intra_minus_lds(),
         RmtFlavor::Inter => TransformOptions::inter(),
+        RmtFlavor::Selective { budget } => TransformOptions::selective(budget),
     };
     let rk = transform_probe(&opts);
     let report = analyze(&rk);

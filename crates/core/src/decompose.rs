@@ -106,7 +106,9 @@ pub fn decompose(
     let cap = match opts.flavor {
         // Intra: RMT groups are doubled originals — reserve by running the
         // same *count* of (half-sized) groups.
-        RmtFlavor::IntraPlusLds | RmtFlavor::IntraMinusLds => Some(rmt_groups_per_cu),
+        RmtFlavor::IntraPlusLds | RmtFlavor::IntraMinusLds | RmtFlavor::Selective { .. } => {
+            Some(rmt_groups_per_cu)
+        }
         // Inter: two RMT groups correspond to one original group's worth of
         // real work; the reservation only lines up for even counts (the
         // paper's starred subset).

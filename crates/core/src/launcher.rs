@@ -54,6 +54,11 @@ impl RmtLauncher {
     ) -> Result<([usize; 3], [usize; 3]), RmtError> {
         let mut global = base.global;
         let mut local = base.local;
+        if !rk.meta.replicates() {
+            // Selective plan with zero protected exits: the kernel is the
+            // original body and runs on the original geometry.
+            return Ok((global, local));
+        }
         global[0] *= 2;
         if rk.meta.options.flavor.is_intra() {
             local[0] *= 2;

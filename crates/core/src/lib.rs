@@ -23,6 +23,12 @@
 //!   global-memory communication slots with a two-tier full/empty protocol
 //!   whose reads use `atomic_add(·, 0)` to defeat the stale, non-coherent
 //!   L1s.
+//! * **Selective** ([`RmtFlavor::Selective`]) — coverage-guided selective
+//!   hardening: the [`rmt_ir::analysis::harden`] planner slices backward
+//!   from Vulnerable residency windows and picks the sphere-of-replication
+//!   exits worth protecting under a budget; only those get the
+//!   publish+compare sequence (budget 0 emits the original kernel, budget
+//!   100 equals Intra-Group+LDS).
 //!
 //! ## Quick example
 //!
@@ -88,5 +94,5 @@ pub use launcher::{launch_rmt, RmtLauncher, RmtRunResult};
 pub use options::{CommMode, RmtFlavor, Stage, TransformOptions};
 pub use profile::{classify_insts, split_cycles, CycleBucket, CycleSplit};
 pub use report::TransformReport;
-pub use transform::{transform, Provenance, RmtKernel, RmtMeta, RmtTag};
+pub use transform::{transform, Provenance, RmtKernel, RmtMeta, RmtTag, SelectiveMeta};
 pub use verify::{verify_rmt, VerifyError};

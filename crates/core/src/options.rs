@@ -14,6 +14,15 @@ pub enum RmtFlavor {
     /// Inter-Group RMT: whole work-groups are duplicated; communication
     /// goes through global memory.
     Inter,
+    /// Coverage-guided selective hardening: Intra-Group+LDS replication,
+    /// but only the sphere-of-replication exits selected by the
+    /// [`rmt_ir::analysis::harden`] plan get the publish+compare sequence.
+    /// `budget` is the protection budget in percent (0 = emit the original
+    /// kernel untouched, 100 = protect every exit).
+    Selective {
+        /// Protection budget in percent (0..=100).
+        budget: u8,
+    },
 }
 
 impl RmtFlavor {
@@ -24,7 +33,8 @@ impl RmtFlavor {
         RmtFlavor::Inter,
     ];
 
-    /// `true` for the two intra-group flavors.
+    /// `true` for the flavors that pair redundant work-items inside one
+    /// work-group (everything except Inter-Group).
     pub fn is_intra(self) -> bool {
         !matches!(self, RmtFlavor::Inter)
     }
@@ -36,6 +46,7 @@ impl fmt::Display for RmtFlavor {
             RmtFlavor::IntraPlusLds => f.write_str("Intra-Group+LDS"),
             RmtFlavor::IntraMinusLds => f.write_str("Intra-Group-LDS"),
             RmtFlavor::Inter => f.write_str("Inter-Group"),
+            RmtFlavor::Selective { budget } => write!(f, "Selective({budget}%)"),
         }
     }
 }
@@ -124,6 +135,19 @@ impl TransformOptions {
         }
     }
 
+    /// Coverage-guided selective hardening at the given protection budget
+    /// (percent, clamped to 100). Uses LDS communication and the full stage;
+    /// the budget decides which SoR exits actually get publish+compare.
+    pub fn selective(budget: u8) -> Self {
+        TransformOptions {
+            flavor: RmtFlavor::Selective {
+                budget: budget.min(100),
+            },
+            comm: CommMode::Lds,
+            stage: Stage::Full,
+        }
+    }
+
     /// Switches to the FAST register-level (swizzle) communication.
     pub fn with_swizzle(mut self) -> Self {
         self.comm = CommMode::Swizzle;
@@ -153,6 +177,15 @@ mod tests {
         );
         assert_eq!(TransformOptions::inter().flavor, RmtFlavor::Inter);
         assert_eq!(
+            TransformOptions::selective(60).flavor,
+            RmtFlavor::Selective { budget: 60 }
+        );
+        assert_eq!(
+            TransformOptions::selective(250).flavor,
+            RmtFlavor::Selective { budget: 100 }
+        );
+        assert_eq!(TransformOptions::selective(60).stage, Stage::Full);
+        assert_eq!(
             TransformOptions::intra_plus_lds().with_swizzle().comm,
             CommMode::Swizzle
         );
@@ -167,12 +200,17 @@ mod tests {
         assert_eq!(RmtFlavor::IntraPlusLds.to_string(), "Intra-Group+LDS");
         assert_eq!(RmtFlavor::IntraMinusLds.to_string(), "Intra-Group-LDS");
         assert_eq!(RmtFlavor::Inter.to_string(), "Inter-Group");
+        assert_eq!(
+            RmtFlavor::Selective { budget: 75 }.to_string(),
+            "Selective(75%)"
+        );
     }
 
     #[test]
     fn intra_classification() {
         assert!(RmtFlavor::IntraPlusLds.is_intra());
         assert!(RmtFlavor::IntraMinusLds.is_intra());
+        assert!(RmtFlavor::Selective { budget: 50 }.is_intra());
         assert!(!RmtFlavor::Inter.is_intra());
     }
 }

@@ -6,8 +6,8 @@
 //!
 //! 1. the original kernel validates, lints clean, and runs fault-free on
 //!    the simulator (its output buffers become the *golden* reference);
-//! 2. every full-stage flavor (Intra+LDS, Intra−LDS, Inter, FAST)
-//!    transforms without error, still validates, upholds
+//! 2. every full-stage flavor (Intra+LDS, Intra−LDS, Inter, FAST,
+//!    Selective) transforms without error, still validates, upholds
 //!    [`verify_rmt`](crate::verify_rmt)'s transform invariants, and lints
 //!    clean at the doubled launch shape;
 //! 3. each transformed kernel's fault-free run produces **bit-identical**
@@ -39,14 +39,16 @@ use rmt_ir::analysis::{Protection, Residency};
 use rmt_ir::fuzz::{generate, shrink, ArgSpec, FuzzCase, GenConfig};
 use rmt_ir::{validate, ParamKind, Reg, Ty};
 
-/// The four full-stage flavor columns every case is checked under, in
-/// paper order.
-pub fn flavors() -> [(&'static str, TransformOptions); 4] {
+/// The five full-stage flavor columns every case is checked under, in
+/// paper order (plus the budgeted Selective flavor, exercised at a
+/// mid-range budget so both planned and unplanned exits occur).
+pub fn flavors() -> [(&'static str, TransformOptions); 5] {
     [
         ("Intra+LDS", TransformOptions::intra_plus_lds()),
         ("Intra-LDS", TransformOptions::intra_minus_lds()),
         ("Inter", TransformOptions::inter()),
         ("FAST", TransformOptions::intra_plus_lds().with_swizzle()),
+        ("Selective", TransformOptions::selective(60)),
     ]
 }
 
@@ -393,7 +395,10 @@ fn campaign(
         rep.injections += 1;
         let sdc = run.detections == 0 && run.bufs != golden;
         if sdc {
-            if site.class == Protection::Detected {
+            // Classify by the *actual* target (the SRF site can fall back
+            // to a VGPR injection) through the unified lookup.
+            let class = cov::fault_class(&report, &target).unwrap_or(site.class);
+            if class == Protection::Detected {
                 return Err(fail(
                     FailureKind::CoverageSoundness,
                     flavor,
@@ -403,13 +408,13 @@ fn campaign(
                     ),
                 ));
             }
-            if site.class != Protection::Vulnerable {
+            if class != Protection::Vulnerable {
                 return Err(fail(
                     FailureKind::CoverageRecall,
                     flavor,
                     format!(
                         "SDC at {}-class site {} ({target:?}, trigger {trigger})",
-                        site.class.label(),
+                        class.label(),
                         site.label
                     ),
                 ));
@@ -461,7 +466,7 @@ pub fn check_case_with(
             let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
             return Err(fail(FailureKind::Verify, label, msgs.join("; ")));
         }
-        let lint_local = if opts.flavor.is_intra() {
+        let lint_local = if rk.meta.doubles_workgroup() {
             case.local * 2
         } else {
             case.local
@@ -593,7 +598,7 @@ mod tests {
                     rmt_ir::fuzz::serialize(&f.case)
                 )
             });
-            assert!(rep.launches >= 5, "golden + four flavors at minimum");
+            assert!(rep.launches >= 6, "golden + five flavors at minimum");
         }
     }
 

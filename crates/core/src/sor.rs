@@ -93,6 +93,12 @@ impl SphereOfReplication {
             RmtFlavor::IntraMinusLds => matches!(s, Structure::SimdAlu | Structure::Vrf),
             // Table 3: Inter-Group covers everything except the L1.
             RmtFlavor::Inter => !matches!(s, Structure::L1Cache),
+            // Selective hardening replicates like Intra-Group+LDS; this is
+            // its full-budget ceiling (lower budgets protect a per-kernel
+            // subset chosen by the harden plan).
+            RmtFlavor::Selective { .. } => {
+                matches!(s, Structure::SimdAlu | Structure::Vrf | Structure::Lds)
+            }
         }
     }
 

@@ -396,6 +396,7 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
             comm_param,
             orig_lds_bytes: orig_lds,
             comm_bytes_per_item: if full { 16 } else { 0 },
+            selective: None,
         },
         provenance: ctx.prov,
     })

@@ -23,13 +23,26 @@
 use super::emit::Emitter;
 use super::provenance::{Provenance, RmtTag};
 use super::rewrite::{map_block, rewrite_builtin};
-use super::{RmtKernel, RmtMeta, MAX_PAIRS};
+use super::{RmtKernel, RmtMeta, SelectiveMeta, MAX_PAIRS};
 use crate::error::RmtError;
 use crate::options::{CommMode, RmtFlavor, Stage, TransformOptions};
 use rmt_ir::{
     AtomicOp, Block, Builtin, Dim, Inst, Kernel, MemSpace, Param, ParamKind, Reg, SwizzleMode,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+
+/// Plan inputs the `Selective` flavor threads through the shared intra
+/// rewrite: exits whose pre-order ordinal is in `planned` get the full
+/// publish+compare expansion, the rest the cheap consumer-only form.
+pub(super) struct PlanInput<'a> {
+    /// Protection budget (percent) the plan was computed for.
+    pub budget: u8,
+    /// Pre-order ordinals of the exits selected for protection.
+    pub planned: &'a BTreeSet<usize>,
+    /// Total exit sites the planner saw (sanity-checked against the
+    /// rewrite's own count).
+    pub candidate_exits: u32,
+}
 
 struct Ctx {
     em: Emitter,
@@ -74,9 +87,23 @@ impl Ctx {
         self.em.store(space, addr, value, out);
     }
 
-    /// Expands an SoR-exiting store.
-    fn expand_store(&mut self, space: MemSpace, addr: Reg, value: Reg) -> Vec<Inst> {
+    /// Expands an SoR-exiting store. Unprotected exits (`Selective` plans
+    /// leave them outside the budget) skip publish+compare: the consumer
+    /// stores directly, same shape as the no-comm stage.
+    fn expand_store(
+        &mut self,
+        space: MemSpace,
+        addr: Reg,
+        value: Reg,
+        protected: bool,
+    ) -> Vec<Inst> {
         let mut seq = Vec::new();
+        if !protected {
+            let mut cons = Vec::new();
+            self.em.store(space, addr, value, &mut cons);
+            self.em.if_(self.is_cons, cons, &mut seq);
+            return seq;
+        }
         match self.opts.stage {
             Stage::RedundantNoComm => {
                 // Redundant compute only: the consumer stores, nobody talks.
@@ -119,9 +146,9 @@ impl Ctx {
     }
 
     /// Expands a global atomic without result (consumer executes once).
-    fn expand_atomic(&mut self, op: AtomicOp, addr: Reg, value: Reg) -> Vec<Inst> {
+    fn expand_atomic(&mut self, op: AtomicOp, addr: Reg, value: Reg, protected: bool) -> Vec<Inst> {
         let mut seq = Vec::new();
-        if self.opts.stage == Stage::Full {
+        if protected && self.opts.stage == Stage::Full {
             match self.opts.comm {
                 CommMode::Lds => {
                     let slot = self.comm_slot.expect("lds comm slot");
@@ -181,7 +208,18 @@ impl Ctx {
 }
 
 pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel, RmtError> {
-    let duplicate_lds = opts.flavor == RmtFlavor::IntraPlusLds;
+    run_with_plan(kernel, opts, None)
+}
+
+pub(super) fn run_with_plan(
+    kernel: &Kernel,
+    opts: &TransformOptions,
+    plan: Option<PlanInput<'_>>,
+) -> Result<RmtKernel, RmtError> {
+    let duplicate_lds = matches!(
+        opts.flavor,
+        RmtFlavor::IntraPlusLds | RmtFlavor::Selective { .. }
+    );
 
     let mut params = kernel.params.clone();
     params.push(Param {
@@ -278,7 +316,13 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
         prov,
     };
 
-    // Rewrite the body.
+    // Rewrite the body. Exit ordinals are assigned in the same pre-order
+    // `map_block` visits instructions, which matches the planner's walk —
+    // so a plan ordinal names the same store/atomic here.
+    let sel_planned: Option<&BTreeSet<usize>> = plan.as_ref().map(|p| p.planned);
+    let mut exit_ord: usize = 0;
+    let mut candidate_stores: u32 = 0;
+    let mut planned_stores: u32 = 0;
     let mut err: Option<RmtError> = None;
     let body = map_block(&kernel.body, &mut |inst| {
         if err.is_some() {
@@ -354,7 +398,19 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
             // SoR exits: every global store; local stores too under −LDS.
             Inst::Store { space, addr, value } => {
                 debug_assert!(*space == MemSpace::Global || !duplicate_lds);
-                Some(ctx.expand_store(*space, *addr, *value))
+                let protected = if *space == MemSpace::Global {
+                    let ord = exit_ord;
+                    exit_ord += 1;
+                    candidate_stores += 1;
+                    let p = sel_planned.is_none_or(|set| set.contains(&ord));
+                    if p {
+                        planned_stores += 1;
+                    }
+                    p
+                } else {
+                    true
+                };
+                Some(ctx.expand_store(*space, *addr, *value, protected))
             }
             Inst::Atomic {
                 dst,
@@ -363,13 +419,16 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
                 addr,
                 value,
             } => {
+                let ord = exit_ord;
+                exit_ord += 1;
                 if dst.is_some() {
                     err = Some(RmtError::Unsupported(
                         "global atomic whose result re-enters the SoR".into(),
                     ));
                     Some(Vec::new())
                 } else {
-                    Some(ctx.expand_atomic(*op, *addr, *value))
+                    let protected = sel_planned.is_none_or(|set| set.contains(&ord));
+                    Some(ctx.expand_atomic(*op, *addr, *value, protected))
                 }
             }
             _ => None,
@@ -378,16 +437,24 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
     if let Some(e) = err {
         return Err(e);
     }
+    if let Some(p) = &plan {
+        debug_assert_eq!(
+            exit_ord as u32, p.candidate_exits,
+            "planner and rewrite disagree on exit-site count for `{}`",
+            kernel.name
+        );
+    }
 
     let mut insts = pro;
     insts.extend(body.0);
 
     let suffix = match (opts.flavor, opts.comm, opts.stage) {
-        (_, _, Stage::RedundantNoComm) => "rmt_intra_nocomm",
-        (RmtFlavor::IntraPlusLds, CommMode::Lds, _) => "rmt_intra_plus_lds",
-        (RmtFlavor::IntraPlusLds, CommMode::Swizzle, _) => "rmt_intra_plus_lds_fast",
-        (RmtFlavor::IntraMinusLds, CommMode::Lds, _) => "rmt_intra_minus_lds",
-        (RmtFlavor::IntraMinusLds, CommMode::Swizzle, _) => "rmt_intra_minus_lds_fast",
+        (RmtFlavor::Selective { budget }, _, _) => format!("rmt_selective_b{budget}"),
+        (_, _, Stage::RedundantNoComm) => "rmt_intra_nocomm".into(),
+        (RmtFlavor::IntraPlusLds, CommMode::Lds, _) => "rmt_intra_plus_lds".into(),
+        (RmtFlavor::IntraPlusLds, CommMode::Swizzle, _) => "rmt_intra_plus_lds_fast".into(),
+        (RmtFlavor::IntraMinusLds, CommMode::Lds, _) => "rmt_intra_minus_lds".into(),
+        (RmtFlavor::IntraMinusLds, CommMode::Swizzle, _) => "rmt_intra_minus_lds_fast".into(),
         (RmtFlavor::Inter, _, _) => unreachable!("inter handled elsewhere"),
     };
 
@@ -407,6 +474,13 @@ pub(super) fn run(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel,
             comm_param: None,
             orig_lds_bytes: orig_lds,
             comm_bytes_per_item: 0,
+            selective: plan.as_ref().map(|p| SelectiveMeta {
+                budget: p.budget,
+                candidate_exits: p.candidate_exits,
+                planned_exits: p.planned.len() as u32,
+                candidate_stores,
+                planned_stores,
+            }),
         },
         provenance: ctx.prov,
     })

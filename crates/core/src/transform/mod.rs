@@ -5,12 +5,30 @@ mod inter;
 mod intra;
 mod provenance;
 mod rewrite;
+mod selective;
 
 use crate::error::RmtError;
 use crate::options::{RmtFlavor, TransformOptions};
 use rmt_ir::Kernel;
 
 pub use provenance::{Provenance, RmtTag};
+
+/// Plan statistics recorded by the `Selective` flavor (see
+/// [`rmt_ir::analysis::harden`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectiveMeta {
+    /// The protection budget (percent) the plan was computed for.
+    pub budget: u8,
+    /// Total SoR exit sites (global stores + atomics) in the original.
+    pub candidate_exits: u32,
+    /// Exit sites the plan selected for publish+compare protection.
+    pub planned_exits: u32,
+    /// Global **stores** among the candidates (the rest are atomics).
+    pub candidate_stores: u32,
+    /// Global stores among the planned exits — each gets exactly one
+    /// compare sequence, which the verifier counts.
+    pub planned_stores: u32,
+}
 
 /// Metadata the launcher needs to run a transformed kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +52,23 @@ pub struct RmtMeta {
     /// (Inter-Group full: 16 — state/address/value words plus padding so a
     /// slot never straddles a cache line).
     pub comm_bytes_per_item: u32,
+    /// Plan statistics when the flavor is `Selective` (`None` otherwise).
+    pub selective: Option<SelectiveMeta>,
+}
+
+impl RmtMeta {
+    /// `true` if the kernel actually runs redundant replicas. A `Selective`
+    /// plan that protects zero exits emits the original body verbatim, so
+    /// the launcher must not double the geometry.
+    pub fn replicates(&self) -> bool {
+        self.selective.is_none_or(|s| s.planned_exits > 0)
+    }
+
+    /// `true` if the launcher should double work-groups in dimension 0
+    /// (replicating intra-group flavors).
+    pub fn doubles_workgroup(&self) -> bool {
+        self.replicates() && self.options.flavor.is_intra()
+    }
 }
 
 /// A kernel rewritten for redundant multithreading, plus launch metadata.
@@ -65,6 +100,7 @@ pub fn transform(kernel: &Kernel, opts: &TransformOptions) -> Result<RmtKernel, 
     let rk = match opts.flavor {
         RmtFlavor::IntraPlusLds | RmtFlavor::IntraMinusLds => intra::run(kernel, opts)?,
         RmtFlavor::Inter => inter::run(kernel, opts)?,
+        RmtFlavor::Selective { budget } => selective::run(kernel, opts, budget)?,
     };
     debug_assert_eq!(
         rmt_ir::validate(&rk.kernel),

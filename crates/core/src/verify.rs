@@ -74,6 +74,17 @@ pub enum VerifyError {
         /// Barriers the flavor should produce.
         want: usize,
     },
+    /// A `Selective` kernel with an empty plan deviates from the original
+    /// (the string names the deviation) — budget 0 must be a true identity.
+    SelectiveIdentity(String),
+    /// A `Selective` kernel's compared-store count disagrees with the
+    /// plan's recorded selection.
+    SelectiveCompareCount {
+        /// Compared global stores found in the transformed kernel.
+        got: u32,
+        /// Planned protected stores recorded by the transform.
+        want: u32,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -106,6 +117,13 @@ impl fmt::Display for VerifyError {
             VerifyError::BarrierCount { got, want } => {
                 write!(f, "transformed kernel has {got} barriers, expected {want}")
             }
+            VerifyError::SelectiveIdentity(why) => {
+                write!(f, "empty-plan Selective kernel is not the original: {why}")
+            }
+            VerifyError::SelectiveCompareCount { got, want } => write!(
+                f,
+                "Selective kernel compares {got} stores, plan selected {want}"
+            ),
         }
     }
 }
@@ -245,6 +263,9 @@ struct Checker<'a> {
     rk: &'a RmtKernel,
     facts: Facts,
     errors: Vec<VerifyError>,
+    /// Global stores preceded by a compare-and-detect (counted only for
+    /// `Selective` kernels, where unplanned exits legitimately lack one).
+    compared_stores: u32,
 }
 
 impl Checker<'_> {
@@ -370,15 +391,24 @@ impl Checker<'_> {
         // Walk backwards: an earlier `if` in this block must bump the
         // detect counter, and its condition must have consumed a value
         // that crossed the channel.
+        let selective = self.rk.meta.selective.is_some();
         for prior in blk.iter().take(idx) {
             if let Inst::If { cond, then_blk, .. } = prior {
                 if has_detect_bump(then_blk, &self.facts, self.detect_param()) {
                     if !self.compare_uses_channel(*cond) {
                         self.errors.push(VerifyError::CompareWithoutChannel);
                     }
+                    if selective {
+                        self.compared_stores += 1;
+                    }
                     return;
                 }
             }
+        }
+        if selective {
+            // Exits outside the plan's budget are deliberately uncompared;
+            // the total is reconciled against the plan afterwards.
+            return;
         }
         self.errors.push(VerifyError::StoreWithoutCompare { space });
     }
@@ -524,12 +554,40 @@ pub fn verify_rmt(original: &Kernel, rk: &RmtKernel) -> Vec<VerifyError> {
     // Seed channel taint from the transform's own record of which
     // registers crossed the channel; fall back to the structural
     // over-approximation for kernels without provenance.
+    // Empty-plan Selective kernels promise a strict identity: the original
+    // body, the original LDS, one appended (unused) detect parameter.
+    if let Some(sel) = rk.meta.selective {
+        if sel.planned_exits == 0 {
+            let mut errors = Vec::new();
+            if rk.kernel.body.0 != original.body.0 {
+                errors.push(VerifyError::SelectiveIdentity(
+                    "body differs from the original kernel".into(),
+                ));
+            }
+            if rk.kernel.lds_bytes != original.lds_bytes {
+                errors.push(VerifyError::SelectiveIdentity(format!(
+                    "lds_bytes {} != original {}",
+                    rk.kernel.lds_bytes, original.lds_bytes
+                )));
+            }
+            if rk.kernel.params.len() != original.params.len() + 1 {
+                errors.push(VerifyError::SelectiveIdentity(format!(
+                    "{} params, expected original {} + detect",
+                    rk.kernel.params.len(),
+                    original.params.len()
+                )));
+            }
+            return errors;
+        }
+    }
+
     let tagged = rk.provenance.regs_with(RmtTag::ChannelValue);
     let facts = compute_facts(&rk.kernel, (!tagged.is_empty()).then_some(&tagged));
     let mut checker = Checker {
         rk,
         facts,
         errors: Vec::new(),
+        compared_stores: 0,
     };
 
     let full = rk.meta.options.stage == Stage::Full;
@@ -542,6 +600,15 @@ pub fn verify_rmt(original: &Kernel, rk: &RmtKernel) -> Vec<VerifyError> {
 
     checker.check_block(&rk.kernel.body, 0, false);
     checker.check_ticket_prologue();
+
+    if let Some(sel) = rk.meta.selective {
+        if checker.compared_stores != sel.planned_stores {
+            checker.errors.push(VerifyError::SelectiveCompareCount {
+                got: checker.compared_stores,
+                want: sel.planned_stores,
+            });
+        }
+    }
 
     let want = count_barriers(&original.body)
         + usize::from(rk.meta.options.flavor == RmtFlavor::Inter && full);

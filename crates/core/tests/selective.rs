@@ -1,0 +1,288 @@
+//! End-to-end tests for the coverage-guided `Selective` flavor: the
+//! degenerate-budget identities (budget 0 = the original kernel, budget
+//! 100 = Intra-Group+LDS coverage), partial-budget execution semantics,
+//! the unified `fault_class` lookup, and the verifier's plan reconciliation.
+
+use gcn_sim::{Arg, Device, DeviceConfig, FaultTarget, LaunchConfig};
+use rmt_core::coverage::{analyze, fault_class, probe_kernel};
+use rmt_core::{launch_rmt, transform, verify_rmt, TransformOptions, VerifyError};
+use rmt_ir::analysis::Residency;
+use rmt_ir::{Block, Inst, Kernel, KernelBuilder, MemSpace};
+
+/// Two store chains off one load with strongly asymmetric slice costs: the
+/// heavy chain dominates the benefit ranking, so intermediate budgets
+/// protect exactly one exit and leave the other as a plain consumer store.
+fn two_store_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("twostore");
+    let inp = b.buffer_param("in");
+    let out = b.buffer_param("out");
+    let out2 = b.buffer_param("out2");
+    let gid = b.global_id(0);
+    let ia = b.elem_addr(inp, gid);
+    let v = b.load_global(ia);
+    let c = b.const_u32(7);
+    let mut w = b.mul_u32(v, c);
+    for _ in 0..8 {
+        w = b.mul_u32(w, c);
+        w = b.xor_u32(w, gid);
+    }
+    let oa = b.elem_addr(out, gid);
+    b.store_global(oa, w);
+    let x = b.xor_u32(v, gid);
+    let oa2 = b.elem_addr(out2, gid);
+    b.store_global(oa2, x);
+    b.finish()
+}
+
+fn run_original(k: &Kernel) -> (Vec<u32>, Vec<u32>, u64) {
+    let mut dev = Device::new(DeviceConfig::small_test());
+    let ib = dev.create_buffer(256 * 4);
+    let ob = dev.create_buffer(256 * 4);
+    let ob2 = dev.create_buffer(256 * 4);
+    dev.write_u32s(ib, &(0..256).collect::<Vec<u32>>());
+    let cfg = LaunchConfig::new_1d(256, 64)
+        .arg(Arg::Buffer(ib))
+        .arg(Arg::Buffer(ob))
+        .arg(Arg::Buffer(ob2));
+    let stats = dev.launch(k, &cfg).unwrap();
+    (dev.read_u32s(ob), dev.read_u32s(ob2), stats.cycles)
+}
+
+fn run_selective(k: &Kernel, budget: u8) -> (Vec<u32>, Vec<u32>, u64, u32) {
+    let rk = transform(k, &TransformOptions::selective(budget)).unwrap();
+    let mut dev = Device::new(DeviceConfig::small_test());
+    let ib = dev.create_buffer(256 * 4);
+    let ob = dev.create_buffer(256 * 4);
+    let ob2 = dev.create_buffer(256 * 4);
+    dev.write_u32s(ib, &(0..256).collect::<Vec<u32>>());
+    let cfg = LaunchConfig::new_1d(256, 64)
+        .arg(Arg::Buffer(ib))
+        .arg(Arg::Buffer(ob))
+        .arg(Arg::Buffer(ob2));
+    let run = launch_rmt(&mut dev, &rk, &cfg).unwrap();
+    (
+        dev.read_u32s(ob),
+        dev.read_u32s(ob2),
+        run.stats.cycles,
+        run.detections,
+    )
+}
+
+#[test]
+fn zero_budget_is_byte_identical_to_original() {
+    let k = two_store_kernel();
+    let rk = transform(&k, &TransformOptions::selective(0)).unwrap();
+    let sel = rk.meta.selective.expect("selective meta");
+    assert_eq!(sel.planned_exits, 0);
+    assert_eq!(sel.candidate_exits, 2);
+    // Byte-identical body, unchanged LDS, exactly one appended parameter.
+    assert_eq!(rk.kernel.body.0, k.body.0);
+    assert_eq!(rk.kernel.lds_bytes, k.lds_bytes);
+    assert_eq!(rk.kernel.params.len(), k.params.len() + 1);
+    assert!(rk.kernel.name.contains("rmt"));
+    assert!(verify_rmt(&k, &rk).is_empty());
+    // No residual machinery: same outputs AND the same cycle count as the
+    // untouched original at the original geometry.
+    let (o1, o2, base_cycles) = run_original(&k);
+    let (s1, s2, sel_cycles, det) = run_selective(&k, 0);
+    assert_eq!(det, 0);
+    assert_eq!((o1, o2), (s1, s2));
+    assert_eq!(base_cycles, sel_cycles);
+}
+
+#[test]
+fn full_budget_matches_intra_plus_lds_coverage() {
+    let k = two_store_kernel();
+    let full = transform(&k, &TransformOptions::intra_plus_lds()).unwrap();
+    let sel = transform(&k, &TransformOptions::selective(100)).unwrap();
+    let meta = sel.meta.selective.expect("selective meta");
+    assert_eq!(meta.planned_exits, meta.candidate_exits);
+    let rf = analyze(&full);
+    let rs = analyze(&sel);
+    // Identical user-visible protection tallies per residency.
+    for res in [
+        Residency::VgprLane,
+        Residency::SrfBroadcast,
+        Residency::LdsWord,
+        Residency::L1Line,
+        Residency::InFlightStore,
+    ] {
+        assert_eq!(
+            rf.tallies(Some(res), false),
+            rs.tallies(Some(res), false),
+            "{res:?} tallies diverge between full and budget-100"
+        );
+    }
+    assert_eq!(rf.lds_fault_class(), rs.lds_fault_class());
+}
+
+#[test]
+fn partial_budget_protects_a_strict_subset_and_preserves_outputs() {
+    let k = two_store_kernel();
+    let rk = transform(&k, &TransformOptions::selective(75)).unwrap();
+    let sel = rk.meta.selective.expect("selective meta");
+    assert_eq!(sel.candidate_exits, 2);
+    assert!(
+        sel.planned_exits >= 1 && sel.planned_exits < sel.candidate_exits,
+        "budget 75 should protect a strict non-empty subset, got {sel:?}"
+    );
+    assert_eq!(sel.planned_stores, sel.planned_exits);
+    assert!(verify_rmt(&k, &rk).is_empty());
+    let (o1, o2, _) = run_original(&k);
+    let (s1, s2, _, det) = run_selective(&k, 75);
+    assert_eq!(det, 0, "fault-free partial RMT must detect nothing");
+    assert_eq!((o1, o2), (s1, s2));
+}
+
+#[test]
+fn budget_sweep_is_monotone_in_detected_coverage() {
+    let k = two_store_kernel();
+    let mut last_detected = 0usize;
+    let mut last_vuln = f64::INFINITY;
+    for budget in [0u8, 25, 50, 75, 90, 100] {
+        let rk = transform(&k, &TransformOptions::selective(budget)).unwrap();
+        let report = analyze(&rk);
+        let t = report.tallies(None, false);
+        assert!(
+            t.detected >= last_detected,
+            "budget {budget}: detected tally dropped ({} < {last_detected})",
+            t.detected
+        );
+        let vuln = t.vulnerability_fraction();
+        assert!(
+            vuln <= last_vuln + 1e-12,
+            "budget {budget}: vulnerable fraction rose ({vuln} > {last_vuln})"
+        );
+        last_detected = t.detected;
+        last_vuln = vuln;
+    }
+    assert!(last_detected > 0, "budget 100 must detect something");
+}
+
+#[test]
+fn fault_class_unifies_the_three_lookups() {
+    let rk = transform(&probe_kernel(), &TransformOptions::intra_plus_lds()).unwrap();
+    let report = analyze(&rk);
+    let mut checked_vgpr = 0;
+    let mut checked_sgpr = 0;
+    for w in report.windows.iter().filter(|w| !w.machinery) {
+        match w.residency {
+            Residency::VgprLane => {
+                let t = FaultTarget::Vgpr {
+                    group: 0,
+                    wave: 0,
+                    reg: w.reg.0,
+                    lane: 0,
+                    bit: 0,
+                };
+                assert_eq!(fault_class(&report, &t), report.vgpr_fault_class(w.reg));
+                checked_vgpr += 1;
+            }
+            Residency::SrfBroadcast => {
+                let t = FaultTarget::Sgpr {
+                    group: 0,
+                    wave: 0,
+                    reg: w.reg.0,
+                    bit: 0,
+                };
+                assert_eq!(fault_class(&report, &t), report.sgpr_fault_class(w.reg));
+                checked_sgpr += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(checked_vgpr > 0 && checked_sgpr > 0, "probe exercises both");
+    let lds = FaultTarget::Lds {
+        group: 0,
+        offset: 0,
+        bit: 0,
+    };
+    assert_eq!(fault_class(&report, &lds), Some(report.lds_fault_class()));
+    let l1 = FaultTarget::L1Data {
+        cu: 0,
+        addr: 0,
+        bit: 0,
+    };
+    assert_eq!(fault_class(&report, &l1), None);
+    assert_eq!(
+        fault_class(&report, &FaultTarget::GlobalMem { addr: 0, bit: 0 }),
+        None
+    );
+}
+
+/// Recursively drop instructions matching `pred` from a block.
+fn strip(b: &Block, pred: &impl Fn(&Inst) -> bool) -> Block {
+    let mut out = Vec::new();
+    for inst in b.iter() {
+        if pred(inst) {
+            continue;
+        }
+        out.push(match inst {
+            Inst::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => Inst::If {
+                cond: *cond,
+                then_blk: strip(then_blk, pred),
+                else_blk: strip(else_blk, pred),
+            },
+            Inst::While {
+                cond,
+                cond_reg,
+                body,
+            } => Inst::While {
+                cond: strip(cond, pred),
+                cond_reg: *cond_reg,
+                body: strip(body, pred),
+            },
+            other => other.clone(),
+        });
+    }
+    Block(out)
+}
+
+#[test]
+fn verifier_reconciles_compares_against_the_plan() {
+    let k = two_store_kernel();
+    let mut rk = transform(&k, &TransformOptions::selective(100)).unwrap();
+    let want = rk.meta.selective.unwrap().planned_stores;
+    assert!(want > 0);
+    // Strip every detect `if` (single-atomic then-block): the compared
+    // store count collapses to zero and must disagree with the plan.
+    rk.kernel.body = strip(&rk.kernel.body, &|i| {
+        matches!(i, Inst::If { then_blk, .. }
+            if then_blk.len() == 1
+                && matches!(then_blk.iter().next(), Some(Inst::Atomic { .. })))
+    });
+    let errs = verify_rmt(&k, &rk);
+    assert!(
+        errs.iter().any(|e| matches!(
+            e,
+            VerifyError::SelectiveCompareCount { got: 0, want: w } if *w == want
+        )),
+        "expected SelectiveCompareCount, got {errs:?}"
+    );
+}
+
+#[test]
+fn tampered_identity_kernel_is_caught() {
+    let k = two_store_kernel();
+    let mut rk = transform(&k, &TransformOptions::selective(0)).unwrap();
+    // Sneak an extra instruction into the "identity" body.
+    rk.kernel.body = strip(&rk.kernel.body, &|i| {
+        matches!(
+            i,
+            Inst::Store {
+                space: MemSpace::Global,
+                ..
+            }
+        )
+    });
+    let errs = verify_rmt(&k, &rk);
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, VerifyError::SelectiveIdentity(_))),
+        "expected SelectiveIdentity, got {errs:?}"
+    );
+}

@@ -1,0 +1,49 @@
+//! End-to-end budget-monotonicity property over fuzz-generated kernels:
+//! for every generated case and every residency, raising the Selective
+//! budget never lowers the Detected tally of the transformed kernel's
+//! coverage report and never raises its overall Vulnerable fraction.
+
+use rmt_core::coverage::analyze;
+use rmt_core::{transform, TransformOptions};
+use rmt_ir::analysis::Residency;
+use rmt_ir::fuzz::{generate, GenConfig};
+
+const SEEDS: u64 = 24;
+const BUDGETS: [u8; 4] = [0, 50, 75, 100];
+const RESIDENCIES: [Residency; 5] = [
+    Residency::VgprLane,
+    Residency::SrfBroadcast,
+    Residency::LdsWord,
+    Residency::L1Line,
+    Residency::InFlightStore,
+];
+
+#[test]
+fn raising_the_budget_never_lowers_detected_tallies() {
+    let cfg = GenConfig::default();
+    for seed in 0..SEEDS {
+        let k = generate(seed, &cfg).kernel;
+        let mut prev_detected = [0usize; RESIDENCIES.len()];
+        let mut prev_vuln = f64::INFINITY;
+        for budget in BUDGETS {
+            let rk = transform(&k, &TransformOptions::selective(budget))
+                .expect("generated kernels are inside the supported subset");
+            let report = analyze(&rk);
+            for (i, res) in RESIDENCIES.iter().enumerate() {
+                let d = report.tallies(Some(*res), false).detected;
+                assert!(
+                    d >= prev_detected[i],
+                    "seed {seed} budget {budget}: {res:?} Detected fell ({d} < {})",
+                    prev_detected[i]
+                );
+                prev_detected[i] = d;
+            }
+            let vuln = report.tallies(None, false).vulnerability_fraction();
+            assert!(
+                vuln <= prev_vuln + 1e-12,
+                "seed {seed} budget {budget}: Vulnerable fraction rose ({vuln} > {prev_vuln})"
+            );
+            prev_vuln = vuln;
+        }
+    }
+}

@@ -535,6 +535,13 @@ struct Engine<'a> {
     channel_l1_loads: Vec<Reg>,
     /// (idx, operand regs) of compare-protected SoR exit stores/atomics.
     exit_ops: Vec<(usize, Vec<Reg>)>,
+    /// dst regs of user (non-comm) local loads — the registers through
+    /// which a corrupted LDS word re-enters the dataflow.
+    local_load_dsts: Vec<Reg>,
+    /// `true` if every observer of a replicated LDS word is itself
+    /// compared before escaping: only then may LDS words (and values that
+    /// flow solely into them) be classified Detected.
+    lds_clean: bool,
 }
 
 impl<'a> Engine<'a> {
@@ -553,6 +560,8 @@ impl<'a> Engine<'a> {
             user_l1_loads: Vec::new(),
             channel_l1_loads: Vec::new(),
             exit_ops: Vec::new(),
+            local_load_dsts: Vec::new(),
+            lds_clean: true,
         }
     }
 
@@ -707,6 +716,8 @@ impl<'a> Engine<'a> {
                         } else {
                             self.user_l1_loads.push(dst);
                         }
+                    } else if !self.is_comm_addr(addr) {
+                        self.local_load_dsts.push(dst);
                     }
                 }
                 NodeKind::IfCond(c) => {
@@ -781,6 +792,38 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// `true` if a corruption observed through this local-load result can
+    /// escape without crossing a comparison. Chains through further LDS
+    /// stores need no recursion: the word they corrupt is itself observed
+    /// by some local load, which this predicate checks directly.
+    fn lds_load_dirty(&self, st: &SinkState) -> bool {
+        if !st.observable() {
+            return false;
+        }
+        if st.tainted || st.control {
+            return true;
+        }
+        if !self.spec.full {
+            return true;
+        }
+        if let Some(&first_exit) = st.exits.iter().next() {
+            return st.compare_at.is_none_or(|c| c >= first_exit);
+        }
+        false
+    }
+
+    /// Decides whether replicated LDS words may be classified Detected:
+    /// only if every register observing an LDS word is compared before any
+    /// sphere-of-replication exit. Otherwise a corrupted word flows out
+    /// uncompared and the blanket "replica-private" verdict is unsound.
+    fn compute_lds_clean(&mut self) {
+        let empty = SinkState::default();
+        self.lds_clean = self.local_load_dsts.iter().all(|d| {
+            let st = self.states.get(d).unwrap_or(&empty);
+            !self.lds_load_dirty(st)
+        });
+    }
+
     /// Verdict for the VGPR-lane residency of `reg`.
     fn classify(&self, reg: Reg, st: &SinkState) -> (Protection, &'static str) {
         if self.spec.compare_regs.contains(&reg) {
@@ -820,10 +863,17 @@ impl<'a> Engine<'a> {
         } else if st.compare_at.is_some() {
             (Protection::Detected, "flows into an RMT comparison")
         } else if self.spec.replication.lds_replicated() {
-            (
-                Protection::Detected,
-                "flows only into a replica-private LDS word",
-            )
+            if self.lds_clean {
+                (
+                    Protection::Detected,
+                    "flows only into a replica-private LDS word",
+                )
+            } else {
+                (
+                    Protection::Vulnerable,
+                    "flows into an LDS word that escapes uncompared",
+                )
+            }
         } else {
             (
                 Protection::Vulnerable,
@@ -886,10 +936,15 @@ impl<'a> Engine<'a> {
                     Protection::Vulnerable,
                     "LDS word shared between both replicas",
                 )
-            } else if self.spec.full {
+            } else if self.spec.full && self.lds_clean {
                 (
                     Protection::Detected,
                     "replica-private LDS word feeding compared dataflow",
+                )
+            } else if self.spec.full {
+                (
+                    Protection::Vulnerable,
+                    "LDS word feeds an uncompared observable sink",
                 )
             } else {
                 (
@@ -986,6 +1041,7 @@ pub fn coverage(kernel: &Kernel, spec: &CoverageSpec) -> CoverageReport {
     engine.compute_params();
     engine.seed();
     engine.propagate();
+    engine.compute_lds_clean();
     engine.build_report(kernel)
 }
 
@@ -1177,6 +1233,27 @@ mod tests {
         let report = coverage(&k, &spec);
         assert_eq!(report.lds_fault_class(), Protection::Vulnerable);
         assert!(!report.structure_covered(Residency::LdsWord));
+    }
+
+    /// A replicated LDS word whose reader escapes uncompared must not be
+    /// classified Detected: the corruption flows to a global store with no
+    /// comparison in between (the unsound blanket verdict selective
+    /// hardening exposed).
+    #[test]
+    fn lds_word_dirty_when_reader_escapes() {
+        let mut b = KernelBuilder::new("t");
+        b.set_lds_bytes(64);
+        let out = b.buffer_param("out");
+        let zero = b.const_u32(0);
+        let x = b.const_u32(7);
+        b.store_local(zero, x);
+        let y = b.load_local(zero);
+        b.store_global(out, y); // no comparison anywhere
+        let k = b.finish();
+        let report = coverage(&k, &spec_intra());
+        assert_eq!(report.lds_fault_class(), Protection::Vulnerable);
+        // The staged value itself must not hide behind the LDS verdict.
+        assert_eq!(vgpr_of(&report, x), Protection::Vulnerable);
     }
 
     /// Loop-control values are Vulnerable: a corrupted trip count can skip

@@ -15,9 +15,13 @@
 //!   bounds checking;
 //! * [`coverage`] — protection-coverage classification of RMT-transformed
 //!   kernels (Detected / Vulnerable / Masked residency windows), the
-//!   static half of the injection cross-validation loop.
+//!   static half of the injection cross-validation loop;
+//! * [`harden`] — the inverse of [`coverage`]: a backward vulnerability
+//!   slicer that plans which sphere-of-replication exits to protect under
+//!   a budget (the `Selective` transform flavor consumes its plan).
 
 pub mod coverage;
+pub mod harden;
 pub mod lint;
 pub mod mix;
 pub mod pressure;
@@ -26,6 +30,7 @@ pub mod uniform;
 pub use coverage::{
     coverage, CoverageReport, CoverageSpec, Protection, Replication, Residency, Tallies, Window,
 };
+pub use harden::{harden, ExitSite, HardenConfig, HardenPlan, PlanWindow, Slice};
 pub use lint::{lint_kernel, Diagnostic, LintConfig, LintKind};
 pub use mix::{instruction_mix, InstMix};
 pub use pressure::{live_spans, register_pressure};

@@ -1,0 +1,80 @@
+//! Property tests for the selective-hardening planner over generated
+//! kernels: plans are deterministic for a fixed seed and budget, and
+//! monotone in the budget — raising it only ever adds protected exits and
+//! never lowers the predicted detection.
+
+use rmt_ir::analysis::harden::{harden, HardenConfig, HardenPlan};
+use rmt_ir::fuzz::{generate, GenConfig};
+
+const SEEDS: u64 = 48;
+const BUDGETS: [u8; 6] = [0, 25, 50, 75, 90, 100];
+
+#[test]
+fn plans_are_deterministic_for_fixed_seed_and_budget() {
+    let cfg = GenConfig::default();
+    for seed in 0..SEEDS {
+        let k = generate(seed, &cfg).kernel;
+        for budget in BUDGETS {
+            let hc = HardenConfig::with_budget(budget);
+            assert_eq!(
+                harden(&k, &hc),
+                harden(&k, &hc),
+                "seed {seed} budget {budget}: plan not deterministic"
+            );
+        }
+    }
+}
+
+#[test]
+fn plans_are_monotone_in_the_budget() {
+    let cfg = GenConfig::default();
+    for seed in 0..SEEDS {
+        let k = generate(seed, &cfg).kernel;
+        let mut prev: Option<HardenPlan> = None;
+        for budget in BUDGETS {
+            let plan = harden(&k, &HardenConfig::with_budget(budget));
+            // Every selected exit is a real candidate site.
+            for &e in &plan.selected_exits {
+                assert!(
+                    plan.exits.iter().any(|s| s.ordinal == e),
+                    "seed {seed} budget {budget}: phantom exit {e}"
+                );
+            }
+            assert!(plan.selected_cost <= plan.total_cost);
+            if let Some(p) = &prev {
+                assert!(
+                    p.selected_exits.is_subset(&plan.selected_exits),
+                    "seed {seed}: budget {budget} dropped exits selected at {}",
+                    p.budget
+                );
+                assert!(
+                    p.predicted_detected() <= plan.predicted_detected(),
+                    "seed {seed}: predicted detection fell at budget {budget}"
+                );
+                assert!(
+                    p.predicted_vulnerable_weight() >= plan.predicted_vulnerable_weight(),
+                    "seed {seed}: predicted vulnerable weight rose at budget {budget}"
+                );
+            }
+            prev = Some(plan);
+        }
+    }
+}
+
+#[test]
+fn budget_extremes_are_exact() {
+    let cfg = GenConfig::default();
+    for seed in 0..SEEDS {
+        let k = generate(seed, &cfg).kernel;
+        let zero = harden(&k, &HardenConfig::with_budget(0));
+        assert!(zero.is_empty(), "seed {seed}: budget 0 selected exits");
+        assert_eq!(zero.selected_cost, 0);
+        let full = harden(&k, &HardenConfig::with_budget(100));
+        assert_eq!(
+            full.selected_exits.len(),
+            full.exits.len(),
+            "seed {seed}: budget 100 left exits unplanned"
+        );
+        assert_eq!(full.selected_cost, full.total_cost);
+    }
+}

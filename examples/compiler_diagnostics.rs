@@ -63,6 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 TransformOptions::intra_plus_lds(),
                 TransformOptions::intra_minus_lds(),
                 TransformOptions::inter(),
+                TransformOptions::selective(50),
             ]
             .map(|opts| (b.as_ref(), opts))
         })
@@ -122,6 +123,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TransformOptions::intra_minus_lds(),
         TransformOptions::inter(),
         TransformOptions::intra_plus_lds().with_swizzle(),
+        TransformOptions::selective(50),
     ] {
         let rk = transform(&kernel, &opts)?;
         let report = coverage::analyze(&rk);
