@@ -14,6 +14,7 @@ pub mod power;
 pub mod profile;
 pub mod swizzle;
 pub mod tables;
+pub mod tv;
 
 use crate::ExpConfig;
 
@@ -44,6 +45,7 @@ pub const ALL_IDS: &[&str] = &[
     "baseline",
     "ablation",
     "lint",
+    "tv",
     "pareto",
 ];
 
@@ -71,6 +73,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Result<String, String> {
         "baseline" => ablation::baseline(cfg),
         "ablation" => ablation::ablation(cfg),
         "lint" => lint::lint(cfg),
+        "tv" => tv::tv(cfg),
         "pareto" => pareto::pareto(cfg),
         "bench" => bench::bench(cfg),
         "fuzz" => fuzz::fuzz(cfg),

@@ -32,6 +32,18 @@ fn profile_json_is_identical_across_jobs() {
 }
 
 #[test]
+fn tv_json_is_identical_across_jobs() {
+    let mut cfg = ExpConfig::small();
+    cfg.json = true;
+    let serial = experiments::run("tv", &cfg).expect("serial run");
+    let parallel = experiments::run("tv", &cfg.clone().with_jobs(8)).expect("parallel run");
+    assert_eq!(
+        serial, parallel,
+        "tv --json must be byte-identical at --jobs 1 and --jobs 8"
+    );
+}
+
+#[test]
 fn fig2_report_is_identical_across_jobs() {
     let cfg = ExpConfig::small();
     let serial = experiments::run("fig2", &cfg).expect("serial run");

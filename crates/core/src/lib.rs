@@ -87,6 +87,7 @@ pub mod profile;
 mod report;
 pub mod sor;
 mod transform;
+pub mod tv;
 pub mod verify;
 
 pub use error::RmtError;
@@ -95,4 +96,5 @@ pub use options::{CommMode, RmtFlavor, Stage, TransformOptions};
 pub use profile::{classify_insts, split_cycles, CycleBucket, CycleSplit};
 pub use report::TransformReport;
 pub use transform::{transform, Provenance, RmtKernel, RmtMeta, RmtTag, SelectiveMeta};
+pub use tv::validate_transform;
 pub use verify::{verify_rmt, VerifyError};

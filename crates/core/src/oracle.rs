@@ -8,8 +8,10 @@
 //!    the simulator (its output buffers become the *golden* reference);
 //! 2. every full-stage flavor (Intra+LDS, Intra−LDS, Inter, FAST,
 //!    Selective) transforms without error, still validates, upholds
-//!    [`verify_rmt`](crate::verify_rmt)'s transform invariants, and lints
-//!    clean at the doubled launch shape;
+//!    [`verify_rmt`](crate::verify_rmt)'s transform invariants, proves
+//!    fault-free-equivalent to the original under the symbolic
+//!    translation validator ([`crate::tv`]), and lints clean at the
+//!    doubled launch shape;
 //! 3. each transformed kernel's fault-free run produces **bit-identical**
 //!    user buffers and **zero** detections — RMT must be invisible when
 //!    nothing goes wrong;
@@ -61,6 +63,9 @@ pub enum FailureKind {
     Transform,
     /// `verify_rmt` found a broken transform invariant.
     Verify,
+    /// The symbolic translation validator ([`crate::tv`]) left unproven
+    /// equivalence or compare-dominance obligations.
+    Unproven,
     /// The lint reported a diagnostic.
     LintDirty,
     /// A fault-free launch failed in the simulator.
@@ -82,6 +87,7 @@ impl FailureKind {
             FailureKind::Invalid => "invalid",
             FailureKind::Transform => "transform",
             FailureKind::Verify => "verify",
+            FailureKind::Unproven => "tv-unproven",
             FailureKind::LintDirty => "lint",
             FailureKind::Sim => "sim",
             FailureKind::FalseDetection => "false-detection",
@@ -466,6 +472,15 @@ pub fn check_case_with(
             let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
             return Err(fail(FailureKind::Verify, label, msgs.join("; ")));
         }
+        let tv_report = crate::tv::validate_transform(&case.kernel, &rk);
+        if !tv_report.proved() {
+            let msgs: Vec<&str> = tv_report
+                .residue
+                .iter()
+                .map(|r| r.detail.as_str())
+                .collect();
+            return Err(fail(FailureKind::Unproven, label, msgs.join("; ")));
+        }
         let lint_local = if rk.meta.doubles_workgroup() {
             case.local * 2
         } else {
@@ -637,7 +652,7 @@ mod tests {
         assert!(
             matches!(
                 failure.kind,
-                FailureKind::Verify | FailureKind::FalseDetection
+                FailureKind::Verify | FailureKind::Unproven | FailureKind::FalseDetection
             ),
             "unexpected failure: {failure}"
         );
@@ -653,6 +668,72 @@ mod tests {
         let again = check_case_with(&f.case, &cfg, &spurious_detection)
             .expect_err("minimized case must still fail");
         assert_eq!(again.kind, f.kind);
+    }
+
+    /// Sabotage that blinds one detection compare: the *second* compare
+    /// tagged [`RmtTag::DetectCompare`] (the value leg of the first
+    /// protected exit) is replaced by constant `false`. The structure the
+    /// verifier checks survives — a detect bump still exists, guarded by
+    /// a channel-consuming condition — so only the translation
+    /// validator's coverage obligation can catch it.
+    fn blind_value_compare(rk: &mut RmtKernel) {
+        use crate::transform::RmtTag;
+        fn walk(insts: &mut [Inst], seen: &mut usize, rk_tags: &crate::Provenance) {
+            for inst in insts {
+                match inst {
+                    Inst::Cmp { dst, .. } if rk_tags.is(*dst, RmtTag::DetectCompare) => {
+                        *seen += 1;
+                        if *seen == 2 {
+                            *inst = Inst::Const {
+                                dst: match inst.dst() {
+                                    Some(d) => d,
+                                    None => unreachable!("Cmp has a destination"),
+                                },
+                                ty: Ty::U32,
+                                bits: 0,
+                            };
+                        }
+                    }
+                    Inst::If {
+                        then_blk, else_blk, ..
+                    } => {
+                        walk(&mut then_blk.0, seen, rk_tags);
+                        walk(&mut else_blk.0, seen, rk_tags);
+                    }
+                    Inst::While { cond, body, .. } => {
+                        walk(&mut cond.0, seen, rk_tags);
+                        walk(&mut body.0, seen, rk_tags);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let tags = rk.provenance.clone();
+        let mut seen = 0;
+        walk(&mut rk.kernel.body.0, &mut seen, &tags);
+    }
+
+    #[test]
+    fn oracle_tv_stage_catches_a_blinded_compare() {
+        let cfg = OracleConfig::quick().without_faults();
+        let gen_cfg = GenConfig::default();
+        // Find a generated case whose Intra+LDS transform has at least
+        // two detection compares, so the sabotage has a target.
+        let case = (0..32)
+            .map(|i| generate(child_seed(0xFEED, i), &gen_cfg))
+            .find(|c| {
+                transform(&c.kernel, &TransformOptions::intra_plus_lds()).is_ok_and(|rk| {
+                    rk.provenance.regs_with(crate::RmtTag::DetectCompare).len() >= 2
+                })
+            })
+            .expect("some fuzz case has a protected exit");
+        let failure = check_case_with(&case, &cfg, &blind_value_compare)
+            .expect_err("blinded compare must be caught");
+        assert_eq!(failure.kind, FailureKind::Unproven, "{failure}");
+        assert!(
+            failure.message.contains("no channel-sourced compare"),
+            "message must name the uncovered obligation: {failure}"
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 use crate::options::{CommMode, RmtFlavor, Stage};
 use crate::transform::{RmtKernel, RmtTag};
+use rmt_ir::analysis::harden::{harden, HardenConfig};
 use rmt_ir::{AtomicOp, Block, CmpOp, Inst, Kernel, MemSpace, Reg};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -85,6 +86,17 @@ pub enum VerifyError {
         /// Planned protected stores recorded by the transform.
         want: u32,
     },
+    /// A `Selective` kernel protects a different global store than the
+    /// recomputed plan selected. Totals can agree while the protection
+    /// sits on the wrong exits, so the reconciliation is per store.
+    SelectiveStoreProtection {
+        /// Pre-order ordinal of the store among the kernel's global
+        /// stores.
+        store: u32,
+        /// `true` if the kernel compares this store — the plan says the
+        /// opposite.
+        protected: bool,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -123,6 +135,11 @@ impl fmt::Display for VerifyError {
             VerifyError::SelectiveCompareCount { got, want } => write!(
                 f,
                 "Selective kernel compares {got} stores, plan selected {want}"
+            ),
+            VerifyError::SelectiveStoreProtection { store, protected } => write!(
+                f,
+                "Selective kernel {} global store {store}, plan says the opposite",
+                if *protected { "compares" } else { "skips" }
             ),
         }
     }
@@ -263,9 +280,10 @@ struct Checker<'a> {
     rk: &'a RmtKernel,
     facts: Facts,
     errors: Vec<VerifyError>,
-    /// Global stores preceded by a compare-and-detect (counted only for
-    /// `Selective` kernels, where unplanned exits legitimately lack one).
-    compared_stores: u32,
+    /// Per-global-store protection observed in pre-order (recorded only
+    /// for `Selective` kernels, where unplanned exits legitimately lack a
+    /// compare); reconciled store-by-store against the recomputed plan.
+    store_protection: Vec<bool>,
 }
 
 impl Checker<'_> {
@@ -392,25 +410,29 @@ impl Checker<'_> {
         // detect counter, and its condition must have consumed a value
         // that crossed the channel.
         let selective = self.rk.meta.selective.is_some();
+        let mut protected = false;
         for prior in blk.iter().take(idx) {
             if let Inst::If { cond, then_blk, .. } = prior {
                 if has_detect_bump(then_blk, &self.facts, self.detect_param()) {
                     if !self.compare_uses_channel(*cond) {
                         self.errors.push(VerifyError::CompareWithoutChannel);
                     }
-                    if selective {
-                        self.compared_stores += 1;
-                    }
-                    return;
+                    protected = true;
+                    break;
                 }
             }
         }
         if selective {
             // Exits outside the plan's budget are deliberately uncompared;
-            // the total is reconciled against the plan afterwards.
+            // each store is reconciled against the plan afterwards.
+            if space == MemSpace::Global {
+                self.store_protection.push(protected);
+            }
             return;
         }
-        self.errors.push(VerifyError::StoreWithoutCompare { space });
+        if !protected {
+            self.errors.push(VerifyError::StoreWithoutCompare { space });
+        }
     }
 
     /// Inter-Group full stage: the deadlock-free ticket prologue.
@@ -525,6 +547,45 @@ fn count_barriers(b: &Block) -> usize {
         .sum()
 }
 
+/// Per-global-store protection the plan promises, in the same pre-order
+/// the transform assigns exit ordinals (global stores and global atomics
+/// both consume an ordinal; only stores enter the vector).
+fn planned_store_protection(
+    b: &Block,
+    selected: &std::collections::BTreeSet<usize>,
+    ord: &mut usize,
+    out: &mut Vec<bool>,
+) {
+    for inst in b.iter() {
+        match inst {
+            Inst::Store {
+                space: MemSpace::Global,
+                ..
+            } => {
+                out.push(selected.contains(ord));
+                *ord += 1;
+            }
+            Inst::Atomic {
+                space: MemSpace::Global,
+                ..
+            } => {
+                *ord += 1;
+            }
+            Inst::If {
+                then_blk, else_blk, ..
+            } => {
+                planned_store_protection(then_blk, selected, ord, out);
+                planned_store_protection(else_blk, selected, ord, out);
+            }
+            Inst::While { cond, body, .. } => {
+                planned_store_protection(cond, selected, ord, out);
+                planned_store_protection(body, selected, ord, out);
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Does the *original* kernel have any sphere-of-replication exit under
 /// the given flavor?
 fn original_has_sor_exit(original: &Kernel, flavor: RmtFlavor) -> bool {
@@ -587,7 +648,7 @@ pub fn verify_rmt(original: &Kernel, rk: &RmtKernel) -> Vec<VerifyError> {
         rk,
         facts,
         errors: Vec::new(),
-        compared_stores: 0,
+        store_protection: Vec::new(),
     };
 
     let full = rk.meta.options.stage == Stage::Full;
@@ -602,11 +663,28 @@ pub fn verify_rmt(original: &Kernel, rk: &RmtKernel) -> Vec<VerifyError> {
     checker.check_ticket_prologue();
 
     if let Some(sel) = rk.meta.selective {
-        if checker.compared_stores != sel.planned_stores {
+        // The plan is a deterministic function of the original kernel and
+        // the budget, so it can be recomputed here and reconciled exit by
+        // exit: a transform that protects the *wrong* store with the
+        // *right* total must not pass.
+        let plan = harden(original, &HardenConfig::with_budget(sel.budget));
+        let mut want = Vec::new();
+        planned_store_protection(&original.body, &plan.selected_exits, &mut 0, &mut want);
+        let got = checker.store_protection.iter().filter(|&&p| p).count() as u32;
+        if checker.store_protection.len() != want.len() || got != sel.planned_stores {
             checker.errors.push(VerifyError::SelectiveCompareCount {
-                got: checker.compared_stores,
+                got,
                 want: sel.planned_stores,
             });
+        } else {
+            for (i, (&g, &w)) in checker.store_protection.iter().zip(&want).enumerate() {
+                if g != w {
+                    checker.errors.push(VerifyError::SelectiveStoreProtection {
+                        store: i as u32,
+                        protected: g,
+                    });
+                }
+            }
         }
     }
 
@@ -822,6 +900,68 @@ mod tests {
         rk.kernel.body = rewrite(&rk.kernel.body);
         let errs = verify_rmt(&k, &rk);
         assert!(errs.contains(&VerifyError::PlainPoll), "got {errs:?}");
+    }
+
+    #[test]
+    fn selective_wrong_store_protected_is_caught() {
+        // Two stores, a budget that protects exactly one. Swapping the two
+        // consumer blocks keeps the protected-store *total* right while
+        // moving the protection to the store the plan did not select — the
+        // per-exit reconciliation must notice what a global count cannot.
+        let mut b = KernelBuilder::new("two");
+        let xs = b.buffer_param("xs");
+        let ys = b.buffer_param("ys");
+        let gid = b.global_id(0);
+        let xa = b.elem_addr(xs, gid);
+        let v = b.load_global(xa);
+        b.store_global(xa, v);
+        let ya = b.elem_addr(ys, gid);
+        b.store_global(ya, gid);
+        let k = b.finish();
+
+        let mut budget = None;
+        for try_budget in [30, 50, 70] {
+            let rk = transform(&k, &TransformOptions::selective(try_budget)).unwrap();
+            if rk.meta.selective.unwrap().planned_stores == 1 {
+                budget = Some(try_budget);
+                break;
+            }
+        }
+        let budget = budget.expect("some budget protects exactly one of two stores");
+        let mut rk = transform(&k, &TransformOptions::selective(budget)).unwrap();
+        assert_eq!(verify_rmt(&k, &rk), Vec::new());
+
+        fn holds_global_store(b: &Block) -> bool {
+            b.iter().any(|i| match i {
+                Inst::Store {
+                    space: MemSpace::Global,
+                    ..
+                } => true,
+                Inst::If {
+                    then_blk, else_blk, ..
+                } => holds_global_store(then_blk) || holds_global_store(else_blk),
+                _ => false,
+            })
+        }
+        let cons: Vec<usize> = rk
+            .kernel
+            .body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, inst)| match inst {
+                Inst::If { then_blk, .. } if holds_global_store(then_blk) => Some(i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cons.len(), 2, "one consumer block per store");
+        rk.kernel.body.0.swap(cons[0], cons[1]);
+
+        let errs = verify_rmt(&k, &rk);
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, VerifyError::SelectiveStoreProtection { .. })),
+            "got {errs:?}"
+        );
     }
 
     #[test]

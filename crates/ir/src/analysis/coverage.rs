@@ -32,7 +32,7 @@
 //! while inserting comparisons and communication code.
 
 use crate::analysis::pressure::live_spans;
-use crate::analysis::uniform::uniform_regs;
+use crate::analysis::uniformity::uniform_regs;
 use crate::inst::{Block, Builtin, Dim, Inst, MemSpace, Reg};
 use crate::kernel::Kernel;
 use std::collections::{BTreeSet, HashMap, HashSet};

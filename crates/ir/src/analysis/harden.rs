@@ -32,7 +32,7 @@ use crate::analysis::coverage::{coverage, CoverageSpec, Protection, Replication,
 use crate::analysis::lint::expr::{
     builtin_poly, rem_poly, shr_poly, AtomKind, Atoms, LintAssumptions, Poly, BIG,
 };
-use crate::analysis::uniform::uniform_regs;
+use crate::analysis::uniformity::uniform_regs;
 use crate::inst::{BinOp, Block, Inst, MemSpace, Reg};
 use crate::kernel::Kernel;
 use crate::types::Ty;

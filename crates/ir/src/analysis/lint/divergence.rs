@@ -41,9 +41,58 @@
 use super::engine::Engine;
 use super::expr::LintAssumptions;
 use super::Diagnostic;
+use crate::analysis::uniformity::group_divergent_regs;
+use crate::inst::{Inst, Reg};
 use crate::kernel::Kernel;
+use std::collections::HashSet;
+
+/// `true` if any `Barrier` or `Swizzle` executes under a guard chain the
+/// syntactic taint of [`group_divergent_regs`] considers divergent. Both
+/// divergence diagnostic kinds require such a site: the symbolic guard
+/// classification is strictly stronger than the taint (it proves more
+/// guards uniform, never fewer), so when this over-approximation finds no
+/// candidate site the engine cannot report one either.
+fn has_tainted_sync_site(kernel: &Kernel) -> bool {
+    let nu = group_divergent_regs(kernel);
+    fn walk(insts: &[Inst], divergent: bool, nu: &HashSet<Reg>) -> bool {
+        insts.iter().any(|inst| match inst {
+            Inst::Barrier | Inst::Swizzle { .. } => divergent,
+            Inst::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let div = divergent || nu.contains(cond);
+                walk(&then_blk.0, div, nu) || walk(&else_blk.0, div, nu)
+            }
+            Inst::While {
+                cond,
+                cond_reg,
+                body,
+            } => {
+                let div = divergent || nu.contains(cond_reg);
+                walk(&cond.0, div, nu) || walk(&body.0, div, nu)
+            }
+            _ => false,
+        })
+    }
+    walk(&kernel.body.0, false, &nu)
+}
 
 /// Runs only the divergence family on `kernel`.
+///
+/// Fast path: the shared taint fixpoint from
+/// [`crate::analysis::uniformity`] screens the kernel first — when no
+/// barrier or swizzle sits under even a coarsely-divergent guard, the
+/// symbolic engine walk is skipped entirely.
 pub fn check_divergence(kernel: &Kernel, asm: &LintAssumptions) -> Vec<Diagnostic> {
+    if !has_tainted_sync_site(kernel) {
+        debug_assert!(
+            Engine::new(kernel, *asm).run().divergence.is_empty(),
+            "taint pre-filter certified `{}` clean but the engine disagrees",
+            kernel.name
+        );
+        return Vec::new();
+    }
     Engine::new(kernel, *asm).run().divergence
 }

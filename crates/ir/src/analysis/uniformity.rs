@@ -1,15 +1,135 @@
-//! Wavefront-uniformity analysis.
+//! Uniformity analyses: the shared fixpoints deciding which registers hold
+//! the same value across lanes.
 //!
-//! A register is *wavefront-uniform* if every lane of any wavefront always
-//! holds the same value in it. GCN executes computation on uniform values on
-//! the scalar unit (SU) with scalar registers (SRF) — which is precisely why
-//! Intra-Group RMT cannot protect the SU/SRF (redundant work-items inside one
-//! wavefront share the scalar stream) while Inter-Group RMT can (Sections
-//! 6.1 and 7.1 of the paper).
+//! Two dual analyses live here, used by three consumers:
+//!
+//! * [`group_divergent_regs`] — a *pessimistic* (taint) fixpoint computing
+//!   the registers that **may differ** across the work-items of one group.
+//!   [`crate::validate`] uses it for the barrier-divergence rules, and the
+//!   translation validator ([`crate::analysis::equiv`]) uses it to refuse
+//!   kernels whose barriers sit under divergent control (its lock-step
+//!   memory clock assumes group-uniform barrier reachability). The lint
+//!   framework's divergence pass consumes it as a sound pre-filter (the
+//!   symbolic guard classification is strictly stronger, so when this
+//!   over-approximation certifies a kernel clean the engine walk is
+//!   skipped).
+//! * [`uniform_regs`] — an *optimistic* fixpoint computing the registers
+//!   that provably hold the same value in every lane of a **wavefront**.
+//!   GCN executes computation on uniform values on the scalar unit (SU)
+//!   with scalar registers (SRF) — which is precisely why Intra-Group RMT
+//!   cannot protect the SU/SRF (redundant work-items inside one wavefront
+//!   share the scalar stream) while Inter-Group RMT can (Sections 6.1 and
+//!   7.1 of the paper).
+//!
+//! Both walk the same structured IR with the same divergence-context
+//! threading; they differ in direction (may-differ vs. must-agree) and in
+//! scope (work-group vs. wavefront — every builtin uniform at wavefront
+//! scope here is uniform at group scope too, so the taint analysis reuses
+//! [`crate::Builtin::is_wavefront_uniform`]).
 
 use crate::inst::{Inst, Reg};
 use crate::kernel::Kernel;
 use std::collections::HashSet;
+
+/// Monotone taint analysis: the set of registers whose value may differ
+/// across the work-items of one group. Grows until a fixpoint (loops feed
+/// iteration `k` values into iteration `k+1`, and a value assigned under
+/// divergent control is divergent even when its operands are uniform).
+///
+/// Sound, with no value reasoning (`lid - lid` counts as divergent) — the
+/// lint passes in [`crate::analysis::lint`] carry the precise symbolic
+/// version of the same rule.
+pub fn group_divergent_regs(kernel: &Kernel) -> HashSet<Reg> {
+    let mut nu: HashSet<Reg> = HashSet::new();
+    loop {
+        let before = nu.len();
+        taint_block(&kernel.body.0, false, &mut nu);
+        if nu.len() == before {
+            return nu;
+        }
+    }
+}
+
+fn taint_block(insts: &[Inst], ctl_divergent: bool, nu: &mut HashSet<Reg>) {
+    for inst in insts {
+        let mut srcs = Vec::new();
+        inst.srcs(&mut srcs);
+        let src_nu = srcs.iter().any(|r| nu.contains(r));
+        let inherently_nu = match inst {
+            Inst::ReadBuiltin { builtin, .. } => !builtin.is_wavefront_uniform(),
+            // LDS holds per-lane data; global loads from one (uniform)
+            // address observe one value (the scalarization assumption).
+            Inst::Load { space, .. } => *space == crate::inst::MemSpace::Local,
+            // Each participating lane gets a distinct return value.
+            Inst::Atomic { .. } => true,
+            // Lane exchange is per-lane by construction.
+            Inst::Swizzle { .. } => true,
+            _ => false,
+        };
+        if let Some(d) = inst.dst() {
+            if src_nu || inherently_nu || ctl_divergent {
+                nu.insert(d);
+            }
+        }
+        match inst {
+            Inst::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let div = ctl_divergent || nu.contains(cond);
+                taint_block(&then_blk.0, div, nu);
+                taint_block(&else_blk.0, div, nu);
+            }
+            Inst::While {
+                cond,
+                cond_reg,
+                body,
+            } => {
+                // The loop condition is evaluated after the condition
+                // block; its divergence taints everything written in the
+                // loop (trip counts differ per lane). The outer fixpoint
+                // re-runs this until stable.
+                let div = ctl_divergent || nu.contains(cond_reg);
+                taint_block(&cond.0, div, nu);
+                taint_block(&body.0, div, nu);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `true` if any `Barrier` in the kernel sits under an `if`/`while` whose
+/// condition is group-divergent per [`group_divergent_regs`]. The converse
+/// of [`crate::validate`]'s barrier rules, packaged as a query so other
+/// analyses (the translation validator, the lint pre-filter) can consume
+/// the same fixpoint without re-running full validation.
+pub fn has_divergent_barrier(kernel: &Kernel) -> bool {
+    let nu = group_divergent_regs(kernel);
+    fn walk(insts: &[Inst], divergent: bool, nu: &HashSet<Reg>) -> bool {
+        insts.iter().any(|inst| match inst {
+            Inst::Barrier => divergent,
+            Inst::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let div = divergent || nu.contains(cond);
+                walk(&then_blk.0, div, nu) || walk(&else_blk.0, div, nu)
+            }
+            Inst::While {
+                cond,
+                cond_reg,
+                body,
+            } => {
+                let div = divergent || nu.contains(cond_reg);
+                walk(&cond.0, div, nu) || walk(&body.0, div, nu)
+            }
+            _ => false,
+        })
+    }
+    walk(&kernel.body.0, false, &nu)
+}
 
 /// Computes the set of wavefront-uniform registers.
 ///
@@ -137,6 +257,12 @@ mod tests {
         assert!(u.contains(&n));
         assert!(u.contains(&base));
         assert!(!u.contains(&mixed));
+        // The dual taint analysis agrees on every register here.
+        let nu = group_divergent_regs(&k);
+        assert!(nu.contains(&gid));
+        assert!(nu.contains(&mixed));
+        assert!(!nu.contains(&grp));
+        assert!(!nu.contains(&base));
     }
 
     #[test]
@@ -153,6 +279,7 @@ mod tests {
         let u = uniform_regs(&k);
         assert!(!u.contains(&inner.unwrap()));
         assert!(u.contains(&zero));
+        assert!(group_divergent_regs(&k).contains(&inner.unwrap()));
     }
 
     #[test]
@@ -168,6 +295,7 @@ mod tests {
         let k = b.finish();
         let u = uniform_regs(&k);
         assert!(u.contains(&inner.unwrap()));
+        assert!(!group_divergent_regs(&k).contains(&inner.unwrap()));
     }
 
     #[test]
@@ -190,6 +318,7 @@ mod tests {
         let k = b.finish();
         let u = uniform_regs(&k);
         assert!(!u.contains(&i), "loop variable with divergent bound");
+        assert!(group_divergent_regs(&k).contains(&i));
     }
 
     #[test]
@@ -202,7 +331,7 @@ mod tests {
         let v = b.add_u32(s, gid);
         let buf = b.buffer_param("out");
         let a = b.elem_addr(buf, v);
-        b.store_global(a, s);
+        b.store_global(a, v);
         let k = b.finish();
         let u = uniform_regs(&k);
         let mut scalar = 0;
@@ -218,5 +347,23 @@ mod tests {
         });
         assert!(scalar >= 3, "grp, two, s at least");
         assert!(vector >= 2, "gid, v at least");
+    }
+
+    #[test]
+    fn divergent_barrier_query() {
+        let mut b = KernelBuilder::new("bad");
+        let lid = b.local_id(0);
+        let n = b.const_u32(32);
+        let c = b.lt_u32(lid, n);
+        b.if_(c, |b| b.barrier());
+        assert!(has_divergent_barrier(&b.finish()));
+
+        let mut b = KernelBuilder::new("ok");
+        let grp = b.group_id(0);
+        let zero = b.const_u32(0);
+        let c = b.eq_u32(grp, zero);
+        b.if_(c, |b| b.barrier());
+        b.barrier();
+        assert!(!has_divergent_barrier(&b.finish()));
     }
 }

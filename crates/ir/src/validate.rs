@@ -17,11 +17,13 @@
 //! only from group-uniform values (constants, parameters, `group_id`,
 //! `local_size`, `num_groups`, and arithmetic over those). Conditions
 //! touching `local_id`/`global_id`, LDS loads, atomics, swizzles, or any
-//! value assigned under divergent control are rejected. This is a
-//! syntactic taint analysis: sound, with no value reasoning (`lid - lid`
-//! counts as divergent) — the lint passes in [`crate::analysis::lint`]
-//! carry the precise symbolic version of the same rule.
+//! value assigned under divergent control are rejected. The taint fixpoint
+//! itself lives in [`crate::analysis::uniformity`] (shared with the lint
+//! divergence pre-filter and the translation validator) — the lint passes
+//! in [`crate::analysis::lint`] carry the precise symbolic version of the
+//! same rule.
 
+use crate::analysis::uniformity::group_divergent_regs;
 use crate::inst::{BinOp, Block, Inst, Reg};
 use crate::kernel::Kernel;
 use std::collections::HashSet;
@@ -80,70 +82,6 @@ impl fmt::Display for ValidateError {
 }
 
 impl Error for ValidateError {}
-
-/// Monotone taint analysis: the set of registers whose value may differ
-/// across the work-items of one group. Grows until a fixpoint (loops feed
-/// iteration `k` values into iteration `k+1`, and a value assigned under
-/// divergent control is divergent even when its operands are uniform).
-fn non_uniform_regs(kernel: &Kernel) -> HashSet<Reg> {
-    let mut nu: HashSet<Reg> = HashSet::new();
-    loop {
-        let before = nu.len();
-        taint_block(&kernel.body, false, &mut nu);
-        if nu.len() == before {
-            return nu;
-        }
-    }
-}
-
-fn taint_block(b: &Block, ctl_divergent: bool, nu: &mut HashSet<Reg>) {
-    for inst in b.iter() {
-        let mut srcs = Vec::new();
-        inst.srcs(&mut srcs);
-        let src_nu = srcs.iter().any(|r| nu.contains(r));
-        let inherently_nu = match inst {
-            Inst::ReadBuiltin { builtin, .. } => !builtin.is_wavefront_uniform(),
-            // LDS holds per-lane data; global loads from one (uniform)
-            // address observe one value (the scalarization assumption).
-            Inst::Load { space, .. } => *space == crate::inst::MemSpace::Local,
-            // Each participating lane gets a distinct return value.
-            Inst::Atomic { .. } => true,
-            // Lane exchange is per-lane by construction.
-            Inst::Swizzle { .. } => true,
-            _ => false,
-        };
-        if let Some(d) = inst.dst() {
-            if src_nu || inherently_nu || ctl_divergent {
-                nu.insert(d);
-            }
-        }
-        match inst {
-            Inst::If {
-                cond,
-                then_blk,
-                else_blk,
-            } => {
-                let div = ctl_divergent || nu.contains(cond);
-                taint_block(then_blk, div, nu);
-                taint_block(else_blk, div, nu);
-            }
-            Inst::While {
-                cond,
-                cond_reg,
-                body,
-            } => {
-                // The loop condition is evaluated after the condition
-                // block; its divergence taints everything written in the
-                // loop (trip counts differ per lane). The outer fixpoint
-                // re-runs this until stable.
-                let div = ctl_divergent || nu.contains(cond_reg);
-                taint_block(cond, div, nu);
-                taint_block(body, div, nu);
-            }
-            _ => {}
-        }
-    }
-}
 
 struct Ctx<'k> {
     kernel: &'k Kernel,
@@ -266,7 +204,7 @@ pub fn validate(kernel: &Kernel) -> Result<(), ValidateError> {
     let mut ctx = Ctx {
         kernel,
         defined: HashSet::new(),
-        non_uniform: non_uniform_regs(kernel),
+        non_uniform: group_divergent_regs(kernel),
         divergent_ifs: 0,
         divergent_loops: 0,
     };

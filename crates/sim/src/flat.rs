@@ -6,7 +6,7 @@
 //! around divergent control flow.
 
 use crate::error::SimError;
-use rmt_ir::analysis::uniform::{is_scalar_inst, uniform_regs};
+use rmt_ir::analysis::uniformity::{is_scalar_inst, uniform_regs};
 use rmt_ir::analysis::{instruction_mix, register_pressure, InstMix};
 use rmt_ir::{Block, Inst, Kernel, Param, Reg};
 
