@@ -18,8 +18,12 @@ fn usage() -> String {
         "usage: repro <experiment>... [--scale small|paper|large] [--json] [--jobs N]\n\
          \x20                        [--seed N] [--budget N] [--protect N]\n\
          \x20                        [--kernel K] [--flavor F] [--timeline OUT.json]\n\
+         \x20                        [--engine event|lockstep]\n\
          --jobs N      worker threads for independent simulation cells\n\
          \x20             (default: available parallelism; output is identical for any N)\n\
+         --engine E    machine-loop implementation: event (time-skipping, default)\n\
+         \x20             or lockstep (tick-by-tick reference); observables are\n\
+         \x20             bit-identical either way, only wall-clock differs\n\
          --seed N      campaign seed for `fuzz` (default 1)\n\
          --budget N    generated cases for `fuzz` (default 200)\n\
          --protect N   single protection budget for `pareto` in percent\n\
@@ -126,6 +130,16 @@ fn main() -> ExitCode {
                     Some(p) if !p.starts_with('-') => Some(p.clone()),
                     _ => {
                         eprintln!("bad --timeline {:?}\n{}", args.get(i), usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--engine" => {
+                i += 1;
+                cfg.device.engine = match args.get(i).map(|s| s.parse::<gcn_sim::SimEngine>()) {
+                    Some(Ok(e)) => e,
+                    _ => {
+                        eprintln!("bad --engine {:?}\n{}", args.get(i), usage());
                         return ExitCode::FAILURE;
                     }
                 };

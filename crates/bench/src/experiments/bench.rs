@@ -9,6 +9,14 @@
 //! a regression worse than 25% — CI runs this at small scale on every
 //! push.
 //!
+//! Every cell is timed under **both** execution engines: the event-driven
+//! default and the lock-step reference (`SimEngine::LockStep`). The two
+//! are bit-identical in observables (see `crates/sim/tests/engine_equiv.rs`),
+//! so the per-cell `speedup` column isolates exactly what the time-skipping
+//! scheduler buys. The run fails if the event engine is not faster on the
+//! memory-bound kernels (MM, FWT) — those are where fully-stalled spans
+//! dominate and skipping them is the engine's whole point.
+//!
 //! Raw throughput (million simulated instructions per second) depends on
 //! the host, so the tracked figure is a normalized *score*:
 //!
@@ -29,11 +37,12 @@
 use crate::baseline::{self, Json};
 use crate::table::Table;
 use crate::ExpConfig;
-use rmt_core::TransformOptions;
-use rmt_kernels::{by_abbrev, run_original, run_rmt, RunOutcome};
+use gcn_sim::{Device, SimEngine};
+use rmt_core::{transform, RmtLauncher, TransformOptions};
+use rmt_kernels::by_abbrev;
 use std::time::Instant;
 
-/// Timed iterations per cell (after one untimed warm-up).
+/// Timed iterations per cell and engine (after one untimed warm-up).
 const ITERS: usize = 3;
 
 /// Baseline file name, in the working directory (the repo root in CI).
@@ -41,6 +50,10 @@ const BASELINE_FILE: &str = "BENCH_sim.json";
 
 /// Fail when the normalized score drops below this fraction of baseline.
 const FAIL_BELOW: f64 = 0.75;
+
+/// The kernels whose runtime is dominated by memory stalls — the rows
+/// where the event engine's time skipping must pay off.
+const MEMORY_BOUND: [&str; 2] = ["MM", "FWT"];
 
 /// Iterations of the calibration loop.
 const CALIB_ROUNDS: u64 = 50_000_000;
@@ -64,7 +77,10 @@ struct CellResult {
     kernel: &'static str,
     flavor: &'static str,
     insts: u64,
+    /// Best wall-clock seconds under the event engine.
     best_s: f64,
+    /// Best wall-clock seconds under the lock-step reference.
+    best_s_lockstep: f64,
 }
 
 /// The `bench` experiment. Not part of `repro all`: its output is
@@ -72,8 +88,10 @@ struct CellResult {
 ///
 /// # Errors
 ///
-/// On simulation failure, on an unwritable `BENCH_sim.json`, or when the
-/// score regresses more than 25% against the committed baseline.
+/// On simulation failure, on an unwritable `BENCH_sim.json`, when the
+/// event-engine score regresses more than 25% against the committed
+/// baseline, or when the event engine fails to beat the lock-step
+/// reference on the memory-bound kernels.
 pub fn bench(cfg: &ExpConfig) -> Result<String, String> {
     let kernels: [&'static str; 5] = ["R", "MM", "PS", "BlkSch", "FWT"];
     let flavors: [(&'static str, Option<TransformOptions>); 2] = [
@@ -85,75 +103,173 @@ pub fn bench(cfg: &ExpConfig) -> Result<String, String> {
     for abbrev in kernels {
         let b = by_abbrev(abbrev).expect("known benchmark");
         for (fname, opts) in &flavors {
-            let run_once = || -> Result<RunOutcome, String> {
-                match opts {
-                    None => run_original(b.as_ref(), cfg.scale, &cfg.device, &|c| c),
-                    Some(o) => run_rmt(b.as_ref(), cfg.scale, &cfg.device, o),
-                }
-                .map_err(|e| format!("{abbrev} {fname}: {e}"))
-            };
-            let warm = run_once()?;
-            let insts = warm.stats.counters.dyn_insts;
-            let mut best_s = f64::INFINITY;
-            for _ in 0..ITERS {
-                let t0 = Instant::now();
-                let r = run_once()?;
-                let dt = t0.elapsed().as_secs_f64();
-                if r.stats.counters.dyn_insts != insts {
+            let mut insts = 0;
+            let mut best = [f64::INFINITY; 2];
+            for (ei, engine) in [SimEngine::Event, SimEngine::LockStep].iter().enumerate() {
+                // Per-cell setup happens once, outside the timed loop: the
+                // benchmark is the *simulator core*, so transform, plan
+                // building, compilation, and result verification (covered
+                // by the test suite) stay off the clock.
+                let rk = opts
+                    .as_ref()
+                    .map(|o| transform(&b.kernel(), o))
+                    .transpose()
+                    .map_err(|e| format!("{abbrev} {fname}: {e}"))?;
+                let mut dev_cfg = cfg.device.clone();
+                dev_cfg.engine = *engine;
+                let mut dev = Device::new(dev_cfg);
+                let plan = b.plan(cfg.scale, &mut dev);
+                let compiled = match &rk {
+                    None => Some(
+                        dev.compile(&b.kernel())
+                            .map_err(|e| format!("{abbrev} {fname}: {e}"))?,
+                    ),
+                    Some(_) => None,
+                };
+                let mut launcher = RmtLauncher::new();
+                let mut run_once = |dev: &mut Device| -> Result<u64, String> {
+                    let mut n = 0;
+                    for pass in &plan.passes {
+                        n += match (&rk, &compiled) {
+                            (Some(rk), _) => {
+                                launcher
+                                    .launch(dev, rk, pass)
+                                    .map_err(|e| format!("{abbrev} {fname}: {e}"))?
+                                    .stats
+                            }
+                            (None, Some(c)) => dev
+                                .launch_compiled(c, pass)
+                                .map_err(|e| format!("{abbrev} {fname}: {e}"))?,
+                            (None, None) => unreachable!(),
+                        }
+                        .counters
+                        .dyn_insts;
+                    }
+                    Ok(n)
+                };
+                let warm = run_once(&mut dev)?;
+                if ei == 0 {
+                    insts = warm;
+                } else if warm != insts {
                     return Err(format!(
-                        "{abbrev} {fname}: nondeterministic instruction count"
+                        "{abbrev} {fname}: engines disagree on instruction count"
                     ));
                 }
-                best_s = best_s.min(dt);
+                for _ in 0..ITERS {
+                    let t0 = Instant::now();
+                    let n = run_once(&mut dev)?;
+                    let dt = t0.elapsed().as_secs_f64();
+                    if n != insts {
+                        return Err(format!(
+                            "{abbrev} {fname}: nondeterministic instruction count"
+                        ));
+                    }
+                    best[ei] = best[ei].min(dt);
+                }
             }
             cells.push(CellResult {
                 kernel: abbrev,
                 flavor: fname,
                 insts,
-                best_s,
+                best_s: best[0],
+                best_s_lockstep: best[1],
             });
         }
     }
 
     let total_insts: u64 = cells.iter().map(|c| c.insts).sum();
     let total_best_s: f64 = cells.iter().map(|c| c.best_s).sum();
+    let total_lockstep_s: f64 = cells.iter().map(|c| c.best_s_lockstep).sum();
     let calib_ms = calibrate_ms();
     let minsts_per_s = total_insts as f64 / 1e6 / total_best_s;
     let score = minsts_per_s * calib_ms;
+    let lockstep_minsts_per_s = total_insts as f64 / 1e6 / total_lockstep_s;
+    let lockstep_score = lockstep_minsts_per_s * calib_ms;
+
+    // The event engine must actually win where it is supposed to: on the
+    // memory-bound kernels, summed over flavors. Small-scale cells run in
+    // a few milliseconds, so a 10% noise floor keeps the gate from
+    // tripping on timer jitter; a real scheduling regression (the engine
+    // degenerating to tick-burning) overshoots that band immediately.
+    let mut engine_failures = Vec::new();
+    for k in MEMORY_BOUND {
+        let ev: f64 = cells
+            .iter()
+            .filter(|c| c.kernel == k)
+            .map(|c| c.best_s)
+            .sum();
+        let ls: f64 = cells
+            .iter()
+            .filter(|c| c.kernel == k)
+            .map(|c| c.best_s_lockstep)
+            .sum();
+        if ev > ls * 1.10 {
+            engine_failures.push(format!(
+                "event engine not faster than lock-step on memory-bound {k}: \
+                 {:.1} ms vs {:.1} ms",
+                ev * 1e3,
+                ls * 1e3
+            ));
+        }
+    }
 
     // Compare against the committed baseline before overwriting it.
-    let baseline_note;
+    let mut notes = Vec::new();
     let mut regression = None;
     match std::fs::read_to_string(BASELINE_FILE) {
         Ok(txt) => match baseline::parse(&txt) {
-            Ok(old) => match old.get("score").and_then(Json::as_f64) {
-                Some(old_score) if old_score > 0.0 => {
-                    let ratio = score / old_score;
-                    baseline_note = format!(
-                        "baseline score {old_score:.1}, new score {score:.1} ({:+.1}%)",
-                        (ratio - 1.0) * 100.0
-                    );
-                    if ratio < FAIL_BELOW {
-                        regression = Some(format!(
-                            "perf regression: score {score:.1} is below {:.0}% of the \
-                             baseline {old_score:.1}",
-                            FAIL_BELOW * 100.0
+            Ok(old) => {
+                match old.get("score").and_then(Json::as_f64) {
+                    Some(old_score) if old_score > 0.0 => {
+                        let ratio = score / old_score;
+                        notes.push(format!(
+                            "baseline score {old_score:.1}, new score {score:.1} ({:+.1}%)",
+                            (ratio - 1.0) * 100.0
                         ));
+                        if ratio < FAIL_BELOW {
+                            regression = Some(format!(
+                                "perf regression: score {score:.1} is below {:.0}% of the \
+                                 baseline {old_score:.1}",
+                                FAIL_BELOW * 100.0
+                            ));
+                        }
                     }
+                    _ => notes.push(format!("baseline {BASELINE_FILE} has no score; replacing")),
                 }
-                _ => baseline_note = format!("baseline {BASELINE_FILE} has no score; replacing"),
-            },
-            Err(e) => {
-                baseline_note = format!("baseline {BASELINE_FILE} unreadable ({e}); replacing")
+                match old.get("lockstep_score").and_then(Json::as_f64) {
+                    Some(old_ls) if old_ls > 0.0 => {
+                        let ratio = lockstep_score / old_ls;
+                        notes.push(format!(
+                            "baseline lockstep score {old_ls:.1}, new {lockstep_score:.1} \
+                             ({:+.1}%)",
+                            (ratio - 1.0) * 100.0
+                        ));
+                        if ratio < FAIL_BELOW && regression.is_none() {
+                            regression = Some(format!(
+                                "perf regression: lock-step score {lockstep_score:.1} is below \
+                                 {:.0}% of the baseline {old_ls:.1}",
+                                FAIL_BELOW * 100.0
+                            ));
+                        }
+                    }
+                    _ => notes
+                        .push("baseline has no lockstep score (pre-engine-split); adding".into()),
+                }
             }
+            Err(e) => notes.push(format!(
+                "baseline {BASELINE_FILE} unreadable ({e}); replacing"
+            )),
         },
-        Err(_) => baseline_note = format!("no {BASELINE_FILE} baseline; writing a fresh one"),
+        Err(_) => notes.push(format!("no {BASELINE_FILE} baseline; writing a fresh one")),
     }
+    let baseline_note = notes.join("\n");
 
     let mut json = format!(
         "{{\"experiment\":\"bench\",\"scale\":\"{:?}\",\"iters\":{ITERS},\
          \"calib_ms\":{calib_ms:.3},\"total_minsts\":{:.3},\
-         \"minsts_per_s\":{minsts_per_s:.3},\"score\":{score:.3},\"cells\":[",
+         \"minsts_per_s\":{minsts_per_s:.3},\"score\":{score:.3},\
+         \"lockstep_minsts_per_s\":{lockstep_minsts_per_s:.3},\
+         \"lockstep_score\":{lockstep_score:.3},\"cells\":[",
         cfg.scale,
         total_insts as f64 / 1e6,
     );
@@ -162,46 +278,68 @@ pub fn bench(cfg: &ExpConfig) -> Result<String, String> {
             json.push(',');
         }
         json.push_str(&format!(
-            "{{\"kernel\":\"{}\",\"flavor\":\"{}\",\"minsts\":{:.3},\"best_ms\":{:.3}}}",
+            "{{\"kernel\":\"{}\",\"flavor\":\"{}\",\"minsts\":{:.3},\"best_ms\":{:.3},\
+             \"best_ms_lockstep\":{:.3},\"speedup\":{:.3}}}",
             c.kernel,
             c.flavor,
             c.insts as f64 / 1e6,
-            c.best_s * 1e3
+            c.best_s * 1e3,
+            c.best_s_lockstep * 1e3,
+            c.best_s_lockstep / c.best_s
         ));
     }
     json.push_str("]}\n");
     std::fs::write(BASELINE_FILE, &json).map_err(|e| format!("writing {BASELINE_FILE}: {e}"))?;
     // The delta always lands on stderr, so CI logs show it even in
     // `--json` mode (where stdout must stay pure JSON).
-    eprintln!("bench: {baseline_note}");
+    eprintln!("bench: {}", baseline_note.replace('\n', "; "));
 
     let report = if cfg.json {
         json
     } else {
-        let mut t = Table::new(&["kernel", "flavor", "Minst", "best ms", "Minst/s"]);
+        let mut t = Table::new(&[
+            "kernel",
+            "flavor",
+            "Minst",
+            "event ms",
+            "lockstep ms",
+            "speedup",
+            "Minst/s",
+        ]);
         for c in &cells {
             t.row(vec![
                 c.kernel.into(),
                 c.flavor.into(),
                 format!("{:.2}", c.insts as f64 / 1e6),
                 format!("{:.1}", c.best_s * 1e3),
+                format!("{:.1}", c.best_s_lockstep * 1e3),
+                format!("{:.2}x", c.best_s_lockstep / c.best_s),
                 format!("{:.2}", c.insts as f64 / 1e6 / c.best_s),
             ]);
         }
         format!(
-            "Simulator benchmark (best of {ITERS} warm iterations per cell)\n\n{}\n\
-             total: {:.2} Minst in {:.1} ms -> {minsts_per_s:.2} Minst/s\n\
-             calibration: {calib_ms:.1} ms -> normalized score {score:.1}\n\
+            "Simulator benchmark (best of {ITERS} warm iterations per cell and engine)\n\n{}\n\
+             event:    {:.2} Minst in {:.1} ms -> {minsts_per_s:.2} Minst/s\n\
+             lockstep: {:.2} Minst in {:.1} ms -> {lockstep_minsts_per_s:.2} Minst/s\n\
+             calibration: {calib_ms:.1} ms -> normalized scores {score:.1} (event), \
+             {lockstep_score:.1} (lockstep)\n\
              {baseline_note}\n\
              wrote {BASELINE_FILE}\n",
             t.render(),
             total_insts as f64 / 1e6,
             total_best_s * 1e3,
+            total_insts as f64 / 1e6,
+            total_lockstep_s * 1e3,
         )
     };
-    match regression {
-        Some(r) => Err(format!("{report}\n{r}")),
-        None => Ok(report),
+    let mut failures: Vec<String> = engine_failures;
+    if let Some(r) = regression {
+        failures.push(r);
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!("{report}\n{}", failures.join("\n")))
     }
 }
 

@@ -14,14 +14,15 @@
 //! UPDATE_GOLDEN=1 cargo test -p rmt-kernels --test golden_counters
 //! ```
 
-use gcn_sim::DeviceConfig;
+use gcn_sim::{DeviceConfig, SimEngine};
 use rmt_core::TransformOptions;
 use rmt_kernels::{by_abbrev, run_original, run_rmt, Scale};
 
 const SNAP_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_counters.snap");
 
-fn snapshot() -> String {
-    let dev = DeviceConfig::radeon_hd_7790();
+fn snapshot(engine: SimEngine) -> String {
+    let mut dev = DeviceConfig::radeon_hd_7790();
+    dev.engine = engine;
     let flavors: [(&str, Option<TransformOptions>); 3] = [
         ("Original", None),
         ("Intra+LDS", Some(TransformOptions::intra_plus_lds())),
@@ -58,11 +59,23 @@ fn snapshot() -> String {
 
 #[test]
 fn counters_match_golden_snapshot() {
-    let got = snapshot();
+    let got = snapshot(SimEngine::Event);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(SNAP_PATH, &got).expect("write golden snapshot");
         return;
     }
+    assert_matches_snapshot(&got);
+}
+
+/// The lock-step reference engine must reproduce the SAME committed
+/// snapshot, bit for bit — never regenerated from this test
+/// (`UPDATE_GOLDEN` only writes from the event engine above).
+#[test]
+fn counters_match_golden_snapshot_lockstep() {
+    assert_matches_snapshot(&snapshot(SimEngine::LockStep));
+}
+
+fn assert_matches_snapshot(got: &str) {
     let want = std::fs::read_to_string(SNAP_PATH).expect(
         "golden snapshot missing; create it with \
          UPDATE_GOLDEN=1 cargo test -p rmt-kernels --test golden_counters",

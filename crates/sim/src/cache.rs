@@ -7,6 +7,39 @@
 //! `atomic_add(addr, 0)` (Section 7.2). The shared L2 is modelled tags-only:
 //! its contents always equal the global backing store.
 
+use crate::engine::PipeUnit;
+
+/// Timing model of the banked L2: each bank is an independent
+/// [`PipeUnit`] serving one line transaction per occupancy interval, with
+/// lines striped across banks by line address. Purely a timing resource —
+/// hit/miss bookkeeping stays in the tags-only [`Cache`].
+#[derive(Debug)]
+pub(crate) struct L2Banks {
+    banks: Vec<PipeUnit>,
+    line_bytes: u32,
+}
+
+impl L2Banks {
+    /// `n` independent banks striped by `line_bytes`-sized lines.
+    pub(crate) fn new(n: usize, line_bytes: u32) -> Self {
+        L2Banks {
+            banks: vec![PipeUnit::new(); n.max(1)],
+            line_bytes,
+        }
+    }
+
+    fn bank_of(&self, line_addr: u32) -> usize {
+        ((line_addr / self.line_bytes) as usize) % self.banks.len()
+    }
+
+    /// Reserves the bank serving `line_addr` for `occupancy` ticks
+    /// starting no earlier than `at`; returns the transaction start tick.
+    pub(crate) fn reserve(&mut self, line_addr: u32, at: u64, occupancy: u64) -> u64 {
+        let bank = self.bank_of(line_addr);
+        self.banks[bank].reserve(at, occupancy)
+    }
+}
+
 /// Hit/miss statistics for one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -317,6 +350,15 @@ mod tests {
         assert!(c.flip_bit(0x104, 3));
         assert_eq!(c.load_word(0x104), Some(8));
         assert!(!c.flip_bit(0x900, 0), "uncached line");
+    }
+
+    #[test]
+    fn l2_banks_stripe_by_line() {
+        let mut b = L2Banks::new(2, 64);
+        // Lines 0x000 and 0x080 share bank 0; 0x040 is bank 1.
+        assert_eq!(b.reserve(0x000, 10, 5), 10);
+        assert_eq!(b.reserve(0x040, 10, 5), 10, "different bank, no wait");
+        assert_eq!(b.reserve(0x080, 10, 5), 15, "same bank serializes");
     }
 
     #[test]

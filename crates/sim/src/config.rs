@@ -1,4 +1,42 @@
-//! Device configuration: geometry, latencies, throughputs, power.
+//! Device configuration: geometry, latencies, throughputs, power,
+//! execution engine.
+
+use std::str::FromStr;
+
+/// Which machine loop drives the simulation clock.
+///
+/// Both engines implement the same scheduling contract — step waves in
+/// lexicographic `(ready_tick, wave_id)` order — and are bit-identical in
+/// every observable (counters, profiles, traces, fault outcomes, memory
+/// contents). The differential tests in `crates/sim/tests/engine_equiv.rs`
+/// and `engine_prop.rs` enforce this; the golden snapshot tests pin both
+/// engines to the same committed `.snap` files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// Discrete-event core: a min-heap of `(wake_tick, wave)` lets the
+    /// clock jump over fully-stalled spans in O(log waves). The default.
+    #[default]
+    Event,
+    /// Lock-step reference core: advances the clock one tick at a time,
+    /// scanning runnable waves in ascending id order. Kept as the
+    /// equivalence oracle for the event core; much slower on
+    /// memory-bound kernels.
+    LockStep,
+}
+
+impl FromStr for SimEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "event" => Ok(SimEngine::Event),
+            "lockstep" => Ok(SimEngine::LockStep),
+            other => Err(format!(
+                "unknown engine '{other}' (expected 'event' or 'lockstep')"
+            )),
+        }
+    }
+}
 
 /// Internal time resolution: ticks per core clock cycle.
 ///
@@ -185,6 +223,9 @@ pub struct DeviceConfig {
     pub power: PowerConfig,
     /// Watchdog: abort after this many dynamic wavefront instructions.
     pub watchdog_insts: u64,
+    /// Which machine loop drives the clock. Purely a performance choice:
+    /// both engines produce bit-identical observables.
+    pub engine: SimEngine,
 }
 
 impl DeviceConfig {
@@ -211,6 +252,7 @@ impl DeviceConfig {
             lat: Latencies::gcn_default(),
             power: PowerConfig::gcn_default(),
             watchdog_insts: 400_000_000,
+            engine: SimEngine::Event,
         }
     }
 
@@ -267,5 +309,13 @@ mod tests {
     #[test]
     fn default_is_paper_platform() {
         assert_eq!(DeviceConfig::default(), DeviceConfig::radeon_hd_7790());
+    }
+
+    #[test]
+    fn engine_parses_and_defaults_to_event() {
+        assert_eq!(DeviceConfig::default().engine, SimEngine::Event);
+        assert_eq!("event".parse::<SimEngine>(), Ok(SimEngine::Event));
+        assert_eq!("lockstep".parse::<SimEngine>(), Ok(SimEngine::LockStep));
+        assert!("ticked".parse::<SimEngine>().is_err());
     }
 }

@@ -1,0 +1,148 @@
+//! Execution-engine building blocks shared by both machine loops: the
+//! wake-time queue that drives the event core and the pipelined-unit
+//! reservation primitive every timed resource goes through.
+//!
+//! ## The wake-time contract
+//!
+//! Every schedulable unit (a wavefront, from the machine's perspective)
+//! reports a *conservative* wake tick: the earliest tick at which stepping
+//! it could possibly make progress. The queue may additionally hold
+//! **stale** entries — a unit re-armed to a later tick leaves its old
+//! entry behind rather than paying for in-heap deletion — so consumers
+//! must re-check the unit's actual `ready_at` on pop and skip entries
+//! that no longer match (lazy invalidation). Any event that can *shorten*
+//! a wait (a barrier release, a freed CU dispatching a new group) pushes
+//! a fresh entry; nothing ever needs to move an existing one earlier.
+//!
+//! Pop order is lexicographic on `(tick, unit)`: the earliest tick first,
+//! and among units waking on the same tick, the smallest unit id first.
+//! This total order is the single scheduling contract both engines
+//! implement — the event core realizes it with this heap, the lock-step
+//! reference realizes it by scanning unit ids in ascending order at every
+//! tick — and is what makes their observable behavior bit-identical.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Min-heap of `(wake_tick, unit)` pairs with lazy stale-entry deletion.
+#[derive(Debug, Default)]
+pub(crate) struct WakeQueue {
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+}
+
+impl WakeQueue {
+    /// Creates an empty queue.
+    pub(crate) fn new() -> Self {
+        WakeQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Arms `unit` to wake at `tick`. O(log n). Duplicate and stale
+    /// entries are permitted (see the module docs).
+    pub(crate) fn push(&mut self, tick: u64, unit: usize) {
+        self.heap.push(Reverse((tick, unit)));
+    }
+
+    /// Removes and returns the lexicographically smallest
+    /// `(tick, unit)`, or `None` when the queue is drained.
+    pub(crate) fn pop(&mut self) -> Option<(u64, usize)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// The smallest `(tick, unit)` without removing it. May be stale —
+    /// a stale head is still a valid *lower bound* on every live entry,
+    /// which is all the event core's run-ahead check needs.
+    pub(crate) fn peek(&self) -> Option<(u64, usize)> {
+        self.heap.peek().map(|&Reverse(e)| e)
+    }
+}
+
+/// A fully-pipelined timed resource: one transaction enters per
+/// occupancy interval, in arrival order.
+///
+/// Every throughput-limited unit in the machine — SIMD issue slots, the
+/// scalar unit, the vector-memory and LDS pipes, the write-buffer drain
+/// clock, each L2 bank, the DRAM bandwidth pipe — is an instance of this
+/// single primitive: a monotone `free` tick plus the reservation rule
+/// `start = max(at, free); free = start + occupancy`. Centralizing the
+/// rule makes the intra-step reservation order (documented in
+/// `machine.rs`) auditable: a resource's clock advances exactly where
+/// `reserve` is called, never implicitly.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PipeUnit {
+    /// First tick at which the unit can accept the next transaction.
+    free: u64,
+}
+
+impl PipeUnit {
+    /// A unit that is free from tick 0.
+    pub(crate) fn new() -> Self {
+        PipeUnit { free: 0 }
+    }
+
+    /// Reserves the unit for `occupancy` ticks starting no earlier than
+    /// `at`. Returns the actual start tick (`max(at, free)`); the
+    /// reservation ends at `start + occupancy`, which [`Self::free_at`]
+    /// reports afterwards.
+    pub(crate) fn reserve(&mut self, at: u64, occupancy: u64) -> u64 {
+        let start = at.max(self.free);
+        self.free = start + occupancy;
+        start
+    }
+
+    /// The tick the unit becomes free (the end of the last reservation).
+    pub(crate) fn free_at(&self) -> u64 {
+        self.free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_queue_pops_lexicographic_min() {
+        let mut q = WakeQueue::new();
+        q.push(20, 1);
+        q.push(10, 7);
+        q.push(10, 3);
+        q.push(20, 0);
+        assert_eq!(q.peek(), Some((10, 3)));
+        assert_eq!(q.pop(), Some((10, 3)));
+        assert_eq!(q.pop(), Some((10, 7)));
+        assert_eq!(q.pop(), Some((20, 0)));
+        assert_eq!(q.pop(), Some((20, 1)));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn wake_queue_keeps_stale_duplicates() {
+        // Lazy invalidation: re-arming pushes a second entry; both come
+        // back out and the consumer is responsible for skipping.
+        let mut q = WakeQueue::new();
+        q.push(5, 2);
+        q.push(9, 2);
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((9, 2)));
+    }
+
+    #[test]
+    fn pipe_unit_reserves_back_to_back() {
+        let mut u = PipeUnit::new();
+        assert_eq!(u.reserve(10, 4), 10); // idle unit starts on request
+        assert_eq!(u.free_at(), 14);
+        assert_eq!(u.reserve(11, 4), 14); // busy unit queues the request
+        assert_eq!(u.reserve(100, 2), 100); // gap: starts on request again
+        assert_eq!(u.free_at(), 102);
+    }
+
+    #[test]
+    fn pipe_unit_zero_occupancy_does_not_regress() {
+        let mut u = PipeUnit::new();
+        u.reserve(8, 0);
+        assert_eq!(u.free_at(), 8);
+        assert_eq!(u.reserve(3, 1), 8); // free tick stays monotone
+    }
+}

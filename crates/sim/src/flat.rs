@@ -75,22 +75,29 @@ pub(crate) struct OpMeta {
     pub nsrcs: u8,
     /// Quarter-rate transcendental unary op (extra SIMD occupancy).
     pub transcendental: bool,
+    /// Would this op issue on the scalar unit? (Uniform arithmetic and
+    /// all mask-manipulating control ops.)
+    pub scalar: bool,
 }
 
 impl OpMeta {
-    fn of(op: &FlatOp) -> OpMeta {
+    fn of(op: &FlatOp, uniform: &std::collections::HashSet<Reg>) -> OpMeta {
         let mut srcs = Vec::new();
         let mut transcendental = false;
-        match op {
+        let scalar = match op {
             FlatOp::Op(inst) => {
                 inst.srcs(&mut srcs);
                 if let Inst::Unary { op, .. } = inst {
                     transcendental = op.is_transcendental();
                 }
+                is_scalar_inst(inst, uniform)
             }
-            FlatOp::IfBegin { cond, .. } | FlatOp::LoopTest { cond, .. } => srcs.push(*cond),
-            _ => {}
-        }
+            FlatOp::IfBegin { cond, .. } | FlatOp::LoopTest { cond, .. } => {
+                srcs.push(*cond);
+                true // mask manipulation runs on the scalar path
+            }
+            _ => true,
+        };
         assert!(srcs.len() <= 3, "instruction reads more than 3 registers");
         let mut arr = [Reg(0); 3];
         arr[..srcs.len()].copy_from_slice(&srcs);
@@ -98,6 +105,7 @@ impl OpMeta {
             srcs: arr,
             nsrcs: srcs.len() as u8,
             transcendental,
+            scalar,
         }
     }
 }
@@ -113,8 +121,6 @@ pub struct CompiledKernel {
     pub lds_bytes: u32,
     /// The flat program.
     pub ops: Vec<FlatOp>,
-    /// Per-op: would this issue on the scalar unit?
-    pub scalar: Vec<bool>,
     /// Estimated VGPRs per work-item (register pressure).
     pub pressure: u32,
     /// Number of virtual registers to allocate per lane.
@@ -210,21 +216,12 @@ pub fn compile(kernel: &Kernel) -> Result<CompiledKernel, SimError> {
     debug_assert_eq!(ops.len(), lines.len());
 
     let uniform = uniform_regs(kernel);
-    let scalar = ops
-        .iter()
-        .map(|op| match op {
-            FlatOp::Op(inst) => is_scalar_inst(inst, &uniform),
-            _ => true, // mask manipulation runs on the scalar path
-        })
-        .collect();
-
-    let meta = ops.iter().map(OpMeta::of).collect();
+    let meta = ops.iter().map(|op| OpMeta::of(op, &uniform)).collect();
     Ok(CompiledKernel {
         name: kernel.name.clone(),
         params: kernel.params.clone(),
         lds_bytes: kernel.lds_bytes,
         ops,
-        scalar,
         pressure: register_pressure(kernel),
         nregs: kernel.next_reg.max(1),
         mix: instruction_mix(kernel),
@@ -385,7 +382,8 @@ mod tests {
         let k = b.finish();
         let ck = compile(&k).unwrap();
         // ops: grp, two, mul, gid, add
-        assert_eq!(ck.scalar, vec![true, true, true, false, false]);
+        let scalar: Vec<bool> = ck.meta.iter().map(|m| m.scalar).collect();
+        assert_eq!(scalar, vec![true, true, true, false, false]);
     }
 
     // helper so the first test reads cleanly

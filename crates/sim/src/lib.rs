@@ -71,6 +71,7 @@ mod cache;
 pub mod config;
 mod counters;
 mod device;
+mod engine;
 mod error;
 pub mod fault;
 mod flat;
@@ -83,7 +84,7 @@ pub mod profile;
 mod trace;
 
 pub use cache::CacheStats;
-pub use config::{DeviceConfig, Latencies, PowerConfig, TICKS_PER_CYCLE};
+pub use config::{DeviceConfig, Latencies, PowerConfig, SimEngine, TICKS_PER_CYCLE};
 pub use counters::PerfCounters;
 pub use device::{BufferId, Device};
 pub use error::SimError;

@@ -1,23 +1,71 @@
 //! The execution engine: functional SIMT interpretation + resource timing.
 //!
-//! Execution is event-driven but globally time-ordered: a priority queue
-//! always runs the ready wavefront with the earliest timestamp, so memory
-//! operations (including atomics and the inter-group communication
-//! protocols built on them) observe a single consistent global order.
+//! Two interchangeable machine loops drive the clock, selected by
+//! [`SimEngine`]:
+//!
+//! * **Event** (the default): a min-heap of `(wake_tick, wave)` entries
+//!   ([`WakeQueue`]) always runs the ready wavefront with the earliest
+//!   timestamp, jumping the clock over fully-stalled spans (memory
+//!   latency, write-buffer backlog, barriers) in O(log waves). A
+//!   run-ahead fast path keeps stepping the same wave without heap
+//!   churn while it provably remains ahead of the queue head.
+//! * **LockStep**: the reference loop. The clock advances one tick at a
+//!   time; at every tick the runnable waves are scanned in ascending id
+//!   order and each wave whose `ready_at` equals the current tick is
+//!   stepped.
+//!
+//! Both realize the same total order — waves step in lexicographic
+//! `(ready_at, wave_id)` order — so memory operations (including atomics
+//! and the inter-group communication protocols built on them) observe a
+//! single consistent global order, and every observable (counters,
+//! profiles, traces, fault outcomes, memory contents) is bit-identical
+//! between engines. The differential tests in `tests/engine_equiv.rs`
+//! and `tests/engine_prop.rs` enforce this equivalence.
+//!
+//! The equivalence rests on two load-bearing properties of `step`:
+//!
+//! 1. every resource reservation and `ready_at` update is *strictly*
+//!    in the future (all issue occupancies are ≥ 1 tick), so a step at
+//!    tick `t` can never make any wave — itself or another — ready at
+//!    `t` again; barrier releases wake at `t + salu_issue` and group
+//!    dispatch at `retire + dispatch_overhead`;
+//! 2. all observables are emitted inside `step` itself, so identical
+//!    step sequences produce identical observables by construction.
+//!
+//! ## Intra-tick event order
+//!
+//! When several model events share a tick, their order is fixed by the
+//! sequence of `step` and is the contract both engines (and any future
+//! one) must preserve:
+//!
+//! 1. waves scheduled for the same tick step in ascending wave id;
+//! 2. within one step: watchdog check, then due fault injections, then
+//!    operand readiness (`reg_ready` waits, which may move the step's
+//!    effective time forward), then the issue-unit reservation (SIMD /
+//!    SU / vector-memory / LDS pipe);
+//! 3. a memory step then reserves downstream units in first-touch line
+//!    order: per line, the L2 bank, then — on an L2 miss or for any
+//!    store — the DRAM pipe;
+//! 4. for stores, the write-buffer drain clock is reserved *after* all
+//!    L2/DRAM line reservations of this step, so the drain tick always
+//!    observes cache/DRAM transactions charged in the same step (the
+//!    historical lock-step loop left this drain-vs-fill order implicit;
+//!    it is now part of the contract);
+//! 5. functional effects (register writes, LDS/global stores, L1 fills)
+//!    land last, then the wave re-arms at its new `ready_at`.
 
 use crate::alu;
-use crate::cache::Cache;
-use crate::config::DeviceConfig;
+use crate::cache::{Cache, L2Banks};
+use crate::config::{DeviceConfig, SimEngine};
 use crate::counters::PerfCounters;
+use crate::engine::{PipeUnit, WakeQueue};
 use crate::error::SimError;
 use crate::fault::FaultTarget;
 use crate::flat::{CompiledKernel, FlatOp, OpMeta};
 use crate::launch::{LaunchConfig, Occupancy, OccupancyLimiter};
-use crate::memory::GlobalMemory;
+use crate::memory::{DramTimer, GlobalMemory};
 use crate::power::PowerModel;
 use rmt_ir::{AtomicOp, Builtin, Inst, MemSpace, ParamKind, Reg};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 const LANES: usize = 64;
 
@@ -84,11 +132,16 @@ struct GroupState {
 
 #[derive(Debug)]
 struct CuState {
-    simd_free: Vec<u64>,
-    su_free: u64,
-    mem_free: u64,
-    lds_free: u64,
-    write_free: u64,
+    /// Per-SIMD vector-ALU issue pipes.
+    simd: Vec<PipeUnit>,
+    /// Scalar unit.
+    su: PipeUnit,
+    /// Vector memory unit (L1 bandwidth).
+    mem: PipeUnit,
+    /// LDS pipe.
+    lds: PipeUnit,
+    /// Write-buffer drain clock toward the L2.
+    write: PipeUnit,
     resident: usize,
     wave_rr: usize, // round-robin SIMD assignment
 }
@@ -107,13 +160,14 @@ pub(crate) struct Machine<'a> {
 
     l1: Vec<Cache>,
     l2: Cache,
-    l2_free: Vec<u64>, // per bank
-    dram_free: u64,
+    l2_banks: L2Banks,
+    dram: DramTimer,
     cus: Vec<CuState>,
 
     waves: Vec<Wave>,
     groups: Vec<GroupState>,
-    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    engine: SimEngine,
+    wake: WakeQueue,
     next_group: usize,
     groups_total: usize,
 
@@ -276,22 +330,23 @@ impl<'a> Machine<'a> {
                 .map(|_| Cache::new(cfg.l1_bytes, cfg.line_bytes, cfg.l1_assoc, true))
                 .collect(),
             l2: Cache::new(cfg.l2_bytes, cfg.line_bytes, cfg.l2_assoc, false),
-            l2_free: vec![0; cfg.l2_banks.max(1)],
-            dram_free: 0,
+            l2_banks: L2Banks::new(cfg.l2_banks, cfg.line_bytes),
+            dram: DramTimer::new(),
             cus: (0..cfg.num_cus)
                 .map(|_| CuState {
-                    simd_free: vec![0; cfg.simds_per_cu],
-                    su_free: 0,
-                    mem_free: 0,
-                    lds_free: 0,
-                    write_free: 0,
+                    simd: vec![PipeUnit::new(); cfg.simds_per_cu],
+                    su: PipeUnit::new(),
+                    mem: PipeUnit::new(),
+                    lds: PipeUnit::new(),
+                    write: PipeUnit::new(),
                     resident: 0,
                     wave_rr: 0,
                 })
                 .collect(),
             waves: Vec::new(),
             groups: Vec::new(),
-            heap: BinaryHeap::new(),
+            engine: cfg.engine,
+            wake: WakeQueue::new(),
             next_group: 0,
             groups_total,
             counters: PerfCounters {
@@ -370,7 +425,7 @@ impl<'a> Machine<'a> {
             if let Some(p) = &mut self.profiler {
                 p.on_wave_start(wid, cu, simd, t);
             }
-            self.heap.push(Reverse((t, wid)));
+            self.arm(t, wid);
             wave_ids.push(wid);
             self.counters.waves_executed += 1;
         }
@@ -418,6 +473,103 @@ impl<'a> Machine<'a> {
         self.profiler = Some(p);
     }
 
+    /// Arms `wid` to wake at `t`. In the event engine this feeds the wake
+    /// queue; the lock-step engine discovers readiness by scanning, so
+    /// arming is a no-op there (and the queue stays empty).
+    #[inline]
+    fn arm(&mut self, t: u64, wid: usize) {
+        if self.engine == SimEngine::Event {
+            self.wake.push(t, wid);
+        }
+    }
+
+    /// One scheduled step with its per-step preamble: the watchdog check
+    /// and any fault injections that came due. Both engines must funnel
+    /// every step through here so the (watchdog, faults, step) sequence —
+    /// points 1–2 of the intra-tick order contract — is engine-invariant.
+    fn step_checked(&mut self, wid: usize, t: u64) -> Result<(), SimError> {
+        if self.counters.dyn_insts > self.cfg.watchdog_insts {
+            return Err(SimError::Watchdog {
+                executed: self.counters.dyn_insts,
+            });
+        }
+        self.apply_due_faults();
+        self.step(wid, t)
+    }
+
+    /// The event core: pop the earliest `(wake_tick, wave)`, skip stale
+    /// entries, step, re-arm.
+    fn run_event(&mut self) -> Result<(), SimError> {
+        while let Some((t, wid)) = self.wake.pop() {
+            {
+                let w = &self.waves[wid];
+                if w.done || w.at_barrier || w.ready_at != t {
+                    continue; // stale queue entry (lazy invalidation)
+                }
+            }
+            self.step_checked(wid, t)?;
+            // Run-ahead fast path: while this wave's next wake is strictly
+            // before the queue head — a lower bound on every other live
+            // wave, since each keeps an entry at its exact `ready_at` —
+            // the wave is provably the next pop, so keep stepping it
+            // without the push/pop round trip.
+            loop {
+                let w = &self.waves[wid];
+                if w.done || w.at_barrier {
+                    break;
+                }
+                let next = w.ready_at;
+                if self.wake.peek().is_some_and(|head| head <= (next, wid)) {
+                    self.wake.push(next, wid);
+                    break;
+                }
+                self.step_checked(wid, next)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The lock-step reference core: burn ticks one at a time, polling
+    /// every wave slot at every tick — the textbook simulator loop,
+    /// deliberately free of scheduling cleverness so the differential
+    /// tests compare the event core against something obviously correct.
+    ///
+    /// At each tick the scan visits waves in ascending id, stepping those
+    /// whose `ready_at` is exactly now. No step can make a wave ready at
+    /// the current tick again (property 1 in the module docs), and waves
+    /// dispatched mid-scan are appended with ids above the loop cursor and
+    /// `ready_at` in the future, so a single forward pass per tick is
+    /// exhaustive.
+    fn run_lockstep(&mut self) -> Result<(), SimError> {
+        debug_assert!(
+            self.wake.peek().is_none(),
+            "lock-step must not arm the queue"
+        );
+        let mut now = 0u64;
+        loop {
+            let mut any_runnable = false;
+            let mut wid = 0;
+            // `waves` can grow mid-scan (retirement dispatches the next
+            // group), so the bound is re-read every iteration.
+            while wid < self.waves.len() {
+                let w = &self.waves[wid];
+                if !w.done && !w.at_barrier {
+                    any_runnable = true;
+                    if w.ready_at == now {
+                        self.step_checked(wid, now)?;
+                    }
+                }
+                wid += 1;
+            }
+            if !any_runnable {
+                // Finished — or every survivor is parked at a barrier that
+                // can never release; run() reports that as a deadlock.
+                return Ok(());
+            }
+            now += 1;
+        }
+    }
+
     /// Runs the launch to completion.
     #[allow(clippy::type_complexity)]
     pub(crate) fn run(
@@ -433,24 +585,9 @@ impl<'a> Machine<'a> {
         ),
         SimError,
     > {
-        while let Some(Reverse((t, wid))) = self.heap.pop() {
-            {
-                let w = &self.waves[wid];
-                if w.done || w.at_barrier || w.ready_at != t {
-                    continue; // stale heap entry
-                }
-            }
-            if self.counters.dyn_insts > self.cfg.watchdog_insts {
-                return Err(SimError::Watchdog {
-                    executed: self.counters.dyn_insts,
-                });
-            }
-            self.apply_due_faults();
-            self.step(wid, t)?;
-            let w = &self.waves[wid];
-            if !w.done && !w.at_barrier {
-                self.heap.push(Reverse((w.ready_at, wid)));
-            }
+        match self.engine {
+            SimEngine::Event => self.run_event()?,
+            SimEngine::LockStep => self.run_lockstep()?,
         }
         // Anything not done now is deadlocked at a barrier.
         if let Some(w) = self.waves.iter().find(|w| !w.done) {
@@ -613,8 +750,7 @@ impl<'a> Machine<'a> {
         let cu = w.cu;
         let simd = w.simd;
         if scalar {
-            let start = t.max(self.cus[cu].su_free);
-            self.cus[cu].su_free = start + lat.salu_issue;
+            let start = self.cus[cu].su.reserve(t, lat.salu_issue);
             self.counters.salu_busy_ticks += lat.salu_issue;
             self.counters.salu_insts += 1;
             self.waves[wid].ready_at = start + lat.salu_issue;
@@ -633,8 +769,7 @@ impl<'a> Machine<'a> {
                 } else {
                     0
                 };
-            let start = t.max(self.cus[cu].simd_free[simd]);
-            self.cus[cu].simd_free[simd] = start + occ;
+            let start = self.cus[cu].simd[simd].reserve(t, occ);
             self.counters.valu_busy_ticks += occ;
             self.counters.valu_insts += 1;
             self.waves[wid].ready_at = start + occ;
@@ -687,10 +822,6 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn l2_bank(&self, line: u32) -> usize {
-        ((line / self.cfg.line_bytes) as usize) % self.l2_free.len()
-    }
-
     /// Executes one wavefront instruction at time `t`.
     fn step(&mut self, wid: usize, t: u64) -> Result<(), SimError> {
         // An empty program has nothing to fetch: the wave retires at its
@@ -705,9 +836,9 @@ impl<'a> Machine<'a> {
         let kernel = self.kernel;
         let pc = self.waves[wid].pc;
         debug_assert!(pc < kernel.ops.len());
-        let scalar = kernel.scalar[pc];
         let op = &kernel.ops[pc];
         let meta: OpMeta = kernel.meta[pc];
+        let scalar = meta.scalar;
         // Stall until in-flight loads feeding this instruction land.
         let t_sched = t;
         let t = {
@@ -891,7 +1022,8 @@ impl<'a> Machine<'a> {
                 if w.at_barrier {
                     w.at_barrier = false;
                     w.ready_at = w.ready_at.max(release);
-                    self.heap.push(Reverse((w.ready_at, wid)));
+                    let at = w.ready_at;
+                    self.arm(at, wid);
                 }
             }
         }
@@ -1132,15 +1264,13 @@ impl<'a> Machine<'a> {
 
         let issue;
         if scalar {
-            issue = t.max(self.cus[cu].su_free);
             let occ = lines.len() as u64 * lat.salu_issue;
-            self.cus[cu].su_free = issue + occ;
+            issue = self.cus[cu].su.reserve(t, occ);
             self.counters.salu_busy_ticks += occ;
             self.counters.salu_insts += 1;
         } else {
-            issue = t.max(self.cus[cu].mem_free);
             let occ = lines.len() as u64 * lat.l1_issue;
-            self.cus[cu].mem_free = issue + occ;
+            issue = self.cus[cu].mem.reserve(t, occ);
             self.counters.mem_unit_busy_ticks += occ;
             self.counters.vmem_insts += 1;
         }
@@ -1157,16 +1287,13 @@ impl<'a> Machine<'a> {
                 // L1 miss: consult the (banked) L2, then DRAM bandwidth.
                 self.counters.l2_transactions += 1;
                 self.power.deposit(issue, self.cfg.power.l2_nj);
-                let bank = self.l2_bank(line);
-                let l2_start = issue.max(self.l2_free[bank]);
-                self.l2_free[bank] = l2_start + lat.l2_issue;
+                let l2_start = self.l2_banks.reserve(line, issue, lat.l2_issue);
                 let line_done = if self.l2.touch_read(line) {
                     l2_start + lat.l2_latency
                 } else {
                     self.counters.dram_transactions += 1;
                     self.power.deposit(l2_start, self.cfg.power.dram_nj);
-                    let d_start = l2_start.max(self.dram_free);
-                    self.dram_free = d_start + lat.dram_issue;
+                    let d_start = self.dram.reserve(l2_start, lat.dram_issue);
                     d_start + lat.dram_latency
                 };
                 done = done.max(line_done);
@@ -1229,28 +1356,31 @@ impl<'a> Machine<'a> {
             }
         }
 
-        let issue = t.max(self.cus[cu].mem_free);
+        // Phase 1 (intra-tick order, point 2): reserve the issue unit.
         let occ = lines.len() as u64 * lat.l1_issue;
-        self.cus[cu].mem_free = issue + occ;
+        let issue = self.cus[cu].mem.reserve(t, occ);
         self.counters.mem_unit_busy_ticks += occ;
         self.counters.vmem_insts += 1;
         self.counters.l1_transactions += lines.len() as u64;
         self.counters.l2_transactions += lines.len() as u64;
 
-        // Write-through: charge L2 + DRAM write bandwidth per line and
-        // drain through the CU's finite write buffer.
+        // Phase 2 (point 3): write-through — charge L2 bank + DRAM write
+        // bandwidth per line, in first-touch order.
         for &line in &lines {
             self.power.deposit(issue, self.cfg.power.l2_nj);
-            let bank = self.l2_bank(line);
-            let l2_start = issue.max(self.l2_free[bank]);
-            self.l2_free[bank] = l2_start + lat.l2_issue;
-            let d_start = l2_start.max(self.dram_free);
-            self.dram_free = d_start + lat.dram_issue;
+            let l2_start = self.l2_banks.reserve(line, issue, lat.l2_issue);
+            let d_start = self.dram.reserve(l2_start, lat.dram_issue);
             self.counters.dram_transactions += 1;
             self.power.deposit(d_start, self.cfg.power.dram_nj);
         }
-        let drained = self.cus[cu].write_free.max(issue) + lines.len() as u64 * lat.write_drain;
-        self.cus[cu].write_free = drained;
+
+        // Phase 3 (point 4): only after all line reservations of this step
+        // does the CU's finite write buffer advance, so its drain clock
+        // observes every same-step L2/DRAM transaction.
+        self.cus[cu]
+            .write
+            .reserve(issue, lines.len() as u64 * lat.write_drain);
+        let drained = self.cus[cu].write.free_at();
         let backlog = drained - issue;
         let threshold = lat.write_buffer_lines * lat.write_drain;
         let mut ready = issue + lat.store_issue;
@@ -1303,9 +1433,8 @@ impl<'a> Machine<'a> {
 
         // The CU's vector memory unit issues the instruction quarter-wave
         // by quarter-wave; the per-lane serialization happens at the L2.
-        let issue = t.max(self.cus[cu].mem_free);
         let occ = nlanes.div_ceil(16) * lat.l1_issue;
-        self.cus[cu].mem_free = issue + occ;
+        let issue = self.cus[cu].mem.reserve(t, occ);
         self.counters.mem_unit_busy_ticks += occ;
         self.counters.vmem_insts += 1;
         self.counters.atomic_ops += nlanes;
@@ -1335,9 +1464,9 @@ impl<'a> Machine<'a> {
         let mut done_by = issue;
         for (line, addrs) in &line_costs {
             let conflict = addrs.iter().map(|&(_, c)| c).max().unwrap_or(1) as u64;
-            let bank = self.l2_bank(*line);
-            let start = issue.max(self.l2_free[bank]);
-            self.l2_free[bank] = start + conflict * lat.atomic_issue;
+            let start = self
+                .l2_banks
+                .reserve(*line, issue, conflict * lat.atomic_issue);
             done_by = done_by.max(start + conflict * lat.atomic_issue);
             self.counters.l2_transactions += 1;
             self.power.deposit(start, self.cfg.power.atomic_nj);
@@ -1440,9 +1569,8 @@ impl<'a> Machine<'a> {
         }
         self.counters.lds_conflicts += factor - 1;
 
-        let issue = t.max(self.cus[cu].lds_free);
         let occ = lat.lds_issue + (factor - 1) * lat.lds_conflict;
-        self.cus[cu].lds_free = issue + occ;
+        let issue = self.cus[cu].lds.reserve(t, occ);
         self.counters.lds_busy_ticks += occ;
         self.counters.lds_insts += 1;
         self.power.deposit(issue, self.cfg.power.lds_nj);
@@ -1512,9 +1640,8 @@ impl<'a> Machine<'a> {
         let lds_bytes = self.kernel.lds_bytes;
         let nlanes = mask.count_ones() as u64;
 
-        let issue = t.max(self.cus[cu].lds_free);
         let occ = lat.lds_issue + nlanes * lat.lds_conflict;
-        self.cus[cu].lds_free = issue + occ;
+        let issue = self.cus[cu].lds.reserve(t, occ);
         self.counters.lds_busy_ticks += occ;
         self.counters.lds_insts += 1;
         self.power.deposit(issue, self.cfg.power.lds_nj);

@@ -4,7 +4,30 @@
 //! write-through from the CUs' perspective, so its content always matches
 //! this arena; only the per-CU L1s can go stale — see `machine.rs`).
 
+use crate::engine::PipeUnit;
 use crate::error::SimError;
+
+/// Timing model of the DRAM bandwidth pipe behind the L2: one
+/// [`PipeUnit`] shared by all CUs, reserved per 64 B line on an L2 miss.
+/// Purely a timing resource — functional reads and writes go through
+/// [`GlobalMemory`] directly.
+#[derive(Debug, Default)]
+pub(crate) struct DramTimer {
+    pipe: PipeUnit,
+}
+
+impl DramTimer {
+    /// A DRAM pipe that is free from tick 0.
+    pub(crate) fn new() -> Self {
+        DramTimer::default()
+    }
+
+    /// Reserves the pipe for one line transfer of `occupancy` ticks
+    /// starting no earlier than `at`; returns the transfer start tick.
+    pub(crate) fn reserve(&mut self, at: u64, occupancy: u64) -> u64 {
+        self.pipe.reserve(at, occupancy)
+    }
+}
 
 /// Base address of the first buffer (a small null guard region below).
 const ARENA_BASE: u32 = 0x1000;

@@ -271,6 +271,81 @@ impl Profile {
         Ok(())
     }
 
+    /// Locates the first field where two profiles diverge, as a
+    /// human-readable description, or `None` when they are identical.
+    /// Used by the engine-equivalence tests to turn "profiles differ"
+    /// into an actionable message.
+    pub fn first_difference(&self, other: &Profile) -> Option<String> {
+        if self.wall_ticks != other.wall_ticks {
+            return Some(format!(
+                "wall_ticks: {} vs {}",
+                self.wall_ticks, other.wall_ticks
+            ));
+        }
+        if self.slots_per_cu != other.slots_per_cu {
+            return Some(format!(
+                "slots_per_cu: {} vs {}",
+                self.slots_per_cu, other.slots_per_cu
+            ));
+        }
+        if self.simds_per_cu != other.simds_per_cu {
+            return Some(format!(
+                "simds_per_cu: {} vs {}",
+                self.simds_per_cu, other.simds_per_cu
+            ));
+        }
+        for (i, (a, b)) in self.per_simd.iter().zip(&other.per_simd).enumerate() {
+            for (cat, (x, y)) in a.iter().zip(b).enumerate() {
+                if x != y {
+                    return Some(format!(
+                        "per_simd[{i}] {}: {x} vs {y}",
+                        SlotCat::ALL[cat].label()
+                    ));
+                }
+            }
+        }
+        for (cu, (a, b)) in self.per_cu.iter().zip(&other.per_cu).enumerate() {
+            for (cat, (x, y)) in a.iter().zip(b).enumerate() {
+                if x != y {
+                    return Some(format!(
+                        "per_cu[{cu}] {}: {x} vs {y}",
+                        SlotCat::ALL[cat].label()
+                    ));
+                }
+            }
+        }
+        for (pc, (a, b)) in self.pc.iter().zip(&other.pc).enumerate() {
+            if a != b {
+                return Some(format!("pc[{pc}]: {a:?} vs {b:?}"));
+            }
+        }
+        if self.sample_interval != other.sample_interval {
+            return Some(format!(
+                "sample_interval: {} vs {}",
+                self.sample_interval, other.sample_interval
+            ));
+        }
+        if self.samples.len() != other.samples.len() {
+            return Some(format!(
+                "samples.len(): {} vs {}",
+                self.samples.len(),
+                other.samples.len()
+            ));
+        }
+        for (i, (a, b)) in self.samples.iter().zip(&other.samples).enumerate() {
+            if a != b {
+                return Some(format!("samples[{i}]: {a:?} vs {b:?}"));
+            }
+        }
+        if self.per_simd.len() != other.per_simd.len()
+            || self.per_cu.len() != other.per_cu.len()
+            || self.pc.len() != other.pc.len()
+        {
+            return Some("device shape or program length differs".into());
+        }
+        None
+    }
+
     /// Folds another launch of the *same* kernel (e.g. a later pass of a
     /// multi-pass benchmark) into this profile: breakdowns and hotspots
     /// add, timelines concatenate with the later pass shifted past this

@@ -75,6 +75,31 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Locates the first record (or flag) where two traces diverge, as a
+    /// human-readable description, or `None` when they are identical.
+    /// Used by the engine-equivalence tests.
+    pub fn first_difference(&self, other: &Trace) -> Option<String> {
+        for (i, (a, b)) in self.records.iter().zip(&other.records).enumerate() {
+            if a != b {
+                return Some(format!("records[{i}]: {a:?} vs {b:?}"));
+            }
+        }
+        if self.records.len() != other.records.len() {
+            return Some(format!(
+                "records.len(): {} vs {}",
+                self.records.len(),
+                other.records.len()
+            ));
+        }
+        if self.truncated != other.truncated {
+            return Some(format!(
+                "truncated: {} vs {}",
+                self.truncated, other.truncated
+            ));
+        }
+        None
+    }
+
     /// Renders the trace as a fixed-width listing.
     pub fn render(&self) -> String {
         let mut out = String::new();
