@@ -8,7 +8,7 @@
 //! ```
 
 use rmt_bench::experiments::{self, ALL_IDS};
-use rmt_bench::ExpConfig;
+use rmt_bench::{report, ExpConfig};
 use rmt_kernels::Scale;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -18,7 +18,9 @@ fn usage() -> String {
         "usage: repro <experiment>... [--scale small|paper|large] [--json] [--jobs N]\n\
          \x20                        [--seed N] [--budget N] [--protect N]\n\
          \x20                        [--kernel K] [--flavor F] [--timeline OUT.json]\n\
-         \x20                        [--engine event|lockstep]\n\
+         \x20                        [--engine event|lockstep] [--deterministic]\n\
+         \x20                        [--trace-out OUT.json] [--metrics-out OUT.json]\n\
+         \x20      repro report OLD.json NEW.json [--threshold PCT]\n\
          --jobs N      worker threads for independent simulation cells\n\
          \x20             (default: available parallelism; output is identical for any N)\n\
          --engine E    machine-loop implementation: event (time-skipping, default)\n\
@@ -32,10 +34,22 @@ fn usage() -> String {
          --flavor F    flavor for `profile --kernel`: Original, Intra+LDS,\n\
          \x20             Intra-LDS, Inter, FAST (default Intra+LDS)\n\
          --timeline P  write a Chrome trace_event timeline (needs --kernel)\n\
+         --trace-out P    write the whole campaign as Chrome trace_event JSON\n\
+         \x20                (cell spans, oracle stages, fault ledger, and any\n\
+         \x20                device timelines recorded by `profile` — one file,\n\
+         \x20                open in Perfetto)\n\
+         --metrics-out P  write the campaign metrics snapshot (counters,\n\
+         \x20                gauges, histograms) as JSON\n\
+         --deterministic  logical timestamps (cell indices) instead of wall\n\
+         \x20                clock: metrics snapshots are byte-identical for\n\
+         \x20                any --jobs value\n\
+         --threshold N    allowed relative change in percent for noisy\n\
+         \x20                quantities in `repro report` (default 25)\n\
          experiments: all, {}\n\
          extra: bench (wall-clock simulator benchmark, writes BENCH_sim.json),\n\
          \x20      fuzz (generative differential campaign over random kernels),\n\
-         \x20      profile (stall taxonomy, hotspots, RMT cycle split, timelines)",
+         \x20      profile (stall taxonomy, hotspots, RMT cycle split, timelines),\n\
+         \x20      report (noise-aware diff of two bench/metrics snapshots)",
         ALL_IDS.join(", ")
     )
 }
@@ -49,6 +63,7 @@ fn main() -> ExitCode {
 
     let mut ids: Vec<String> = Vec::new();
     let mut cfg = ExpConfig::paper().with_jobs(gcn_sim::pool::default_jobs());
+    let mut threshold = report::DEFAULT_THRESHOLD_PCT;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -144,6 +159,37 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--trace-out" => {
+                i += 1;
+                cfg.trace_out = match args.get(i) {
+                    Some(p) if !p.starts_with('-') => Some(p.clone()),
+                    _ => {
+                        eprintln!("bad --trace-out {:?}\n{}", args.get(i), usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--metrics-out" => {
+                i += 1;
+                cfg.metrics_out = match args.get(i) {
+                    Some(p) if !p.starts_with('-') => Some(p.clone()),
+                    _ => {
+                        eprintln!("bad --metrics-out {:?}\n{}", args.get(i), usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--threshold" => {
+                i += 1;
+                threshold = match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(t) if t >= 0.0 => t,
+                    _ => {
+                        eprintln!("bad --threshold {:?}\n{}", args.get(i), usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--deterministic" => cfg.deterministic = true,
             "--json" => cfg.json = true,
             "list" => {
                 println!("{}", ALL_IDS.join("\n"));
@@ -163,6 +209,39 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // `repro report OLD NEW`: the snapshot differ, no simulation at all.
+    if ids[0] == "report" {
+        if ids.len() != 3 {
+            eprintln!("report needs exactly two snapshot files\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+        return match report::report_files(&ids[1], &ids[2], threshold) {
+            Ok((rendered, regressed)) => {
+                print!("{rendered}");
+                if regressed {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("report failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // A campaign is recorded only when an export was requested; disabled
+    // observability costs one atomic load per probe.
+    let recording = cfg.trace_out.is_some() || cfg.metrics_out.is_some();
+    if recording {
+        rmt_obs::enable(if cfg.deterministic {
+            rmt_obs::Clock::Logical
+        } else {
+            rmt_obs::Clock::Wall
+        });
+    }
+
     let mut failed = false;
     for id in ids {
         let t0 = Instant::now();
@@ -175,8 +254,10 @@ fn main() -> ExitCode {
                     println!("==== {id} ====\n");
                     println!("{report}");
                     // Timing goes to stderr: stdout stays byte-identical
-                    // across hosts and `--jobs` values.
-                    eprintln!("[{id} completed in {:.1?}]\n", t0.elapsed());
+                    // across hosts and `--jobs` values. `banner` is the
+                    // single formatting path; it also mirrors the line
+                    // into the campaign trace when one is recording.
+                    rmt_obs::banner(&format!("[{id} completed in {:.1?}]\n", t0.elapsed()));
                 }
             }
             Err(e) => {
@@ -184,6 +265,22 @@ fn main() -> ExitCode {
                 failed = true;
             }
         }
+    }
+
+    if recording {
+        if let Some(path) = &cfg.trace_out {
+            if let Err(e) = std::fs::write(path, rmt_obs::chrome_trace_json()) {
+                eprintln!("writing --trace-out {path}: {e}");
+                failed = true;
+            }
+        }
+        if let Some(path) = &cfg.metrics_out {
+            if let Err(e) = std::fs::write(path, rmt_obs::metrics_json()) {
+                eprintln!("writing --metrics-out {path}: {e}");
+                failed = true;
+            }
+        }
+        rmt_obs::disable();
     }
     if failed {
         ExitCode::FAILURE

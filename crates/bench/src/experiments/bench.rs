@@ -48,6 +48,11 @@ const ITERS: usize = 3;
 /// Baseline file name, in the working directory (the repo root in CI).
 const BASELINE_FILE: &str = "BENCH_sim.json";
 
+/// Version of the `BENCH_sim.json` schema this writer emits. The reader
+/// side (`baseline::parse` + keyed lookups) tolerates unknown keys, so
+/// adding fields does not need a bump; only renames/removals do.
+const SCHEMA_VERSION: u32 = 1;
+
 /// Fail when the normalized score drops below this fraction of baseline.
 const FAIL_BELOW: f64 = 0.75;
 
@@ -213,59 +218,9 @@ pub fn bench(cfg: &ExpConfig) -> Result<String, String> {
         }
     }
 
-    // Compare against the committed baseline before overwriting it.
-    let mut notes = Vec::new();
-    let mut regression = None;
-    match std::fs::read_to_string(BASELINE_FILE) {
-        Ok(txt) => match baseline::parse(&txt) {
-            Ok(old) => {
-                match old.get("score").and_then(Json::as_f64) {
-                    Some(old_score) if old_score > 0.0 => {
-                        let ratio = score / old_score;
-                        notes.push(format!(
-                            "baseline score {old_score:.1}, new score {score:.1} ({:+.1}%)",
-                            (ratio - 1.0) * 100.0
-                        ));
-                        if ratio < FAIL_BELOW {
-                            regression = Some(format!(
-                                "perf regression: score {score:.1} is below {:.0}% of the \
-                                 baseline {old_score:.1}",
-                                FAIL_BELOW * 100.0
-                            ));
-                        }
-                    }
-                    _ => notes.push(format!("baseline {BASELINE_FILE} has no score; replacing")),
-                }
-                match old.get("lockstep_score").and_then(Json::as_f64) {
-                    Some(old_ls) if old_ls > 0.0 => {
-                        let ratio = lockstep_score / old_ls;
-                        notes.push(format!(
-                            "baseline lockstep score {old_ls:.1}, new {lockstep_score:.1} \
-                             ({:+.1}%)",
-                            (ratio - 1.0) * 100.0
-                        ));
-                        if ratio < FAIL_BELOW && regression.is_none() {
-                            regression = Some(format!(
-                                "perf regression: lock-step score {lockstep_score:.1} is below \
-                                 {:.0}% of the baseline {old_ls:.1}",
-                                FAIL_BELOW * 100.0
-                            ));
-                        }
-                    }
-                    _ => notes
-                        .push("baseline has no lockstep score (pre-engine-split); adding".into()),
-                }
-            }
-            Err(e) => notes.push(format!(
-                "baseline {BASELINE_FILE} unreadable ({e}); replacing"
-            )),
-        },
-        Err(_) => notes.push(format!("no {BASELINE_FILE} baseline; writing a fresh one")),
-    }
-    let baseline_note = notes.join("\n");
-
     let mut json = format!(
-        "{{\"experiment\":\"bench\",\"scale\":\"{:?}\",\"iters\":{ITERS},\
+        "{{\"schema_version\":{SCHEMA_VERSION},\"experiment\":\"bench\",\
+         \"scale\":\"{:?}\",\"iters\":{ITERS},\
          \"calib_ms\":{calib_ms:.3},\"total_minsts\":{:.3},\
          \"minsts_per_s\":{minsts_per_s:.3},\"score\":{score:.3},\
          \"lockstep_minsts_per_s\":{lockstep_minsts_per_s:.3},\
@@ -289,10 +244,63 @@ pub fn bench(cfg: &ExpConfig) -> Result<String, String> {
         ));
     }
     json.push_str("]}\n");
+
+    // Compare against the committed baseline before overwriting it,
+    // through the same noise-aware differ `repro report` uses (scores
+    // within the 25% threshold pass; per-cell times get 2×; changes in
+    // deterministic instruction counts surface as drift, not failure).
+    let mut notes = Vec::new();
+    let mut regression = None;
+    match std::fs::read_to_string(BASELINE_FILE) {
+        Ok(txt) => match baseline::parse(&txt) {
+            Ok(old) => {
+                match old.get("score").and_then(Json::as_f64) {
+                    Some(old_score) if old_score > 0.0 => {
+                        notes.push(format!(
+                            "baseline score {old_score:.1}, new score {score:.1} ({:+.1}%)",
+                            (score / old_score - 1.0) * 100.0
+                        ));
+                    }
+                    _ => notes.push(format!("baseline {BASELINE_FILE} has no score; replacing")),
+                }
+                match old.get("lockstep_score").and_then(Json::as_f64) {
+                    Some(old_ls) if old_ls > 0.0 => {
+                        notes.push(format!(
+                            "baseline lockstep score {old_ls:.1}, new {lockstep_score:.1} \
+                             ({:+.1}%)",
+                            (lockstep_score / old_ls - 1.0) * 100.0
+                        ));
+                    }
+                    _ => notes
+                        .push("baseline has no lockstep score (pre-engine-split); adding".into()),
+                }
+                let new_doc = baseline::parse(&json).expect("bench writer emits valid JSON");
+                match crate::report::diff_docs(&old, &new_doc, (1.0 - FAIL_BELOW) * 100.0) {
+                    Ok(rep) => {
+                        if rep.regressions > 0 {
+                            regression = Some(format!(
+                                "perf regression against {BASELINE_FILE}:\n{}",
+                                rep.render()
+                            ));
+                        }
+                    }
+                    Err(e) => notes.push(format!("baseline diff skipped: {e}")),
+                }
+            }
+            Err(e) => notes.push(format!(
+                "baseline {BASELINE_FILE} unreadable ({e}); replacing"
+            )),
+        },
+        Err(_) => notes.push(format!("no {BASELINE_FILE} baseline; writing a fresh one")),
+    }
+    let baseline_note = notes.join("\n");
+
     std::fs::write(BASELINE_FILE, &json).map_err(|e| format!("writing {BASELINE_FILE}: {e}"))?;
     // The delta always lands on stderr, so CI logs show it even in
-    // `--json` mode (where stdout must stay pure JSON).
-    eprintln!("bench: {}", baseline_note.replace('\n', "; "));
+    // `--json` mode (where stdout must stay pure JSON). `banner` is the
+    // single formatting path: it mirrors the line into the campaign
+    // trace when one is being recorded.
+    rmt_obs::banner(&format!("bench: {}", baseline_note.replace('\n', "; ")));
 
     let report = if cfg.json {
         json

@@ -219,9 +219,24 @@ pub fn coverage(cfg: &ExpConfig) -> Result<String, String> {
                 .map(move |&(fname, opts)| (sname, fname, targets, opts, kernel))
         })
         .collect();
-    let tallies = gcn_sim::pool::map(cfg.jobs, cells, |(sname, fname, targets, opts, kernel)| {
-        run_campaign(&cfg.device, &opts, targets, kernel).map(|tally| (sname, fname, tally))
-    });
+    let cells: Vec<_> = cells.into_iter().enumerate().collect();
+    let tallies = gcn_sim::pool::map(
+        cfg.jobs,
+        cells,
+        |(i, (sname, fname, targets, opts, kernel))| {
+            crate::obs::cell_obs(
+                "coverage",
+                sname,
+                fname,
+                i,
+                |_: &_| (0, 0),
+                || {
+                    run_campaign(&cfg.device, &opts, targets, kernel)
+                        .map(|tally| (sname, fname, tally))
+                },
+            )
+        },
+    );
     for tally in tallies {
         let (sname, fname, tally) = tally?;
         t.row(vec![

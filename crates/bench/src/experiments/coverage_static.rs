@@ -55,6 +55,17 @@ pub(super) struct InjTally {
     pub(super) due: usize,
 }
 
+/// The ledger tag for an injection outcome (matches the oracle
+/// campaign's `fault.outcome` labels).
+pub(super) fn outcome_tag(o: Outcome) -> &'static str {
+    match o {
+        Outcome::Detected => "detected",
+        Outcome::Sdc => "sdc",
+        Outcome::Masked => "masked",
+        Outcome::Due => "due",
+    }
+}
+
 impl InjTally {
     pub(super) fn note(&mut self, o: Outcome) {
         match o {
@@ -262,6 +273,7 @@ fn run_cell(
                 };
                 injections += 1;
                 tally.note(outcome);
+                crate::obs::note_injection(site.label, outcome_tag(outcome), target);
                 if outcome == Outcome::Sdc {
                     // Re-derive the verdict through the unified lookup: the
                     // class the report holds for the exact corrupted target.
@@ -322,8 +334,16 @@ pub fn coverage_static(cfg: &ExpConfig) -> Result<String, String> {
                 .map(move |(label, opts)| (b.as_ref(), *label, *opts))
         })
         .collect();
-    let outs = gcn_sim::pool::map(cfg.jobs, cells, |(bench, label, opts)| {
-        run_cell(cfg, bench, label, &opts)
+    let cells: Vec<_> = cells.into_iter().enumerate().collect();
+    let outs = gcn_sim::pool::map(cfg.jobs, cells, |(i, (bench, label, opts))| {
+        crate::obs::cell_obs(
+            "coverage-static",
+            bench.abbrev(),
+            label,
+            i,
+            |_: &CellOut| (0, 0),
+            || run_cell(cfg, bench, label, &opts),
+        )
     });
     let mut outs = outs.into_iter();
     for bench in &suite {

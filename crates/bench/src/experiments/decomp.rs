@@ -70,8 +70,16 @@ fn render(
         .iter()
         .flat_map(|b| flavors.iter().map(|(name, opts)| (b.as_ref(), *name, opts)))
         .collect();
-    let rows = gcn_sim::pool::map(cfg.jobs, cells, |(b, name, opts)| {
-        decompose_suite(cfg, b, opts).map(|bars| (b.abbrev(), name, bars))
+    let cells: Vec<_> = cells.into_iter().enumerate().collect();
+    let rows = gcn_sim::pool::map(cfg.jobs, cells, |(i, (b, name, opts))| {
+        crate::obs::cell_obs(
+            "decomp",
+            b.abbrev(),
+            name,
+            i,
+            |_: &_| (0, 0),
+            || decompose_suite(cfg, b, opts).map(|bars| (b.abbrev(), name, bars)),
+        )
     });
     let mut t = Table::new(&["kernel", "flavor", "doubling", "redundant", "comm", "total"]);
     for row in rows {

@@ -55,6 +55,20 @@ pub const ALL_IDS: &[&str] = &[
 ///
 /// Returns an error string for unknown ids or failed runs.
 pub fn run(id: &str, cfg: &ExpConfig) -> Result<String, String> {
+    if !rmt_obs::enabled() {
+        return dispatch(id, cfg);
+    }
+    let t0 = std::time::Instant::now();
+    let mut span = rmt_obs::span("exp", id.to_string());
+    let res = dispatch(id, cfg);
+    let outcome = if res.is_ok() { "ok" } else { "err" };
+    span.set_arg("outcome", outcome);
+    span.set_arg("wall_us", t0.elapsed().as_micros() as u64);
+    rmt_obs::add("exp.runs", &[("exp", id), ("outcome", outcome)], 1);
+    res
+}
+
+fn dispatch(id: &str, cfg: &ExpConfig) -> Result<String, String> {
     match id {
         "table1" => Ok(tables::table1()),
         "table2" => Ok(tables::table2()),

@@ -114,6 +114,11 @@ fn run_cell(cfg: &ExpConfig, bench: &dyn Benchmark, budget: u8) -> Result<Point,
                 };
                 injections += 1;
                 tally.note(outcome);
+                crate::obs::note_injection(
+                    site.label,
+                    super::coverage_static::outcome_tag(outcome),
+                    target,
+                );
                 if outcome == Outcome::Sdc {
                     let class = cov::fault_class(&report, target).unwrap_or(site.class);
                     if class == Protection::Detected {
@@ -183,8 +188,16 @@ pub fn pareto(cfg: &ExpConfig) -> Result<String, String> {
         .iter()
         .flat_map(|b| budgets.iter().map(move |&budget| (b.as_ref(), budget)))
         .collect();
-    let outs = gcn_sim::pool::map(cfg.jobs, cells, |(bench, budget)| {
-        run_cell(cfg, bench, budget)
+    let cells: Vec<_> = cells.into_iter().enumerate().collect();
+    let outs = gcn_sim::pool::map(cfg.jobs, cells, |(i, (bench, budget))| {
+        crate::obs::cell_obs(
+            "pareto",
+            bench.abbrev(),
+            &format!("Selective({budget}%)"),
+            i,
+            |_: &Point| (0, 0),
+            || run_cell(cfg, bench, budget),
+        )
     });
 
     let mut violations: Vec<String> = Vec::new();

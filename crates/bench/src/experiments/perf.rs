@@ -23,10 +23,24 @@ fn rmt(
 /// order, keeping the rendered tables byte-identical for any job count.
 type Cell<'a> = (&'a dyn rmt_kernels::Benchmark, Option<TransformOptions>);
 
-fn run_cells(cfg: &ExpConfig, cells: Vec<Cell<'_>>) -> Vec<Result<RunOutcome, String>> {
-    gcn_sim::pool::map(cfg.jobs, cells, |(b, opts)| match opts {
-        None => orig(cfg, b),
-        Some(o) => rmt(cfg, b, &o),
+fn run_cells(
+    cfg: &ExpConfig,
+    exp: &'static str,
+    cells: Vec<Cell<'_>>,
+) -> Vec<Result<RunOutcome, String>> {
+    let cells: Vec<(usize, Cell<'_>)> = cells.into_iter().enumerate().collect();
+    gcn_sim::pool::map(cfg.jobs, cells, |(i, (b, opts))| {
+        crate::obs::cell_obs(
+            exp,
+            b.abbrev(),
+            &crate::obs::flavor_label(opts.as_ref()),
+            i,
+            |r: &RunOutcome| (r.stats.cycles, r.stats.counters.dyn_insts),
+            || match opts {
+                None => orig(cfg, b),
+                Some(o) => rmt(cfg, b, &o),
+            },
+        )
     })
 }
 
@@ -48,7 +62,7 @@ pub fn fig2(cfg: &ExpConfig) -> Result<String, String> {
             ]
         })
         .collect();
-    let runs = run_cells(cfg, cells);
+    let runs = run_cells(cfg, "fig2", cells);
     let mut t = Table::new(&["kernel", "Intra+LDS", "Intra-LDS"]);
     for (b, chunk) in suite.iter().zip(runs.chunks_exact(3)) {
         let base = cell(&chunk[0])?.stats.cycles as f64;
@@ -86,7 +100,7 @@ pub fn fig3(cfg: &ExpConfig) -> Result<String, String> {
             ]
         })
         .collect();
-    let runs = run_cells(cfg, cells);
+    let runs = run_cells(cfg, "fig3", cells);
     for (b, chunk) in suite.iter().zip(runs.chunks_exact(3)) {
         for (name, run) in ["Original", "LDS+", "LDS-"].iter().zip(chunk) {
             let run = cell(run)?;
@@ -119,7 +133,7 @@ pub fn fig6(cfg: &ExpConfig) -> Result<String, String> {
             ]
         })
         .collect();
-    let runs = run_cells(cfg, cells);
+    let runs = run_cells(cfg, "fig6", cells);
     let mut t = Table::new(&["kernel", "Inter-Group", "detections"]);
     for (b, chunk) in suite.iter().zip(runs.chunks_exact(2)) {
         let base = cell(&chunk[0])?.stats.cycles as f64;
@@ -165,7 +179,7 @@ pub fn fig9(cfg: &ExpConfig) -> Result<String, String> {
             ]
         })
         .collect();
-    let runs = run_cells(cfg, cells);
+    let runs = run_cells(cfg, "fig9", cells);
     for (b, chunk) in suite.iter().zip(runs.chunks_exact(5)) {
         let base = cell(&chunk[0])?.stats.cycles as f64;
         let ratio = |r: &Result<RunOutcome, String>| -> Result<String, String> {

@@ -20,15 +20,25 @@ pub fn fig5(cfg: &ExpConfig) -> Result<String, String> {
         .iter()
         .flat_map(|abbrev| variants.iter().map(|(name, opts)| (*abbrev, *name, *opts)))
         .collect();
-    let rows = gcn_sim::pool::map(cfg.jobs, cells, |(abbrev, name, opts)| {
-        let b = by_abbrev(abbrev).expect("known benchmark");
-        let run = match opts {
-            None => run_original(b.as_ref(), cfg.scale, &cfg.device, &|c| c),
-            Some(o) => run_rmt(b.as_ref(), cfg.scale, &cfg.device, &o),
-        }
-        .map_err(|e| format!("{abbrev}: {e}"))?;
-        let p = run.stats.power.ok_or("power stats missing")?;
-        Ok::<_, String>((abbrev, name, p))
+    let cells: Vec<_> = cells.into_iter().enumerate().collect();
+    let rows = gcn_sim::pool::map(cfg.jobs, cells, |(i, (abbrev, name, opts))| {
+        crate::obs::cell_obs(
+            "fig5",
+            abbrev,
+            name,
+            i,
+            |_: &_| (0, 0),
+            || {
+                let b = by_abbrev(abbrev).expect("known benchmark");
+                let run = match opts {
+                    None => run_original(b.as_ref(), cfg.scale, &cfg.device, &|c| c),
+                    Some(o) => run_rmt(b.as_ref(), cfg.scale, &cfg.device, &o),
+                }
+                .map_err(|e| format!("{abbrev}: {e}"))?;
+                let p = run.stats.power.ok_or("power stats missing")?;
+                Ok::<_, String>((abbrev, name, p))
+            },
+        )
     });
     let mut t = Table::new(&["kernel", "variant", "avg W", "peak W", "runtime ms"]);
     for row in rows {

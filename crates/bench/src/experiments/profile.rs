@@ -101,8 +101,16 @@ fn matrix(cfg: &ExpConfig) -> Result<String, String> {
         .iter()
         .flat_map(|b| vs.iter().map(move |(_, opts)| (b.as_ref(), *opts)))
         .collect();
-    let outs = gcn_sim::pool::map(cfg.jobs, cells, |(bench, opts)| {
-        run_cell(cfg, bench, &opts, &pcfg).map(|(p, _)| cell_text(&p))
+    let cells: Vec<_> = cells.into_iter().enumerate().collect();
+    let outs = gcn_sim::pool::map(cfg.jobs, cells, |(i, (bench, opts))| {
+        crate::obs::cell_obs(
+            "profile",
+            bench.abbrev(),
+            &crate::obs::flavor_label(opts.as_ref()),
+            i,
+            |_: &_| (0, 0),
+            || run_cell(cfg, bench, &opts, &pcfg).map(|(p, _)| cell_text(&p)),
+        )
     });
     let mut outs = outs.into_iter();
     for bench in &suite {
@@ -161,6 +169,12 @@ fn single(cfg: &ExpConfig, abbrev: &str) -> Result<String, String> {
     let opts = parse_flavor(flavor_name)?;
     let pcfg = ProfileConfig::default();
     let (profile, rk) = run_cell(cfg, bench.as_ref(), &opts, &pcfg)?;
+    // Merge the device timeline into the campaign trace (pid 0 next to
+    // the campaign's pid 1), so `--trace-out` yields one Perfetto file
+    // holding both views.
+    if rmt_obs::enabled() {
+        rmt_obs::add_chrome_events(&profile.chrome_trace_events());
+    }
 
     let insts = match &rk {
         Some(rk) => inst_strings(&rk.kernel),

@@ -22,6 +22,8 @@
 
 pub mod baseline;
 pub mod experiments;
+mod obs;
+pub mod report;
 mod table;
 
 pub use table::{Matrix, Table};
@@ -63,6 +65,17 @@ pub struct ExpConfig {
     /// Single protection budget for `repro pareto` (`--protect`, percent);
     /// `None` sweeps the full {0, 25, 50, 75, 90, 100} grid.
     pub protect: Option<u8>,
+    /// Use logical timestamps (cell indices, tick counts) instead of
+    /// wall-clock in the observability layer (`--deterministic`), making
+    /// metrics snapshots byte-identical for any `--jobs` value.
+    pub deterministic: bool,
+    /// Output path for the campaign-wide Chrome `trace_event` file
+    /// (`--trace-out`): experiment cell spans, oracle stages and fault
+    /// ledger, merged with any device timelines recorded by `profile`.
+    pub trace_out: Option<String>,
+    /// Output path for the campaign metrics snapshot (`--metrics-out`),
+    /// in the repo's hand-rolled JSON style.
+    pub metrics_out: Option<String>,
 }
 
 impl ExpConfig {
@@ -79,6 +92,9 @@ impl ExpConfig {
             flavor: None,
             timeline: None,
             protect: None,
+            deterministic: false,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 
@@ -95,6 +111,9 @@ impl ExpConfig {
             flavor: None,
             timeline: None,
             protect: None,
+            deterministic: false,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 

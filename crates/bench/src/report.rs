@@ -1,0 +1,428 @@
+//! `repro report` — noise-aware diffing of two campaign snapshots.
+//!
+//! Takes two JSON files written by this repo's own tooling — either
+//! `BENCH_sim.json` bench snapshots or `--metrics-out` campaign metrics
+//! snapshots — and renders a regression table. Quantities fall into two
+//! classes with different comparison rules:
+//!
+//! * **Noisy wall-clock quantities** (bench scores, per-cell
+//!   milliseconds, `*_us` histogram sums): compared against a relative
+//!   threshold (`--threshold`, default 25%; per-cell times get 2× the
+//!   threshold because individual small-scale cells jitter more than
+//!   suite aggregates). Only these can produce a *regression* verdict.
+//! * **Deterministic quantities** (instruction counts, metric counters,
+//!   gauges): any change at all is reported as *drift* — worth a look,
+//!   since the simulator is supposed to be a pure function of its
+//!   inputs, but not a perf failure.
+//!
+//! The kind of each input is auto-detected from its top-level fields, so
+//! `repro report old.json new.json` works on either snapshot family.
+
+use crate::baseline::{parse, Json};
+
+/// Default relative threshold for noisy quantities, in percent. Matches
+/// the historical `bench` gate (fail below 75% of baseline score).
+pub const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+/// How a quantity is compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// Wall-clock, higher is better (scores). Regression when the new
+    /// value falls below `old × (1 − threshold)`.
+    NoisyHigherBetter,
+    /// Wall-clock, lower is better (latencies). Regression when the new
+    /// value rises above `old × (1 + threshold)`.
+    NoisyLowerBetter,
+    /// A pure function of the inputs; any change is drift.
+    Deterministic,
+}
+
+/// One compared quantity.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Quantity name (e.g. `score`, `MM/Intra+LDS best_ms`,
+    /// `counter sim.cycles`).
+    pub name: String,
+    /// Baseline value, if present.
+    pub old: Option<f64>,
+    /// New value, if present.
+    pub new: Option<f64>,
+    /// Verdict: `ok`, `regression`, `improved`, `drift`, `added`,
+    /// `removed`.
+    pub verdict: &'static str,
+}
+
+/// A completed diff.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Every compared quantity, in input order.
+    pub rows: Vec<Row>,
+    /// Number of `regression` rows.
+    pub regressions: usize,
+    /// Number of `drift` rows.
+    pub drifts: usize,
+}
+
+impl Report {
+    /// Renders the regression table plus a one-line summary.
+    pub fn render(&self) -> String {
+        let mut t = crate::Table::new(&["quantity", "old", "new", "delta", "verdict"]);
+        for r in &self.rows {
+            let fmt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.3}"));
+            let delta = match (r.old, r.new) {
+                (Some(o), Some(n)) if o != 0.0 => format!("{:+.1}%", (n / o - 1.0) * 100.0),
+                _ => "-".to_string(),
+            };
+            t.row(vec![
+                r.name.clone(),
+                fmt(r.old),
+                fmt(r.new),
+                delta,
+                r.verdict.into(),
+            ]);
+        }
+        let status = if self.regressions > 0 {
+            "REGRESSED"
+        } else {
+            "OK"
+        };
+        format!(
+            "{}\n{status}: {} regression(s), {} drift(s), {} quantities compared\n",
+            t.render(),
+            self.regressions,
+            self.drifts,
+            self.rows.len()
+        )
+    }
+}
+
+/// One named quantity extracted from a snapshot.
+struct Entry {
+    name: String,
+    value: f64,
+    class: Class,
+}
+
+/// Flattens a parsed snapshot into comparable entries.
+///
+/// # Errors
+///
+/// When the document is neither a bench snapshot (`"experiment":"bench"`)
+/// nor a metrics snapshot (`"kind":"metrics"`).
+fn entries(doc: &Json, which: &str) -> Result<Vec<Entry>, String> {
+    if doc.get("experiment").and_then(Json::as_str) == Some("bench") {
+        return Ok(bench_entries(doc));
+    }
+    if doc.get("kind").and_then(Json::as_str) == Some("metrics") {
+        return Ok(metrics_entries(doc));
+    }
+    Err(format!(
+        "{which}: not a recognized snapshot (expected a bench snapshot with \
+         \"experiment\":\"bench\" or a metrics snapshot with \"kind\":\"metrics\")"
+    ))
+}
+
+fn bench_entries(doc: &Json) -> Vec<Entry> {
+    let mut out = Vec::new();
+    for (key, class) in [
+        ("score", Class::NoisyHigherBetter),
+        ("lockstep_score", Class::NoisyHigherBetter),
+        ("total_minsts", Class::Deterministic),
+    ] {
+        if let Some(v) = doc.get(key).and_then(Json::as_f64) {
+            out.push(Entry {
+                name: key.to_string(),
+                value: v,
+                class,
+            });
+        }
+    }
+    for cell in doc
+        .get("cells")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+    {
+        let label = format!(
+            "{}/{}",
+            cell.get("kernel").and_then(Json::as_str).unwrap_or("?"),
+            cell.get("flavor").and_then(Json::as_str).unwrap_or("?"),
+        );
+        for (key, class) in [
+            ("minsts", Class::Deterministic),
+            ("best_ms", Class::NoisyLowerBetter),
+            ("best_ms_lockstep", Class::NoisyLowerBetter),
+        ] {
+            if let Some(v) = cell.get(key).and_then(Json::as_f64) {
+                out.push(Entry {
+                    name: format!("{label} {key}"),
+                    value: v,
+                    class,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Renders a metrics label map (`{"k":"v",...}`) as `{k=v,...}` for
+/// stable entry names.
+fn label_suffix(labels: Option<&Json>) -> String {
+    match labels {
+        Some(Json::Obj(members)) if !members.is_empty() => {
+            let body: Vec<String> = members
+                .iter()
+                .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or("?")))
+                .collect();
+            format!("{{{}}}", body.join(","))
+        }
+        _ => String::new(),
+    }
+}
+
+fn metrics_entries(doc: &Json) -> Vec<Entry> {
+    let mut out = Vec::new();
+    for (section, kind) in [("counters", "counter"), ("gauges", "gauge")] {
+        for m in doc
+            .get(section)
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+        {
+            let name = m.get("name").and_then(Json::as_str).unwrap_or("?");
+            if let Some(v) = m.get("value").and_then(Json::as_f64) {
+                out.push(Entry {
+                    name: format!("{kind} {name}{}", label_suffix(m.get("labels"))),
+                    value: v,
+                    class: Class::Deterministic,
+                });
+            }
+        }
+    }
+    for h in doc
+        .get("histograms")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+    {
+        let name = h.get("name").and_then(Json::as_str).unwrap_or("?");
+        let suffix = label_suffix(h.get("labels"));
+        // Wall-clock histograms (`*_us`) carry timing noise; everything
+        // else in a histogram is a deterministic simulated quantity.
+        let noisy = name.ends_with("_us");
+        for key in ["count", "sum"] {
+            if let Some(v) = h.get(key).and_then(Json::as_f64) {
+                out.push(Entry {
+                    name: format!("hist {name}{suffix}.{key}"),
+                    value: v,
+                    class: if noisy && key == "sum" {
+                        Class::NoisyLowerBetter
+                    } else {
+                        Class::Deterministic
+                    },
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Diffs two parsed snapshots. `threshold_pct` bounds the allowed
+/// relative change for noisy quantities (suite aggregates get the
+/// threshold itself; per-cell latencies get 2×).
+///
+/// # Errors
+///
+/// When either document is not a recognized snapshot.
+pub fn diff_docs(old: &Json, new: &Json, threshold_pct: f64) -> Result<Report, String> {
+    let old_entries = entries(old, "baseline")?;
+    let new_entries = entries(new, "new snapshot")?;
+    let thr = threshold_pct / 100.0;
+
+    let mut rows = Vec::new();
+    let mut regressions = 0usize;
+    let mut drifts = 0usize;
+    for oe in &old_entries {
+        let Some(ne) = new_entries.iter().find(|e| e.name == oe.name) else {
+            rows.push(Row {
+                name: oe.name.clone(),
+                old: Some(oe.value),
+                new: None,
+                verdict: "removed",
+            });
+            drifts += 1;
+            continue;
+        };
+        // Per-cell quantities jitter more than aggregates: double the
+        // allowance for anything below the suite level.
+        let cell_level = oe.name.contains('/');
+        let allowed = if cell_level { 2.0 * thr } else { thr };
+        let verdict = match oe.class {
+            Class::NoisyHigherBetter if ne.value < oe.value * (1.0 - allowed) => "regression",
+            Class::NoisyLowerBetter if ne.value > oe.value * (1.0 + allowed) => "regression",
+            Class::NoisyHigherBetter if ne.value > oe.value * (1.0 + allowed) => "improved",
+            Class::NoisyLowerBetter if ne.value < oe.value * (1.0 - allowed) => "improved",
+            Class::Deterministic if ne.value != oe.value => "drift",
+            _ => "ok",
+        };
+        match verdict {
+            "regression" => regressions += 1,
+            "drift" => drifts += 1,
+            _ => {}
+        }
+        rows.push(Row {
+            name: oe.name.clone(),
+            old: Some(oe.value),
+            new: Some(ne.value),
+            verdict,
+        });
+    }
+    for ne in &new_entries {
+        if !old_entries.iter().any(|e| e.name == ne.name) {
+            rows.push(Row {
+                name: ne.name.clone(),
+                old: None,
+                new: Some(ne.value),
+                verdict: "added",
+            });
+        }
+    }
+    Ok(Report {
+        rows,
+        regressions,
+        drifts,
+    })
+}
+
+/// Reads, parses and diffs two snapshot files — the `repro report`
+/// entry point. Returns the rendered report and whether any regression
+/// was found.
+///
+/// # Errors
+///
+/// Unreadable files, malformed JSON (with the parser's byte offset), or
+/// unrecognized snapshot shapes.
+pub fn report_files(
+    old_path: &str,
+    new_path: &str,
+    threshold_pct: f64,
+) -> Result<(String, bool), String> {
+    let read = |p: &str| -> Result<Json, String> {
+        let txt = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+        parse(&txt).map_err(|e| format!("{p}: malformed JSON: {e}"))
+    };
+    let old = read(old_path)?;
+    let new = read(new_path)?;
+    let rep = diff_docs(&old, &new, threshold_pct)?;
+    let rendered = format!(
+        "Snapshot diff: {old_path} -> {new_path} (threshold {threshold_pct:.0}%)\n\n{}",
+        rep.render()
+    );
+    Ok((rendered, rep.regressions > 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_doc(score: f64, mm_ms: f64) -> Json {
+        parse(&format!(
+            "{{\"experiment\":\"bench\",\"score\":{score},\"total_minsts\":10.0,\
+             \"cells\":[{{\"kernel\":\"MM\",\"flavor\":\"Original\",\
+             \"minsts\":5.0,\"best_ms\":{mm_ms}}}]}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn within_noise_passes() {
+        let rep = diff_docs(&bench_doc(100.0, 10.0), &bench_doc(90.0, 11.0), 25.0).unwrap();
+        assert_eq!(rep.regressions, 0, "{}", rep.render());
+        assert_eq!(rep.drifts, 0);
+    }
+
+    #[test]
+    fn score_drop_flags_regression() {
+        let rep = diff_docs(&bench_doc(100.0, 10.0), &bench_doc(60.0, 10.0), 25.0).unwrap();
+        assert_eq!(rep.regressions, 1);
+        assert!(rep.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn cell_latency_gets_double_allowance() {
+        // +40% on a cell is within 2×25%; +60% is not.
+        let ok = diff_docs(&bench_doc(100.0, 10.0), &bench_doc(100.0, 14.0), 25.0).unwrap();
+        assert_eq!(ok.regressions, 0, "{}", ok.render());
+        let bad = diff_docs(&bench_doc(100.0, 10.0), &bench_doc(100.0, 16.0), 25.0).unwrap();
+        assert_eq!(bad.regressions, 1, "{}", bad.render());
+    }
+
+    #[test]
+    fn deterministic_change_is_drift_not_regression() {
+        let mut new = bench_doc(100.0, 10.0);
+        if let Json::Obj(members) = &mut new {
+            for (k, v) in members.iter_mut() {
+                if k == "total_minsts" {
+                    *v = Json::Num(11.0);
+                }
+            }
+        }
+        let rep = diff_docs(&bench_doc(100.0, 10.0), &new, 25.0).unwrap();
+        assert_eq!(rep.regressions, 0);
+        assert_eq!(rep.drifts, 1);
+        assert!(rep.render().contains("drift"));
+    }
+
+    #[test]
+    fn unrecognized_snapshot_is_rejected() {
+        let junk = parse("{\"hello\":1}").unwrap();
+        let e = diff_docs(&junk, &junk, 25.0).unwrap_err();
+        assert!(e.contains("not a recognized snapshot"), "{e}");
+    }
+
+    #[test]
+    fn future_schema_keys_are_tolerated() {
+        // A newer writer may add keys this reader has never heard of; the
+        // differ must keep working on the fields it does understand.
+        let new = parse(
+            "{\"schema_version\":2,\"experiment\":\"bench\",\"score\":95.0,\
+             \"total_minsts\":10.0,\"frobnication_index\":7,\
+             \"cells\":[{\"kernel\":\"MM\",\"flavor\":\"Original\",\
+             \"minsts\":5.0,\"best_ms\":10.0,\"novel_field\":true}]}",
+        )
+        .unwrap();
+        let rep = diff_docs(&bench_doc(100.0, 10.0), &new, 25.0).unwrap();
+        assert_eq!(rep.regressions, 0, "{}", rep.render());
+    }
+
+    #[test]
+    fn malformed_snapshot_file_reports_parse_error() {
+        let dir = std::env::temp_dir();
+        let good = dir.join("rmt_report_good.json");
+        let bad = dir.join("rmt_report_bad.json");
+        std::fs::write(&good, bench_doc(100.0, 10.0).to_string()).unwrap();
+        std::fs::write(&bad, "{\"experiment\":\"bench\",").unwrap();
+        let e = report_files(good.to_str().unwrap(), bad.to_str().unwrap(), 25.0).unwrap_err();
+        assert!(e.contains("malformed JSON"), "{e}");
+        assert!(e.contains("byte"), "error should cite a byte offset: {e}");
+        std::fs::remove_file(&good).ok();
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn metrics_snapshots_diff_counters() {
+        let m = |v: u64| {
+            parse(&format!(
+                "{{\"schema_version\":1,\"kind\":\"metrics\",\"clock\":\"logical\",\
+                 \"counters\":[{{\"name\":\"sim.cycles\",\"labels\":{{}},\"value\":{v}}}],\
+                 \"gauges\":[],\"histograms\":[]}}"
+            ))
+            .unwrap()
+        };
+        let same = diff_docs(&m(100), &m(100), 25.0).unwrap();
+        assert_eq!(same.regressions + same.drifts, 0);
+        let changed = diff_docs(&m(100), &m(101), 25.0).unwrap();
+        assert_eq!(changed.drifts, 1);
+        assert_eq!(changed.regressions, 0);
+    }
+}

@@ -336,6 +336,36 @@ fn pick_sites(rk: &RmtKernel, report: &rmt_ir::analysis::CoverageReport) -> Vec<
     sites
 }
 
+/// Records one injection in the campaign ledger: a `fault.outcome`
+/// counter keyed by (structure, outcome) — the deterministic tally the
+/// metrics snapshot reports — plus an instant trace event carrying the
+/// exact target and trigger for attribution in Perfetto. No-op (one
+/// atomic load) when no campaign is being recorded.
+fn note_injection(
+    structure: &'static str,
+    outcome: &'static str,
+    target: &FaultTarget,
+    trigger: u64,
+) {
+    if !rmt_obs::enabled() {
+        return;
+    }
+    rmt_obs::add(
+        "fault.outcome",
+        &[("structure", structure), ("outcome", outcome)],
+        1,
+    );
+    rmt_obs::instant(
+        "fault",
+        outcome,
+        vec![
+            ("structure".to_string(), structure.into()),
+            ("target".to_string(), format!("{target:?}").into()),
+            ("trigger".to_string(), trigger.into()),
+        ],
+    );
+}
+
 /// The sampled injection campaign for one flavor. `fault_free_insts` and
 /// `golden` come from the flavor's own clean run.
 #[allow(clippy::too_many_arguments)]
@@ -392,14 +422,28 @@ fn campaign(
         let outcome = run_flavor(case, &inj_dev, rk, FaultPlan::single(trigger, target));
         rep.launches += 1;
         let run = match outcome {
-            Err(_) => continue, // detectable-by-timeout (DUE): acceptable anywhere
+            Err(_) => {
+                // Detectable-by-timeout (DUE): acceptable anywhere.
+                note_injection(site.label, "due", &target, trigger);
+                continue;
+            }
             Ok(r) => r,
         };
         if run.faults_applied == 0 {
-            continue; // target missed (e.g. the group already retired)
+            // Target missed (e.g. the group already retired).
+            note_injection(site.label, "missed", &target, trigger);
+            continue;
         }
         rep.injections += 1;
         let sdc = run.detections == 0 && run.bufs != golden;
+        let label = if run.detections > 0 {
+            "detected"
+        } else if sdc {
+            "sdc"
+        } else {
+            "masked"
+        };
+        note_injection(site.label, label, &target, trigger);
         if sdc {
             // Classify by the *actual* target (the SRF site can fall back
             // to a VGPR injection) through the unified lookup.
@@ -453,25 +497,42 @@ pub fn check_case_with(
 ) -> Result<OracleReport, OracleFailure> {
     let mut rep = OracleReport::default();
 
+    // Stage counters feed the campaign metrics snapshot; they count
+    // stage *entries*, so a failing case shows exactly how deep into the
+    // oracle stack it got.
+    let stage = |name: &'static str, flavor: &'static str| {
+        if rmt_obs::enabled() {
+            rmt_obs::add("oracle.stage", &[("flavor", flavor), ("stage", name)], 1);
+        }
+    };
+
+    stage("validate", "original");
     validate(&case.kernel).map_err(|e| fail(FailureKind::Invalid, "original", format!("{e:?}")))?;
+    stage("lint", "original");
     let diags = lint_at(&case.kernel, case.local);
     if !diags.is_empty() {
         return Err(fail(FailureKind::LintDirty, "original", diags.join("; ")));
     }
+    stage("golden_run", "original");
     let (golden, orig_insts) =
         run_original(case, &cfg.device).map_err(|m| fail(FailureKind::Sim, "original", m))?;
     rep.launches += 1;
 
     for (flavor_index, (label, opts)) in flavors().into_iter().enumerate() {
+        let _span = rmt_obs::span("oracle", label).logical_ts(flavor_index as u64);
+        stage("transform", label);
         let mut rk = transform(&case.kernel, &opts)
             .map_err(|e| fail(FailureKind::Transform, label, format!("{e}")))?;
         mutate(&mut rk);
+        stage("validate", label);
         validate(&rk.kernel).map_err(|e| fail(FailureKind::Invalid, label, format!("{e:?}")))?;
+        stage("verify", label);
         let errs = verify_rmt(&case.kernel, &rk);
         if !errs.is_empty() {
             let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
             return Err(fail(FailureKind::Verify, label, msgs.join("; ")));
         }
+        stage("tv", label);
         let tv_report = crate::tv::validate_transform(&case.kernel, &rk);
         if !tv_report.proved() {
             let msgs: Vec<&str> = tv_report
@@ -486,11 +547,13 @@ pub fn check_case_with(
         } else {
             case.local
         };
+        stage("lint", label);
         let diags = lint_at(&rk.kernel, lint_local);
         if !diags.is_empty() {
             return Err(fail(FailureKind::LintDirty, label, diags.join("; ")));
         }
 
+        stage("fault_free_run", label);
         let run = run_flavor(case, &cfg.device, &rk, FaultPlan::none())
             .map_err(|m| fail(FailureKind::Sim, label, m))?;
         rep.launches += 1;
@@ -519,6 +582,7 @@ pub fn check_case_with(
         }
 
         if cfg.max_injections > 0 {
+            stage("campaign", label);
             campaign(
                 case,
                 cfg,

@@ -127,6 +127,22 @@ fn tv_config(rk: &RmtKernel) -> TvConfig {
 /// reported [`ResidueKind::Unsupported`] (see the module docs).
 #[must_use]
 pub fn validate_transform(original: &Kernel, rk: &RmtKernel) -> TvReport {
+    let report = validate_transform_inner(original, rk);
+    if rmt_obs::enabled() {
+        let proved = if report.proved() { "proved" } else { "residue" };
+        rmt_obs::add("tv.validations", &[("outcome", proved)], 1);
+        rmt_obs::add("tv.obligations.exits", &[], report.exits_proved as u64);
+        rmt_obs::add(
+            "tv.obligations.compares",
+            &[],
+            report.compares_proved as u64,
+        );
+        rmt_obs::add("tv.obligations.loops", &[], report.loops_proved as u64);
+    }
+    report
+}
+
+fn validate_transform_inner(original: &Kernel, rk: &RmtKernel) -> TvReport {
     let opts = rk.meta.options;
     if opts.flavor == RmtFlavor::Inter && opts.stage == Stage::RedundantNoComm {
         return TvReport {

@@ -1,0 +1,494 @@
+//! # rmt-obs
+//!
+//! Campaign-level observability for the experiment stack: a hand-rolled
+//! span/event tracing layer plus a metrics registry (counters, max-gauges,
+//! histograms with fixed bucket boundaries), exportable as Chrome
+//! `trace_event` JSON and as a machine-readable metrics snapshot.
+//!
+//! The device simulator already has its own cycle-attribution profiler
+//! (`gcn-sim::profile`); this crate observes the layer *above* it — pool
+//! workers, experiment cells, oracle stages, fault-injection campaigns —
+//! so a whole `repro` run can be read as one timeline next to the device
+//! timelines, and its cost accounting diffed across commits.
+//!
+//! ## Contracts
+//!
+//! * **Zero-cost when disabled.** The collector is off by default; every
+//!   recording entry point begins with one relaxed atomic load
+//!   ([`enabled`]) and returns immediately. Nothing else — no clock
+//!   reads, no allocation, no lock — happens on the disabled path.
+//! * **Two clocks.** Under [`Clock::Wall`] spans carry monotonic
+//!   microsecond timestamps. Under [`Clock::Logical`] (the
+//!   `--deterministic` mode) timestamps are caller-supplied logical
+//!   coordinates (cell index, tick counts) and **wall-clock observations
+//!   are dropped entirely**, so a metrics snapshot is a pure function of
+//!   the campaign inputs: byte-identical for any worker count.
+//! * **Order-free aggregation.** Counters sum, gauges take maxima, and
+//!   histograms count into fixed buckets — all commutative — and the
+//!   snapshot renders keys in sorted order, so no thread interleaving
+//!   can leak into the metrics output.
+//!
+//! The collector is a process-wide singleton: experiments run one
+//! campaign per process, and the pool's scoped worker threads all feed
+//! the same registry without plumbing a handle through every call site.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod trace;
+
+pub use metrics::{Hist, MetricsSnapshot, BUCKET_BOUNDS};
+pub use trace::TraceEvent;
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Which clock timestamps spans and events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Monotonic wall-clock microseconds since [`enable`].
+    Wall,
+    /// Caller-supplied logical coordinates (cell index, tick counts);
+    /// wall-clock observations are dropped so output is deterministic.
+    Logical,
+}
+
+impl Clock {
+    /// The label the snapshot carries.
+    pub fn label(self) -> &'static str {
+        match self {
+            Clock::Wall => "wall",
+            Clock::Logical => "logical",
+        }
+    }
+}
+
+/// Everything the collector accumulates between [`enable`] and export.
+struct State {
+    clock: Clock,
+    epoch: Instant,
+    events: Vec<TraceEvent>,
+    /// Pre-rendered Chrome `trace_event` objects (comma-joined) absorbed
+    /// from other writers — e.g. the device profiler's timeline — so one
+    /// file can hold both the campaign and the device view.
+    raw_events: Vec<String>,
+    metrics: metrics::Registry,
+}
+
+impl State {
+    fn new(clock: Clock) -> Self {
+        State {
+            clock,
+            epoch: Instant::now(),
+            events: Vec::new(),
+            raw_events: Vec::new(),
+            metrics: metrics::Registry::default(),
+        }
+    }
+}
+
+/// The fast-path switch: one relaxed load decides everything.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// `true` while the clock is [`Clock::Logical`].
+static LOGICAL: AtomicBool = AtomicBool::new(false);
+
+fn state() -> &'static Mutex<Option<State>> {
+    static STATE: OnceLock<Mutex<Option<State>>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(None))
+}
+
+/// Turns the collector on with a fresh, empty registry.
+pub fn enable(clock: Clock) {
+    let mut guard = state().lock().expect("obs state poisoned");
+    *guard = Some(State::new(clock));
+    LOGICAL.store(clock == Clock::Logical, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns the collector off and drops everything recorded.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+    LOGICAL.store(false, Ordering::Relaxed);
+    *state().lock().expect("obs state poisoned") = None;
+}
+
+/// `true` while a campaign is being recorded. This is the whole cost of
+/// the disabled path: a single relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// `true` when recording under [`Clock::Logical`] (deterministic mode).
+#[inline]
+pub fn is_logical() -> bool {
+    LOGICAL.load(Ordering::Relaxed)
+}
+
+/// Runs `f` on the live state, if any. Single mutex hop per record.
+fn with_state<R>(f: impl FnOnce(&mut State) -> R) -> Option<R> {
+    let mut guard = state().lock().expect("obs state poisoned");
+    guard.as_mut().map(f)
+}
+
+fn now_us(epoch: Instant) -> u64 {
+    epoch.elapsed().as_micros() as u64
+}
+
+/// A stable small id per recording thread, used as the Chrome `tid` so
+/// per-worker tracks separate in Perfetto. Logical mode pins tid 0
+/// instead (worker identity is scheduling noise there).
+fn thread_tid() -> u32 {
+    static NEXT: AtomicU32 = AtomicU32::new(1);
+    thread_local! {
+        static TID: std::cell::OnceCell<u32> = const { std::cell::OnceCell::new() };
+    }
+    TID.with(|c| *c.get_or_init(|| NEXT.fetch_add(1, Ordering::Relaxed)))
+}
+
+// ---------------------------------------------------------------------------
+// Metrics entry points (all no-ops while disabled)
+// ---------------------------------------------------------------------------
+
+/// Adds `delta` to the counter `name{labels}`.
+pub fn add(name: &str, labels: &[(&str, &str)], delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_state(|s| s.metrics.add(name, labels, delta));
+}
+
+/// Raises the max-gauge `name{labels}` to at least `value` (watermark
+/// semantics — `max` commutes, so the result is order-independent).
+pub fn gauge_max(name: &str, labels: &[(&str, &str)], value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_state(|s| s.metrics.gauge_max(name, labels, value));
+}
+
+/// Counts `value` into the fixed-bucket histogram `name{labels}`. Use
+/// only for values that are pure functions of the campaign inputs
+/// (cycles, instructions, counts) — wall times go through
+/// [`observe_wall_us`].
+pub fn observe(name: &str, labels: &[(&str, &str)], value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_state(|s| s.metrics.observe(name, labels, value));
+}
+
+/// Counts a wall-clock observation (microseconds) into a histogram.
+/// Dropped entirely under [`Clock::Logical`], which is what keeps
+/// deterministic snapshots byte-identical across `--jobs`.
+pub fn observe_wall_us(name: &str, labels: &[(&str, &str)], micros: u64) {
+    if !enabled() || is_logical() {
+        return;
+    }
+    with_state(|s| s.metrics.observe(name, labels, micros));
+}
+
+// ---------------------------------------------------------------------------
+// Tracing entry points
+// ---------------------------------------------------------------------------
+
+/// An in-flight span. Created by [`span`]; records one Chrome complete
+/// (`"X"`) event when dropped. Inert (a `None` inside) while the
+/// collector is disabled — the drop is then a null check.
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+pub struct Span {
+    live: Option<LiveSpan>,
+}
+
+struct LiveSpan {
+    cat: &'static str,
+    name: String,
+    start: Instant,
+    /// Timestamp used under [`Clock::Logical`] instead of the wall clock.
+    logical_ts: u64,
+    args: Vec<(String, ArgValue)>,
+}
+
+/// A span/event argument value.
+#[derive(Debug, Clone)]
+pub enum ArgValue {
+    /// An integer, rendered bare.
+    U64(u64),
+    /// A string, rendered escaped.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// Opens a span under category `cat`. While disabled this allocates
+/// nothing and the returned guard is inert.
+pub fn span(cat: &'static str, name: impl Into<String>) -> Span {
+    if !enabled() {
+        return Span { live: None };
+    }
+    Span {
+        live: Some(LiveSpan {
+            cat,
+            name: name.into(),
+            start: Instant::now(),
+            logical_ts: 0,
+            args: Vec::new(),
+        }),
+    }
+}
+
+impl Span {
+    /// Sets the logical timestamp used under [`Clock::Logical`]
+    /// (e.g. the cell index). Ignored under the wall clock.
+    pub fn logical_ts(mut self, ts: u64) -> Self {
+        if let Some(live) = &mut self.live {
+            live.logical_ts = ts;
+        }
+        self
+    }
+
+    /// Attaches an argument (builder style).
+    pub fn arg(mut self, key: &str, value: impl Into<ArgValue>) -> Self {
+        self.set_arg(key, value);
+        self
+    }
+
+    /// Attaches an argument after creation (e.g. a result computed
+    /// inside the span).
+    pub fn set_arg(&mut self, key: &str, value: impl Into<ArgValue>) {
+        if let Some(live) = &mut self.live {
+            live.args.push((key.to_string(), value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let dur_us = live.start.elapsed().as_micros() as u64;
+        with_state(|s| {
+            let (ts, dur, tid) = match s.clock {
+                Clock::Wall => (
+                    now_us(s.epoch).saturating_sub(dur_us),
+                    dur_us.max(1),
+                    thread_tid(),
+                ),
+                Clock::Logical => (live.logical_ts, 1, 0),
+            };
+            s.events.push(TraceEvent {
+                cat: live.cat,
+                name: live.name,
+                ph: 'X',
+                ts_us: ts,
+                dur_us: dur,
+                tid,
+                args: live.args,
+            });
+        });
+    }
+}
+
+/// Records an instant event (Chrome `"i"` phase).
+pub fn instant(cat: &'static str, name: impl Into<String>, args: Vec<(String, ArgValue)>) {
+    if !enabled() {
+        return;
+    }
+    with_state(|s| {
+        let (ts, tid) = match s.clock {
+            Clock::Wall => (now_us(s.epoch), thread_tid()),
+            Clock::Logical => (0, 0),
+        };
+        s.events.push(TraceEvent {
+            cat,
+            name: name.into(),
+            ph: 'i',
+            ts_us: ts,
+            dur_us: 0,
+            tid,
+            args,
+        });
+    });
+}
+
+/// The one formatting path for human-facing progress banners: always
+/// prints `text` to stderr (exactly as `eprintln!` would), and — when a
+/// campaign is being recorded — also lands it in the trace as an
+/// instant event, so the stderr narrative and the timeline agree.
+pub fn banner(text: &str) {
+    eprintln!("{text}");
+    if enabled() {
+        instant(
+            "banner",
+            text.trim(),
+            vec![("text".to_string(), ArgValue::Str(text.to_string()))],
+        );
+    }
+}
+
+/// Absorbs pre-rendered Chrome `trace_event` objects (comma-joined, no
+/// enclosing brackets) from another writer — the seam that merges the
+/// device profiler's timeline into the campaign trace file.
+pub fn add_chrome_events(raw: &str) {
+    if !enabled() || raw.is_empty() {
+        return;
+    }
+    with_state(|s| s.raw_events.push(raw.to_string()));
+}
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+/// Renders the whole recorded campaign as one Chrome `trace_event` JSON
+/// document (open in Perfetto or `chrome://tracing`). Campaign spans use
+/// pid 1; absorbed device-profiler events keep their own pid (0), so the
+/// two appear as separate processes in one file. Returns an empty
+/// document when disabled.
+pub fn chrome_trace_json() -> String {
+    with_state(trace::render_chrome).unwrap_or_else(|| "{\"traceEvents\":[]}".to_string())
+}
+
+/// Takes a sorted, aggregated snapshot of every metric recorded so far.
+/// Returns an empty snapshot when disabled.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    with_state(|s| s.metrics.snapshot(s.clock)).unwrap_or_else(MetricsSnapshot::empty)
+}
+
+/// [`metrics_snapshot`] rendered as the hand-rolled JSON document the
+/// rest of the workspace writes (compact, sorted keys — byte-identical
+/// across `--jobs` under [`Clock::Logical`]).
+pub fn metrics_json() -> String {
+    metrics_snapshot().to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// The collector is process-global; tests in this binary serialize on
+    /// this lock so concurrent `#[test]` threads don't share a registry.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_is_inert() {
+        let _g = lock();
+        disable();
+        add("c", &[], 1);
+        gauge_max("g", &[], 5);
+        observe("h", &[], 3);
+        let _s = span("cat", "noop");
+        drop(_s);
+        assert_eq!(chrome_trace_json(), "{\"traceEvents\":[]}");
+        let snap = metrics_snapshot();
+        assert!(snap.counters.is_empty() && snap.gauges.is_empty() && snap.hists.is_empty());
+    }
+
+    #[test]
+    fn counters_sum_and_gauges_take_max() {
+        let _g = lock();
+        enable(Clock::Logical);
+        add("cells", &[("exp", "fig2")], 2);
+        add("cells", &[("exp", "fig2")], 3);
+        gauge_max("peak", &[], 7);
+        gauge_max("peak", &[], 4);
+        let snap = metrics_snapshot();
+        assert_eq!(snap.counters[0].value, 5);
+        assert_eq!(snap.gauges[0].value, 7);
+        disable();
+    }
+
+    #[test]
+    fn logical_mode_drops_wall_observations() {
+        let _g = lock();
+        enable(Clock::Logical);
+        observe_wall_us("pool.queue_wait_us", &[], 123);
+        observe("sim.cycles", &[], 456);
+        let snap = metrics_snapshot();
+        assert_eq!(snap.hists.len(), 1);
+        assert_eq!(snap.hists[0].name, "sim.cycles");
+        disable();
+    }
+
+    #[test]
+    fn spans_land_in_the_trace_with_args() {
+        let _g = lock();
+        enable(Clock::Logical);
+        {
+            let mut s = span("exp", "cell").logical_ts(4).arg("kernel", "MM");
+            s.set_arg("cycles", 99u64);
+        }
+        instant("fault", "injection", vec![("outcome".into(), "sdc".into())]);
+        let json = chrome_trace_json();
+        assert!(json.contains("\"name\":\"cell\""), "{json}");
+        assert!(json.contains("\"kernel\":\"MM\""), "{json}");
+        assert!(json.contains("\"cycles\":99"), "{json}");
+        assert!(json.contains("\"ts\":4"), "{json}");
+        assert!(json.contains("\"injection\""), "{json}");
+        disable();
+    }
+
+    #[test]
+    fn raw_events_merge_into_one_document() {
+        let _g = lock();
+        enable(Clock::Wall);
+        add_chrome_events("{\"name\":\"occupancy\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":0}");
+        let json = chrome_trace_json();
+        assert!(json.contains("\"occupancy\""), "{json}");
+        assert!(json.ends_with("]}"), "{json}");
+        disable();
+    }
+
+    #[test]
+    fn snapshot_is_insertion_order_independent() {
+        let _g = lock();
+        enable(Clock::Logical);
+        add("b", &[], 1);
+        add("a", &[("k", "v")], 2);
+        observe("h", &[], 10);
+        let one = metrics_json();
+        enable(Clock::Logical); // reset
+        observe("h", &[], 10);
+        add("a", &[("k", "v")], 2);
+        add("b", &[], 1);
+        let two = metrics_json();
+        assert_eq!(one, two);
+        disable();
+    }
+
+    #[test]
+    fn banner_records_an_event_when_enabled() {
+        let _g = lock();
+        enable(Clock::Wall);
+        banner("[test completed in 1.0ms]");
+        let json = chrome_trace_json();
+        assert!(json.contains("banner"), "{json}");
+        disable();
+    }
+}

@@ -1,0 +1,335 @@
+//! The metrics registry: counters, max-gauges, and fixed-bucket
+//! histograms, all keyed by `(name, sorted labels)` and aggregated with
+//! commutative operations only (`+`, `max`, bucket counts) so the
+//! snapshot is independent of recording order — the property that makes
+//! deterministic-mode snapshots byte-identical across worker counts.
+
+use crate::Clock;
+use std::collections::BTreeMap;
+
+/// Bucket upper bounds shared by every histogram (a final implicit
+/// `+inf` bucket catches the rest). Quasi-geometric, wide enough for
+/// both microsecond latencies and simulated-cycle counts.
+pub const BUCKET_BOUNDS: [u64; 16] = [
+    1,
+    4,
+    16,
+    64,
+    256,
+    1_024,
+    4_096,
+    16_384,
+    65_536,
+    262_144,
+    1_048_576,
+    4_194_304,
+    16_777_216,
+    67_108_864,
+    268_435_456,
+    1_073_741_824,
+];
+
+/// A metric key: name plus labels, ordered so `BTreeMap` iteration (and
+/// therefore the snapshot) is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Key {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl Key {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Key {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// One histogram's accumulated state. `sum` is a `u64` (not `f64`) so
+/// merging across threads stays exactly associative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    /// Observation count per bucket; `counts[i]` holds values `<=
+    /// BUCKET_BOUNDS[i]`, the final entry holds the overflow.
+    pub counts: [u64; BUCKET_BOUNDS.len() + 1],
+    /// Total observations.
+    pub count: u64,
+    /// Exact sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            counts: [0; BUCKET_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Hist {
+    fn observe(&mut self, value: u64) {
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, u64>,
+    hists: BTreeMap<Key, Hist>,
+}
+
+impl Registry {
+    pub fn add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        *self.counters.entry(Key::new(name, labels)).or_insert(0) += delta;
+    }
+
+    pub fn gauge_max(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let g = self.gauges.entry(Key::new(name, labels)).or_insert(0);
+        *g = (*g).max(value);
+    }
+
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.hists
+            .entry(Key::new(name, labels))
+            .or_default()
+            .observe(value);
+    }
+
+    pub fn snapshot(&self, clock: Clock) -> MetricsSnapshot {
+        MetricsSnapshot {
+            clock: clock.label(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| Scalar {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    value: v,
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, &v)| Scalar {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    value: v,
+                })
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(k, h)| NamedHist {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    hist: h.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A snapshotted counter or gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scalar {
+    /// Metric name.
+    pub name: String,
+    /// Sorted labels.
+    pub labels: Vec<(String, String)>,
+    /// Accumulated value (sum for counters, watermark for gauges).
+    pub value: u64,
+}
+
+/// A snapshotted histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedHist {
+    /// Metric name.
+    pub name: String,
+    /// Sorted labels.
+    pub labels: Vec<(String, String)>,
+    /// The accumulated buckets.
+    pub hist: Hist,
+}
+
+/// A point-in-time, sorted view of the whole registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Which clock the campaign ran under (`"wall"` / `"logical"`).
+    pub clock: &'static str,
+    /// All counters, key-sorted.
+    pub counters: Vec<Scalar>,
+    /// All max-gauges, key-sorted.
+    pub gauges: Vec<Scalar>,
+    /// All histograms, key-sorted.
+    pub hists: Vec<NamedHist>,
+}
+
+/// The snapshot document's schema version (see `DESIGN.md`,
+/// "Observability": readers must tolerate unknown keys).
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_labels(out: &mut String, labels: &[(String, String)]) {
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(out, k);
+        out.push(':');
+        push_escaped(out, v);
+    }
+    out.push('}');
+}
+
+impl MetricsSnapshot {
+    /// A snapshot with nothing in it (the disabled-collector answer).
+    pub fn empty() -> Self {
+        MetricsSnapshot {
+            clock: "off",
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
+        }
+    }
+
+    /// Renders the snapshot in the workspace's hand-rolled compact JSON
+    /// style. Keys are already sorted, values are integers, so the
+    /// rendering is byte-stable.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"schema_version\":{METRICS_SCHEMA_VERSION},\"kind\":\"metrics\",\
+             \"clock\":\"{}\",\"counters\":[",
+            self.clock
+        );
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_escaped(&mut out, &c.name);
+            out.push_str(",\"labels\":");
+            push_labels(&mut out, &c.labels);
+            out.push_str(&format!(",\"value\":{}}}", c.value));
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_escaped(&mut out, &g.name);
+            out.push_str(",\"labels\":");
+            push_labels(&mut out, &g.labels);
+            out.push_str(&format!(",\"value\":{}}}", g.value));
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, h) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_escaped(&mut out, &h.name);
+            out.push_str(",\"labels\":");
+            push_labels(&mut out, &h.labels);
+            out.push_str(",\"bounds\":[");
+            for (j, b) in BUCKET_BOUNDS.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push_str("],\"counts\":[");
+            for (j, c) in h.hist.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str(&format!(
+                "],\"count\":{},\"sum\":{}}}",
+                h.hist.count, h.hist.sum
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_range() {
+        let mut h = Hist::default();
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(u64::MAX);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.counts[0], 2); // 0 and 1 both land in the `<= 1` bucket
+        assert_eq!(h.counts[1], 1); // 2 lands in `<= 4`
+        assert_eq!(h.counts[BUCKET_BOUNDS.len()], 1); // overflow bucket
+    }
+
+    #[test]
+    fn keys_sort_labels() {
+        let a = Key::new("m", &[("b", "2"), ("a", "1")]);
+        let b = Key::new("m", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_renders_valid_shape() {
+        let mut r = Registry::default();
+        r.add("cells", &[("exp", "fig2")], 3);
+        r.gauge_max("peak", &[], 9);
+        r.observe("cycles", &[], 500);
+        let json = r.snapshot(Clock::Logical).to_json();
+        assert!(json.starts_with("{\"schema_version\":1,"), "{json}");
+        assert!(json.contains("\"clock\":\"logical\""), "{json}");
+        assert!(json.contains("\"exp\":\"fig2\""), "{json}");
+        assert!(json.contains("\"sum\":500"), "{json}");
+        assert!(json.ends_with("]}\n"), "{json}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Chrome `trace_event` rendering for the campaign trace.
+//!
+//! Campaign spans and instants render under pid 1 (`rmt-campaign`);
+//! raw events absorbed via [`crate::add_chrome_events`] — the device
+//! profiler's counter tracks — keep whatever pid they carry (0), so one
+//! file shows the host campaign and the simulated device side by side.
+
+use crate::{ArgValue, State};
+
+/// One recorded trace event (span or instant).
+#[derive(Debug)]
+pub struct TraceEvent {
+    /// Category (Chrome `cat`), used for filtering in the viewer.
+    pub cat: &'static str,
+    /// Display name.
+    pub name: String,
+    /// Phase: `'X'` (complete) or `'i'` (instant).
+    pub ph: char,
+    /// Start timestamp in trace microseconds (logical units under
+    /// [`crate::Clock::Logical`]).
+    pub ts_us: u64,
+    /// Duration for `'X'` events.
+    pub dur_us: u64,
+    /// Thread track.
+    pub tid: u32,
+    /// Arguments shown in the viewer's detail pane.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_event(out: &mut String, e: &TraceEvent) {
+    out.push_str(",{\"name\":");
+    push_escaped(out, &e.name);
+    out.push_str(&format!(
+        ",\"cat\":\"{}\",\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}",
+        e.cat, e.ph, e.tid, e.ts_us
+    ));
+    if e.ph == 'X' {
+        out.push_str(&format!(",\"dur\":{}", e.dur_us));
+    }
+    if e.ph == 'i' {
+        // Thread-scoped instants render as small arrows on the track.
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in e.args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(out, k);
+        out.push(':');
+        match v {
+            ArgValue::U64(n) => out.push_str(&n.to_string()),
+            ArgValue::Str(s) => push_escaped(out, s),
+        }
+    }
+    out.push_str("}}");
+}
+
+/// Renders the full Chrome `trace_event` document for the live state.
+pub(crate) fn render_chrome(s: &mut State) -> String {
+    let mut out = String::from(
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+         {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"rmt-campaign\"}}",
+    );
+    // Stable order by (ts, tid): thread claiming order must not decide
+    // how the file reads.
+    let mut order: Vec<usize> = (0..s.events.len()).collect();
+    order.sort_by_key(|&i| (s.events[i].ts_us, s.events[i].tid));
+    for i in order {
+        push_event(&mut out, &s.events[i]);
+    }
+    for raw in &s.raw_events {
+        out.push(',');
+        out.push_str(raw);
+    }
+    out.push_str("]}");
+    out
+}

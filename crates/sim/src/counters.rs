@@ -48,6 +48,10 @@ pub struct PerfCounters {
     pub bytes_stored: u64,
     /// LDS bank-conflict extra passes.
     pub lds_conflicts: u64,
+    /// High-water mark of any CU's write-buffer backlog, in buffered
+    /// lines (the campaign-level gauge: how close stores came to the
+    /// `write_buffer_lines` stall threshold).
+    pub write_buffer_peak_lines: u64,
     /// Aggregated L1 statistics (all CUs).
     pub l1: CacheStats,
     /// L2 statistics.

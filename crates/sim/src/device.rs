@@ -126,13 +126,15 @@ impl Device {
     ) -> Result<LaunchStats, SimError> {
         let machine = Machine::new(&self.config, kernel, &mut self.memory, cfg)?;
         let (counters, power, occupancy, faults_applied, _, _) = machine.run()?;
-        Ok(LaunchStats {
+        let stats = LaunchStats {
             cycles: counters.cycles(),
             counters,
             power,
             occupancy,
             faults_applied,
-        })
+        };
+        stats.publish_obs();
+        Ok(stats)
     }
 
     /// Launches a kernel while recording an execution trace.
@@ -150,16 +152,15 @@ impl Device {
         let mut machine = Machine::new(&self.config, &compiled, &mut self.memory, cfg)?;
         machine.set_tracer(trace_cfg);
         let (counters, power, occupancy, faults_applied, trace, _) = machine.run()?;
-        Ok((
-            LaunchStats {
-                cycles: counters.cycles(),
-                counters,
-                power,
-                occupancy,
-                faults_applied,
-            },
-            trace,
-        ))
+        let stats = LaunchStats {
+            cycles: counters.cycles(),
+            counters,
+            power,
+            occupancy,
+            faults_applied,
+        };
+        stats.publish_obs();
+        Ok((stats, trace))
     }
 
     /// Launches a kernel with cycle-attributed profiling enabled: every
@@ -195,16 +196,15 @@ impl Device {
         let mut machine = Machine::new(&self.config, kernel, &mut self.memory, cfg)?;
         machine.set_profiler(profile_cfg);
         let (counters, power, occupancy, faults_applied, _, profile) = machine.run()?;
-        Ok((
-            LaunchStats {
-                cycles: counters.cycles(),
-                counters,
-                power,
-                occupancy,
-                faults_applied,
-            },
-            profile.expect("profiler was attached"),
-        ))
+        let stats = LaunchStats {
+            cycles: counters.cycles(),
+            counters,
+            power,
+            occupancy,
+            faults_applied,
+        };
+        stats.publish_obs();
+        Ok((stats, profile.expect("profiler was attached")))
     }
 }
 

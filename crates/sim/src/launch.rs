@@ -175,6 +175,41 @@ pub struct LaunchStats {
     pub faults_applied: usize,
 }
 
+impl LaunchStats {
+    /// Publishes this launch into the campaign-level metrics registry
+    /// (`rmt-obs`), when a campaign is being recorded. Everything
+    /// published is a pure function of the launch — cycle counts,
+    /// instruction counts, cache traffic, watermarks — so deterministic
+    /// snapshots stay byte-identical for any worker count. The disabled
+    /// path is a single relaxed atomic load.
+    pub(crate) fn publish_obs(&self) {
+        if !rmt_obs::enabled() {
+            return;
+        }
+        let c = &self.counters;
+        rmt_obs::add("sim.launches", &[], 1);
+        rmt_obs::add("sim.cycles", &[], self.cycles);
+        rmt_obs::add("sim.insts", &[], c.dyn_insts);
+        rmt_obs::add("sim.l1.read_hits", &[], c.l1.read_hits);
+        rmt_obs::add("sim.l1.read_misses", &[], c.l1.read_misses);
+        rmt_obs::add("sim.l2.read_hits", &[], c.l2.read_hits);
+        rmt_obs::add("sim.l2.read_misses", &[], c.l2.read_misses);
+        rmt_obs::add("sim.dram_transactions", &[], c.dram_transactions);
+        rmt_obs::observe("sim.launch_cycles", &[], self.cycles);
+        rmt_obs::observe("sim.launch_insts", &[], c.dyn_insts);
+        rmt_obs::gauge_max(
+            "sim.l1.read_hit_rate_bp",
+            &[],
+            (c.l1.read_hit_rate() * 10_000.0) as u64,
+        );
+        rmt_obs::gauge_max(
+            "sim.write_buffer.peak_lines",
+            &[],
+            c.write_buffer_peak_lines,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1383,6 +1383,10 @@ impl<'a> Machine<'a> {
         let drained = self.cus[cu].write.free_at();
         let backlog = drained - issue;
         let threshold = lat.write_buffer_lines * lat.write_drain;
+        self.counters.write_buffer_peak_lines = self
+            .counters
+            .write_buffer_peak_lines
+            .max(backlog / lat.write_drain.max(1));
         let mut ready = issue + lat.store_issue;
         if backlog > threshold {
             let stall = backlog - threshold;

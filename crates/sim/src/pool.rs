@@ -19,6 +19,33 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Runs one claimed task under campaign observability: a `pool.cell`
+/// span (logical timestamp = submission index, so deterministic traces
+/// read in cell order) and the queue-wait vs execute latency split.
+/// When no campaign is recording this is a single atomic load plus the
+/// task call.
+fn run_task<T>(index: usize, pool_start: Instant, task: impl FnOnce() -> T) -> T {
+    if !rmt_obs::enabled() {
+        return task();
+    }
+    // Queue wait: submission (pool start — all tasks are submitted
+    // together) to claim. Dropped from deterministic snapshots, like
+    // every wall observation.
+    let queued_us = pool_start.elapsed().as_micros() as u64;
+    rmt_obs::observe_wall_us("pool.queue_wait_us", &[], queued_us);
+    let mut span = rmt_obs::span("pool", "cell").logical_ts(index as u64);
+    span.set_arg("index", index as u64);
+    span.set_arg("queue_wait_us", queued_us);
+    let t0 = Instant::now();
+    let out = task();
+    let exec_us = t0.elapsed().as_micros() as u64;
+    rmt_obs::observe_wall_us("pool.execute_us", &[], exec_us);
+    span.set_arg("execute_us", exec_us);
+    rmt_obs::add("pool.cells", &[], 1);
+    out
+}
 
 /// Number of worker threads to use by default: the host's available
 /// parallelism, or 1 if it cannot be determined.
@@ -47,8 +74,16 @@ where
     F: FnOnce() -> T + Send,
 {
     let n = tasks.len();
+    let pool_start = Instant::now();
     if jobs <= 1 || n <= 1 {
-        return tasks.into_iter().map(|f| f()).collect();
+        // The serial reference path runs the same per-cell span hook as
+        // the workers, so `--jobs 1` and `--jobs N` record the same
+        // deterministic metrics.
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| run_task(i, pool_start, f))
+            .collect();
     }
     let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -65,7 +100,7 @@ where
                     .expect("task slot poisoned")
                     .take()
                     .expect("each task is claimed exactly once");
-                let out = task();
+                let out = run_task(i, pool_start, task);
                 *results[i].lock().expect("result slot poisoned") = Some(out);
             });
         }

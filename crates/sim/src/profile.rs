@@ -414,10 +414,21 @@ impl Profile {
     /// open in Perfetto or `chrome://tracing`). One simulated cycle is
     /// rendered as one microsecond of trace time.
     pub fn to_chrome_trace(&self) -> String {
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+            self.chrome_trace_events()
+        )
+    }
+
+    /// The raw comma-joined `trace_event` objects (no surrounding
+    /// document), for embedding this device timeline into a larger trace
+    /// — e.g. merged with campaign spans under `rmt-obs`. Device events
+    /// use `pid` 0; campaign events use `pid` 1, so both render side by
+    /// side in one Perfetto view.
+    pub fn chrome_trace_events(&self) -> String {
         let ts = |tick: u64| format!("{:.3}", tick as f64 / TICKS_PER_CYCLE as f64);
         let mut out = String::from(
-            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
-             {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
              \"args\":{\"name\":\"gcn-sim\"}}",
         );
         for s in &self.samples {
@@ -443,7 +454,6 @@ impl Profile {
                 s.queue_depth
             ));
         }
-        out.push_str("]}");
         out
     }
 }
